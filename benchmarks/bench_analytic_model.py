@@ -1,0 +1,85 @@
+"""Experiment E12 — the analytic model vs simulation (section 5).
+
+"initial work on an analytical treatment indicates that we can obtain
+similar results from simple analytic models."  The benchmark evaluates
+the first-order steady-state model of :mod:`repro.sim.analytic` against
+fresh simulations for several configurations and prints both side by
+side.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim.analytic import predict_xyz
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.report import format_table
+
+CONFIGS = ["3-2-2", "4-2-3", "5-3-3", "3-1-3"]
+
+
+def test_analytic_model_vs_simulation(benchmark, scale):
+    def experiment():
+        out = {}
+        for config in CONFIGS:
+            sim = run_simulation(
+                SimulationSpec(
+                    config=config,
+                    directory_size=100,
+                    operations=scale["generic_ops"],
+                    seed=12,
+                )
+            )
+            out[config] = (predict_xyz(config, 100), sim.stats_table())
+        return out
+
+    results = run_once(benchmark, experiment)
+    headers = [
+        "config",
+        "entries coalesced (model/sim)",
+        "ghost deletions (model/sim)",
+        "pred-succ inserts (model/sim)",
+    ]
+    rows = []
+    for config, (model, sim) in results.items():
+        rows.append(
+            [
+                config,
+                f"{model.entries_in_ranges_coalesced:.2f} / "
+                f"{sim['entries_in_ranges_coalesced']['avg']:.2f}",
+                f"{model.deletions_while_coalescing:.2f} / "
+                f"{sim['deletions_while_coalescing']['avg']:.2f}",
+                f"{model.insertions_while_coalescing:.2f} / "
+                f"{sim['insertions_while_coalescing']['avg']:.2f}",
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            headers,
+            rows,
+            title="Simple analytic model vs simulation (100 entries)",
+        )
+    )
+    # "Similar results": within 0.45 absolute on every statistic for the
+    # voting configurations (the model is first-order, not exact).
+    for config, (model, sim) in results.items():
+        assert (
+            abs(
+                model.entries_in_ranges_coalesced
+                - sim["entries_in_ranges_coalesced"]["avg"]
+            )
+            < 0.45
+        )
+        assert (
+            abs(
+                model.deletions_while_coalescing
+                - sim["deletions_while_coalescing"]["avg"]
+            )
+            < 0.45
+        )
+        assert (
+            abs(
+                model.insertions_while_coalescing
+                - sim["insertions_while_coalescing"]["avg"]
+            )
+            < 0.35
+        )
+    benchmark.extra_info["configs"] = CONFIGS

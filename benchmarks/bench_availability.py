@@ -1,0 +1,84 @@
+"""Experiment E7 — availability: quorum tuning vs unanimous update.
+
+Quantifies the paper's availability claims exactly (no simulation noise —
+the analysis enumerates node-up subsets):
+
+* weighted voting lets availability be tuned from unanimous-update
+  behaviour to majority behaviour (section 1 / section 5);
+* the naive per-entry-version scheme's ambiguity resolution ("consult an
+  additional representative") costs measurable delete availability
+  (section 2).
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.config import SuiteConfig
+from repro.sim.availability import analyze
+from repro.sim.report import format_table
+
+CONFIGS = {
+    "1-1-1 (no replication)": SuiteConfig.from_xyz("1-1-1"),
+    "3 unanimous (R=1,W=3)": SuiteConfig.unanimous(3),
+    "3-2-2": SuiteConfig.from_xyz("3-2-2"),
+    "5 unanimous (R=1,W=5)": SuiteConfig.unanimous(5),
+    "5-3-3 (majority)": SuiteConfig.uniform(5, 3, 3),
+    "5-2-4 (read-tuned)": SuiteConfig.uniform(5, 2, 4),
+    "weighted [3,1,1] R=3 W=3": SuiteConfig(
+        votes={"big": 3, "s1": 1, "s2": 1}, read_quorum=3, write_quorum=3
+    ),
+}
+
+P_VALUES = [0.80, 0.90, 0.95, 0.99]
+
+
+def test_availability_sweep(benchmark):
+    def experiment():
+        table = {}
+        for label, config in CONFIGS.items():
+            table[label] = [analyze(config, p) for p in P_VALUES]
+        return table
+
+    results = run_once(benchmark, experiment)
+
+    headers = ["configuration"] + [f"write avail @p={p}" for p in P_VALUES]
+    rows = []
+    for label, points in results.items():
+        rows.append([label] + [f"{pt.write_availability:.4f}" for pt in points])
+    print("\n" + format_table(headers, rows, title="Write availability"))
+
+    headers2 = ["configuration"] + [
+        f"naive-delete avail @p={p}" for p in P_VALUES
+    ]
+    rows2 = []
+    for label, points in results.items():
+        rows2.append(
+            [label] + [f"{pt.naive_delete_availability:.4f}" for pt in points]
+        )
+    print(
+        "\n"
+        + format_table(
+            headers2,
+            rows2,
+            title="Delete availability if the section 2 naive scheme "
+            "must consult an extra representative",
+        )
+    )
+
+    # The paper's qualitative claims, as assertions:
+    at90 = {label: points[1] for label, points in results.items()}
+    # 1. Majority voting writes beat unanimous writes, massively.
+    assert (
+        at90["5-3-3 (majority)"].write_availability
+        > at90["5 unanimous (R=1,W=5)"].write_availability + 0.3
+    )
+    # 2. Any replication beats none for reads at equal quorum tuning.
+    assert (
+        at90["3-2-2"].read_availability
+        > at90["1-1-1 (no replication)"].read_availability
+    )
+    # 3. The naive scheme's deletes are strictly less available.
+    for label in ("3-2-2", "5-3-3 (majority)"):
+        point = at90[label]
+        assert point.naive_delete_availability < point.write_availability
+    benchmark.extra_info["write_availability_at_0.9"] = {
+        label: round(pt.write_availability, 4) for label, pt in at90.items()
+    }

@@ -1,0 +1,57 @@
+"""Experiment E3 — Figure 14: delete overhead across suite configurations.
+
+The paper: "Figure 14 shows the average results of simulations using
+directory sizes of approximately one hundred entries with varying numbers
+of directory representatives and varying sizes of read and write quorums.
+The duration of each simulation was ten thousand operations, and the
+members of quorums and the keys to insert, update, or delete were selected
+randomly from a uniform distribution."
+
+This benchmark regenerates that table for a representative grid of
+``x-y-z`` configurations and prints the three statistics per
+configuration.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim.driver import run_figure14_grid
+from repro.sim.report import figure14_table
+
+#: Legal configurations (R + W > x, 2W > x) spanning 1..5 representatives.
+FIGURE14_CONFIGS = [
+    "1-1-1",
+    "2-1-2",
+    "3-2-2",
+    "3-1-3",
+    "4-2-3",
+    "4-3-3",
+    "5-3-3",
+    "5-2-4",
+]
+
+
+def test_figure14_configuration_grid(benchmark, scale):
+    def experiment():
+        return run_figure14_grid(
+            FIGURE14_CONFIGS,
+            directory_size=100,
+            operations=scale["figure14_ops"],
+            seed=14,
+        )
+
+    results = run_once(benchmark, experiment)
+    table = figure14_table(results)
+    print("\n" + table)
+    benchmark.extra_info["operations"] = scale["figure14_ops"]
+    for config, result in results.items():
+        stats = result.stats_table()
+        benchmark.extra_info[config] = {
+            name: round(row["avg"], 3) for name, row in stats.items()
+        }
+        # Sanity: delete overhead stays small in every configuration —
+        # the paper's headline claim.
+        assert stats["entries_in_ranges_coalesced"]["avg"] < 3.0
+        assert stats["insertions_while_coalescing"]["avg"] < 1.5
+    # Write-all configurations (x-y-x) leave no ghosts at all.
+    for config in ("1-1-1", "2-1-2", "3-1-3"):
+        stats = results[config].stats_table()
+        assert stats["deletions_while_coalescing"]["avg"] == 0.0

@@ -1,0 +1,104 @@
+"""Experiment E5 — Figure 16: locality-tuned quorums on a 4-2-3 suite.
+
+The paper's example: keys 1..50 belong to type-A transactions served by
+local representatives A1/A2; keys 51..100 to type-B served by B1/B2.
+"All inquiries can be done locally and the non-local write that is
+required for modification operations is evenly distributed among the
+remote representatives."
+
+The benchmark runs the same locality workload under (a) the paper's
+locality quorum policy and (b) uniform random quorums, on a two-site
+latency model, and reports simulated time per operation, the fraction of
+RPC traffic that crossed sites, and the balance of remote writes.
+"""
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.cluster import DirectoryCluster
+from repro.core.config import SuiteConfig
+from repro.core.quorum import LocalityQuorumPolicy, RandomQuorumPolicy
+from repro.net.network import site_latency
+from repro.sim.report import comparison_table
+from repro.sim.workload import LocalityWorkload
+
+SITES = {
+    "client": "site-A",
+    "node-A1": "site-A",
+    "node-A2": "site-A",
+    "node-B1": "site-B",
+    "node-B2": "site-B",
+}
+
+
+def build_cluster(policy):
+    config = SuiteConfig(
+        votes={"A1": 1, "A2": 1, "B1": 1, "B2": 1},
+        read_quorum=2,
+        write_quorum=3,
+    )
+    return DirectoryCluster.create(
+        config,
+        seed=16,
+        quorum_policy=policy,
+        latency=site_latency(SITES, local=1.0, remote=25.0),
+    )
+
+
+def drive(cluster, n_ops):
+    """Run a type-A locality workload; return per-op simulated latency."""
+    suite = cluster.suite
+    workload = LocalityWorkload(target_size=60, seed=17, type_a_fraction=1.0)
+    for op in workload.initial_load(60):
+        suite.insert(op.key, op.value)
+    cluster.network.stats.reset()
+    t0 = cluster.network.clock.now()
+    for op in workload.operations(n_ops):
+        if op.kind == "insert":
+            suite.insert(op.key, op.value)
+        elif op.kind == "update":
+            suite.update(op.key, op.value)
+        elif op.kind == "delete":
+            suite.delete(op.key)
+        else:
+            suite.lookup(op.key)
+    elapsed = cluster.network.clock.now() - t0
+    return {
+        "ticks_per_op": elapsed / n_ops,
+        "rpc_rounds_per_op": cluster.network.stats.rpc_rounds / n_ops,
+        "b1_entries": cluster.representative("B1").entry_count(),
+        "b2_entries": cluster.representative("B2").entry_count(),
+    }
+
+
+def test_figure16_locality_vs_random(benchmark, scale):
+    n_ops = max(300, scale["generic_ops"] // 4)
+
+    def experiment():
+        locality = drive(
+            build_cluster(LocalityQuorumPolicy(local=["A1", "A2"])), n_ops
+        )
+        uniform = drive(build_cluster(RandomQuorumPolicy()), n_ops)
+        return {"locality (Figure 16)": locality, "random quorums": uniform}
+
+    results = run_once(benchmark, experiment)
+    print(
+        "\n"
+        + comparison_table(
+            results,
+            columns=["ticks_per_op", "rpc_rounds_per_op", "b1_entries", "b2_entries"],
+            title="Figure 16: locality quorums on a 4-2-3 suite "
+            "(two sites, local=1 tick, remote=25 ticks)",
+        )
+    )
+    locality = results["locality (Figure 16)"]
+    uniform = results["random quorums"]
+    benchmark.extra_info.update(
+        {k: round(v, 2) for k, v in locality.items()}
+    )
+    # Locality tuning must be substantially faster than random quorums.
+    assert locality["ticks_per_op"] < uniform["ticks_per_op"] * 0.7
+    # "evenly distributed among the remote representatives":
+    assert abs(locality["b1_entries"] - locality["b2_entries"]) <= max(
+        3, 0.2 * (locality["b1_entries"] + locality["b2_entries"])
+    )

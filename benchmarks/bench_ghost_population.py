@@ -1,0 +1,81 @@
+"""Experiment — ghost population dynamics (supports E9 and the analytic model).
+
+Tracks the cluster-wide ghost population over a long run under random vs
+sticky write quorums.  With random quorums, ghosts grow toward and then
+hover around the analytic model's steady state
+(``rho(1-q)N / (2q)`` per replica, ≈20 per replica for a 100-entry
+3-2-2); with fully sticky quorums they never form at all.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.quorum import StickyQuorumPolicy
+from repro.sim.analytic import predict_xyz
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.report import format_table
+
+
+def test_ghost_population_timeline(benchmark, scale):
+    n_ops = max(2_000, scale["generic_ops"])
+    interval = max(100, n_ops // 10)
+
+    def experiment():
+        random_run = run_simulation(
+            SimulationSpec(
+                config="3-2-2",
+                directory_size=100,
+                operations=n_ops,
+                seed=60,
+                ghost_sample_interval=interval,
+            )
+        )
+        sticky_run = run_simulation(
+            SimulationSpec(
+                config="3-2-2",
+                directory_size=100,
+                operations=n_ops,
+                seed=60,
+                quorum_policy=StickyQuorumPolicy(switch_prob=0.0),
+                ghost_sample_interval=interval,
+            )
+        )
+        return random_run, sticky_run
+
+    random_run, sticky_run = run_once(benchmark, experiment)
+    model = predict_xyz("3-2-2", 100)
+    predicted_total = model.ghosts_per_replica * 3
+
+    rows = []
+    sticky_by_index = dict(sticky_run.ghost_timeline)
+    for index, ghosts in random_run.ghost_timeline:
+        rows.append(
+            [
+                str(index),
+                str(ghosts),
+                str(sticky_by_index.get(index, "-")),
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["operation", "ghosts (random quorums)", "ghosts (sticky quorums)"],
+            rows,
+            title=(
+                "Cluster-wide ghost population over time (3-2-2, 100 "
+                f"entries; analytic steady state ≈ {predicted_total:.0f})"
+            ),
+        )
+    )
+    final_random = random_run.ghost_timeline[-1][1]
+    final_sticky = sticky_run.ghost_timeline[-1][1]
+    benchmark.extra_info["final_ghosts_random"] = final_random
+    benchmark.extra_info["final_ghosts_sticky"] = final_sticky
+    benchmark.extra_info["analytic_prediction"] = round(predicted_total, 1)
+    # Sticky quorums leave (essentially) no ghosts.
+    assert final_sticky <= 2
+    # Random quorums converge to the same order of magnitude as the
+    # first-order analytic prediction (within a factor of ~2.5).
+    assert predicted_total / 2.5 < final_random < predicted_total * 2.5
+    # Bounded, not growing: the last sample is not far above the median.
+    counts = sorted(g for _i, g in random_run.ghost_timeline)
+    median = counts[len(counts) // 2]
+    assert final_random < max(10, median * 2)

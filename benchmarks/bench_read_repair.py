@@ -1,0 +1,74 @@
+"""Extension ablation — read repair.
+
+Not a paper table: section 5 invites improvements ("an inventive reader
+will find many"), and read repair is the natural one — a lookup that sees
+a stale or missing entry on a read-quorum member pushes the current entry
+back, raising copy density.  The ablation quantifies the trade: fewer
+pred/succ insertions during deletes and fewer ghosts, in exchange for
+extra repair writes on the read path.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.report import format_table
+from repro.sim.workload import OpMix
+
+
+def test_read_repair_ablation(benchmark, scale):
+    # Include lookups in the mix: repair happens on the read path.
+    mix = OpMix(insert=1, update=1, delete=1, lookup=3)
+
+    def experiment():
+        out = {}
+        for repair in (False, True):
+            spec = SimulationSpec(
+                config="3-2-2",
+                directory_size=100,
+                operations=scale["generic_ops"],
+                seed=30,
+                mix=mix,
+                read_repair=repair,
+            )
+            out[repair] = run_simulation(spec)
+        return out
+
+    results = run_once(benchmark, experiment)
+    headers = [
+        "read repair",
+        "pred/succ insertions per delete",
+        "ghost deletions per delete",
+        "RPC rounds per op",
+    ]
+    rows = []
+    for repair, result in results.items():
+        table = result.stats_table()
+        total = max(1, result.op_counts.total)
+        rows.append(
+            [
+                "on" if repair else "off",
+                f"{table['insertions_while_coalescing']['avg']:.3f}",
+                f"{table['deletions_while_coalescing']['avg']:.3f}",
+                f"{result.traffic['rpc_rounds'] / total:.2f}",
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            headers,
+            rows,
+            title="Read-repair ablation (3-2-2, 100 entries, lookup-heavy mix)",
+        )
+    )
+    off = results[False].stats_table()
+    on = results[True].stats_table()
+    benchmark.extra_info["insertions_off"] = round(
+        off["insertions_while_coalescing"]["avg"], 3
+    )
+    benchmark.extra_info["insertions_on"] = round(
+        on["insertions_while_coalescing"]["avg"], 3
+    )
+    # Repair must reduce the delete path's copy-in work.
+    assert (
+        on["insertions_while_coalescing"]["avg"]
+        < off["insertions_while_coalescing"]["avg"]
+    )

@@ -1,0 +1,82 @@
+"""Experiment E9 — sticky quorums: "coalescing ... will not be costly".
+
+Section 5: "if the memberships of write quorums change infrequently,
+coalescing during deletions will not be costly.  Thus, the statistics
+presented in the previous section are worse than could be achieved,
+because quorum members were selected randomly."
+
+The benchmark sweeps the quorum-switch probability from 0 (fully sticky,
+a moving-primary-like regime) to 1 (the paper's random selection) and
+reports the three delete-overhead statistics at each point.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.quorum import StickyQuorumPolicy
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.report import format_table
+
+SWITCH_PROBS = [0.0, 0.05, 0.2, 0.5, 1.0]
+
+
+def test_sticky_quorum_sweep(benchmark, scale):
+    def experiment():
+        results = {}
+        for prob in SWITCH_PROBS:
+            spec = SimulationSpec(
+                config="3-2-2",
+                directory_size=100,
+                operations=scale["generic_ops"],
+                seed=9,
+                quorum_policy=StickyQuorumPolicy(switch_prob=prob),
+            )
+            results[prob] = run_simulation(spec)
+        return results
+
+    results = run_once(benchmark, experiment)
+    headers = [
+        "switch prob",
+        "entries coalesced (avg)",
+        "ghost deletions (avg)",
+        "pred/succ insertions (avg)",
+    ]
+    rows = []
+    for prob, result in results.items():
+        table = result.stats_table()
+        rows.append(
+            [
+                f"{prob:.2f}",
+                f"{table['entries_in_ranges_coalesced']['avg']:.3f}",
+                f"{table['deletions_while_coalescing']['avg']:.3f}",
+                f"{table['insertions_while_coalescing']['avg']:.3f}",
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            headers,
+            rows,
+            title="Delete overhead vs write-quorum stickiness (3-2-2, "
+            "100 entries; switch prob 1.0 = the paper's Figure 14/15 setup)",
+        )
+    )
+
+    fully_sticky = results[0.0].stats_table()
+    fully_random = results[1.0].stats_table()
+    benchmark.extra_info["sticky_ghosts"] = round(
+        fully_sticky["deletions_while_coalescing"]["avg"], 4
+    )
+    benchmark.extra_info["random_ghosts"] = round(
+        fully_random["deletions_while_coalescing"]["avg"], 4
+    )
+    # Fully sticky quorums essentially eliminate ghost/copy overhead.
+    assert (
+        fully_sticky["deletions_while_coalescing"]["avg"]
+        < fully_random["deletions_while_coalescing"]["avg"] * 0.25
+    )
+    assert fully_sticky["insertions_while_coalescing"]["avg"] < 0.05
+    # Overhead grows monotonically-ish with switching (allow seed noise).
+    ghost_series = [
+        results[p].stats_table()["deletions_while_coalescing"]["avg"]
+        for p in SWITCH_PROBS
+    ]
+    assert ghost_series[0] < ghost_series[-1]

@@ -1,0 +1,107 @@
+"""Experiment E11 — delete cost vs the unanimous update strategy.
+
+Section 4: the insertion/deletion statistics "reflect the extra work done
+by DirSuiteDelete in addition to the work that would be done by the
+deletion operation of a unanimous update strategy having the number of
+replicas in a write quorum", and "the weighted voting algorithm does
+little extra work during deletions".
+
+The benchmark measures per-delete representative writes for both systems
+(unanimous with W=2 replicas vs the 3-2-2 voting directory) and, as the
+flip side, the write availability each can offer.
+"""
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.baselines.unanimous import build_unanimous
+from repro.cluster import DirectoryCluster
+from repro.core.config import SuiteConfig
+from repro.sim.availability import analyze
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.report import comparison_table
+
+
+def drive_unanimous(n_replicas, n_ops, seed):
+    d = build_unanimous(n_replicas, seed=seed)
+    rng = random.Random(seed + 1)
+    members = []
+    for i in range(100):
+        key = rng.random()
+        d.insert(key, i)
+        members.append(key)
+    writes_before = d.writes_performed
+    deletes = 0
+    for i in range(n_ops):
+        if members and rng.random() < 0.5:
+            victim = members.pop(rng.randrange(len(members)))
+            d.delete(victim)
+            deletes += 1
+        else:
+            key = rng.random()
+            d.insert(key, i)
+            members.append(key)
+    writes = d.writes_performed - writes_before
+    return writes / max(1, deletes + (n_ops - deletes))
+
+
+def test_delete_work_vs_unanimous(benchmark, scale):
+    n_ops = scale["generic_ops"]
+
+    def experiment():
+        voting = run_simulation(
+            SimulationSpec(
+                config="3-2-2", directory_size=100, operations=n_ops, seed=11
+            )
+        )
+        table = voting.stats_table()
+        w = 2  # write quorum size
+        voting_delete_writes = (
+            w  # the coalesce on each write-quorum member
+            + table["insertions_while_coalescing"]["avg"]
+        )
+        extra_deletions = table["deletions_while_coalescing"]["avg"]
+        unanimous_writes_per_op = drive_unanimous(w, n_ops // 2, seed=12)
+        return {
+            "3-2-2 voting directory": {
+                "rep_writes_per_delete": voting_delete_writes,
+                "extra_ghost_deletions": extra_deletions,
+                "write_availability@p=0.9": analyze(
+                    SuiteConfig.from_xyz("3-2-2"), 0.9
+                ).write_availability,
+            },
+            "unanimous, W=2 replicas": {
+                "rep_writes_per_delete": 2.0,
+                "extra_ghost_deletions": 0.0,
+                "write_availability@p=0.9": analyze(
+                    SuiteConfig.unanimous(2), 0.9
+                ).write_availability,
+            },
+        }
+
+    results = run_once(benchmark, experiment)
+    print(
+        "\n"
+        + comparison_table(
+            results,
+            columns=[
+                "rep_writes_per_delete",
+                "extra_ghost_deletions",
+                "write_availability@p=0.9",
+            ],
+            title="Delete work vs unanimous update with W replicas",
+        )
+    )
+    ours = results["3-2-2 voting directory"]
+    base = results["unanimous, W=2 replicas"]
+    benchmark.extra_info["extra_writes_per_delete"] = round(
+        ours["rep_writes_per_delete"] - base["rep_writes_per_delete"], 3
+    )
+    # "does little extra work during deletions": under one extra
+    # representative write per delete on average.
+    assert ours["rep_writes_per_delete"] - base["rep_writes_per_delete"] < 1.0
+    assert ours["extra_ghost_deletions"] < 1.5
+    # And the payoff: strictly better write availability.
+    assert (
+        ours["write_availability@p=0.9"] > base["write_availability@p=0.9"]
+    )

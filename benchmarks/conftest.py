@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or one
+of the discussion-section claims) and prints it.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+By default the experiments run at a reduced scale that finishes in a
+couple of minutes.  Set ``REPRO_PAPER_SCALE=1`` to use the paper's exact
+parameters (10,000-operation Figure 14 runs; 100,000-operation Figure 15
+runs at 100 / 1,000 / 10,000 entries), which takes substantially longer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def paper_scale() -> bool:
+    """True when the paper's full simulation parameters were requested."""
+    return os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    """Scaled experiment parameters (reduced by default)."""
+    if paper_scale():
+        return {
+            "figure14_ops": 10_000,
+            "figure15_ops": 100_000,
+            "figure15_sizes": [100, 1_000, 10_000],
+            "generic_ops": 10_000,
+            "concurrency_txns": 2_000,
+        }
+    return {
+        "figure14_ops": 2_000,
+        "figure15_ops": 10_000,
+        "figure15_sizes": [100, 1_000],
+        "generic_ops": 2_000,
+        "concurrency_txns": 500,
+    }
+
+
+def run_once(benchmark, fn):
+    """Time an experiment exactly once and return its result.
+
+    Experiments are minutes-long simulations; re-running them for
+    statistical timing would be wasteful and the interesting output is
+    the table, not the nanoseconds.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,78 @@
+"""Replicated directories via weighted voting with per-range version numbers.
+
+A production-quality reproduction of Daniels & Spector, *An Algorithm for
+Replicated Directories* (PODC 1983 / CMU-CS-83-123): a replicated ordered
+key→value directory built on Gifford-style weighted voting, where every
+possible key — stored or not — has a version number on every replica,
+because the key space of each replica is dynamically partitioned into
+per-entry ranges and per-gap ranges.
+
+Quick start::
+
+    from repro import DirectoryCluster
+
+    cluster = DirectoryCluster.create("3-2-2", seed=7)
+    directory = cluster.suite
+    directory.insert("alice", "room 4101")
+    present, value = directory.lookup("alice")
+    directory.delete("alice")
+
+Packages:
+
+* :mod:`repro.core` — the paper's algorithm: suites, representatives,
+  quorum policies, configuration, statistics.
+* :mod:`repro.storage` — representative stores (sorted array, B-tree),
+  write-ahead logging, checkpoints.
+* :mod:`repro.txn` — range locks (Figure 7), strict two-phase locking,
+  deadlock detection, undo, two-phase commit.
+* :mod:`repro.net` — the simulated cluster: nodes, network, RPC,
+  failure injection.
+* :mod:`repro.baselines` — the strategies the paper compares against or
+  develops from: Gifford file voting, unanimous update, primary copy,
+  naive per-entry versions, static partitioning.
+* :mod:`repro.sim` — workloads, simulation drivers, availability and
+  concurrency analysis, paper-style table rendering.
+"""
+
+from repro.cluster import DirectoryCluster
+from repro.core.config import SuiteConfig
+from repro.core.hints import HintedDirectory
+from repro.core.setdir import ReplicatedSet
+from repro.core.errors import (
+    AmbiguousLookupError,
+    ConfigurationError,
+    DirectoryError,
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    QuorumUnavailableError,
+    ReproError,
+)
+from repro.core.quorum import (
+    LocalityQuorumPolicy,
+    PreferredQuorumPolicy,
+    RandomQuorumPolicy,
+    StickyQuorumPolicy,
+)
+from repro.core.suite import DirectorySuite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DirectoryCluster",
+    "DirectorySuite",
+    "SuiteConfig",
+    "ReplicatedSet",
+    "HintedDirectory",
+    "RandomQuorumPolicy",
+    "StickyQuorumPolicy",
+    "PreferredQuorumPolicy",
+    "LocalityQuorumPolicy",
+    "ReproError",
+    "DirectoryError",
+    "KeyAlreadyPresentError",
+    "KeyNotPresentError",
+    "AmbiguousLookupError",
+    "ConfigurationError",
+    "QuorumUnavailableError",
+    "__version__",
+]

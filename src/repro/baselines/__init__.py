@@ -1,0 +1,50 @@
+"""Replication strategies the paper compares against or develops from.
+
+* :mod:`repro.baselines.file_voting` — Gifford's weighted voting for
+  files, the algorithm the paper generalizes;
+* :mod:`repro.baselines.directory_as_file` — the whole directory as one
+  voted file: correct but fully serialized and whole-object shipped;
+* :mod:`repro.baselines.unanimous` — write-all/read-one, the delete-cost
+  comparison point of section 4;
+* :mod:`repro.baselines.primary_copy` — primary/secondary copies with
+  observable staleness;
+* :mod:`repro.baselines.naive_entry_versions` — the broken per-entry
+  version scheme of section 2, with the paper's
+  extra-representative resolution as an option;
+* :mod:`repro.baselines.static_partition` — fixed key-range partitions,
+  each a mini voted file;
+* :mod:`repro.baselines.tombstone` — §2's mark-deleted + periodic
+  garbage collection alternative, with its measurable space and
+  availability costs.
+"""
+
+from repro.baselines.directory_as_file import DirectoryAsFile, build_directory_as_file
+from repro.baselines.file_voting import FileSuite, build_file_suite
+from repro.baselines.naive_entry_versions import (
+    NaiveReplicatedDirectory,
+    build_naive,
+)
+from repro.baselines.primary_copy import PrimaryCopyDirectory, build_primary_copy
+from repro.baselines.static_partition import (
+    StaticPartitionedDirectory,
+    build_static_partitioned,
+)
+from repro.baselines.tombstone import TombstoneDirectory, build_tombstone
+from repro.baselines.unanimous import UnanimousDirectory, build_unanimous
+
+__all__ = [
+    "TombstoneDirectory",
+    "build_tombstone",
+    "FileSuite",
+    "build_file_suite",
+    "DirectoryAsFile",
+    "build_directory_as_file",
+    "UnanimousDirectory",
+    "build_unanimous",
+    "PrimaryCopyDirectory",
+    "build_primary_copy",
+    "NaiveReplicatedDirectory",
+    "build_naive",
+    "StaticPartitionedDirectory",
+    "build_static_partitioned",
+]

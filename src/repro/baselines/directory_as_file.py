@@ -1,0 +1,94 @@
+"""A directory stored as one Gifford-replicated file.
+
+Section 2: "the basic [weighted voting] algorithm can not be applied to
+directories without undesirable concurrency limitations ... only a single
+transaction could modify the directory at any time if a directory were
+stored as a replicated file suite.  This is because each representative
+has a single version number, which causes the serialization of operations
+that modify the directory."
+
+This baseline makes that cost measurable.  The whole directory is the file
+contents (an immutable mapping); every modification is a read-modify-write
+of the entire object, shipping ``len(directory)`` logical items per
+message, and every write advances the single version number — the
+concurrency simulator's "whole" granularity.  Delete is trivial here
+(remove the key, rewrite the file), which is exactly why the paper's
+per-key-range versioning is only needed once one refuses to ship the whole
+directory on every update.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.baselines.file_voting import FileSuite, build_file_suite
+from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
+
+
+class DirectoryAsFile:
+    """Directory API on top of a replicated file suite."""
+
+    def __init__(self, file_suite: FileSuite) -> None:
+        self.file_suite = file_suite
+
+    # -- internals ------------------------------------------------------------
+
+    def _read_dict(self) -> Mapping[Any, Any]:
+        contents = self.file_suite.read()
+        return contents if contents is not None else MappingProxyType({})
+
+    def _write_dict(self, mapping: dict[Any, Any]) -> None:
+        # Ship the whole directory: payload accounting reflects its size.
+        self.file_suite.write(
+            MappingProxyType(dict(mapping)),
+            payload_items=max(1, len(mapping)),
+        )
+
+    # -- directory operations ----------------------------------------------------
+
+    def lookup(self, key: Any) -> tuple[bool, Any]:
+        """(present?, value) from the highest-versioned replica."""
+        current = self._read_dict()
+        return (True, current[key]) if key in current else (False, None)
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add a new entry by rewriting the whole directory."""
+        current = dict(self._read_dict())
+        if key in current:
+            raise KeyAlreadyPresentError(key)
+        current[key] = value
+        self._write_dict(current)
+
+    def update(self, key: Any, value: Any) -> None:
+        """Overwrite an entry by rewriting the whole directory."""
+        current = dict(self._read_dict())
+        if key not in current:
+            raise KeyNotPresentError(key)
+        current[key] = value
+        self._write_dict(current)
+
+    def delete(self, key: Any) -> None:
+        """Remove an entry by rewriting the whole directory.
+
+        No ghosts, no coalescing — and no concurrency: this write, like
+        every other, bumps the one version number all operations contend
+        on.
+        """
+        current = dict(self._read_dict())
+        if key not in current:
+            raise KeyNotPresentError(key)
+        del current[key]
+        self._write_dict(current)
+
+    def size(self) -> int:
+        """Number of entries in the current directory."""
+        return len(self._read_dict())
+
+
+def build_directory_as_file(
+    spec: str = "3-2-2", seed: int | None = None
+) -> DirectoryAsFile:
+    """A directory-as-file baseline on a fresh simulated network."""
+    file_suite, _reps = build_file_suite(spec, seed)
+    return DirectoryAsFile(file_suite)

@@ -1,0 +1,164 @@
+"""Gifford's weighted voting for files [Gifford 79].
+
+The algorithm the paper builds on: each *file representative* holds one
+copy of the file's contents plus a single version number.  Writes install
+new contents with a version one greater than the highest in a write
+quorum; reads return the contents of the highest-versioned representative
+in a read quorum.  R + W > total votes guarantees every read sees the
+latest write.
+
+This implementation exists for two reasons:
+
+* it is the substrate of the *directory-as-file* baseline
+  (:mod:`repro.baselines.directory_as_file`), whose single version number
+  per replica is exactly the concurrency bottleneck section 2 identifies;
+* tests validate the quorum-intersection reasoning on the simplest
+  possible object before trusting it on directories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import SuiteConfig
+from repro.core.errors import QuorumUnavailableError
+from repro.core.versions import LOWEST_VERSION, Version
+from repro.net.network import Network
+from repro.net.rpc import RpcEndpoint
+
+
+class FileRepresentative:
+    """One replica of a voting file: contents plus a version number.
+
+    Crash-aware: the (version, contents) pairs ever written are kept in a
+    durable log list; a crash wipes the volatile pair and recovery
+    restores the highest committed pair.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.version: Version = LOWEST_VERSION
+        self.contents: Any = None
+        self._durable_log: list[tuple[Version, Any]] = []
+
+    # -- service methods ------------------------------------------------------
+
+    def read(self) -> tuple[Version, Any]:
+        """Return (version, contents)."""
+        return self.version, self.contents
+
+    def read_version(self) -> Version:
+        """Return just the version number (the write-quorum poll)."""
+        return self.version
+
+    def write(self, version: Version, contents: Any) -> None:
+        """Install new contents; logs before applying (redo rule)."""
+        self._durable_log.append((version, contents))
+        self.version = version
+        self.contents = contents
+
+    # -- crash protocol -----------------------------------------------------------
+
+    def on_crash(self) -> None:
+        self.version = LOWEST_VERSION
+        self.contents = None
+
+    def on_recover(self) -> None:
+        if self._durable_log:
+            self.version, self.contents = self._durable_log[-1]
+
+
+@dataclass
+class FileSuite:
+    """A replicated file accessed through weighted voting."""
+
+    config: SuiteConfig
+    placements: dict[str, tuple[str, str]]  # rep -> (node, service)
+    network: Network
+    rpc: RpcEndpoint
+    rng: random.Random
+
+    # -- quorum collection ------------------------------------------------------
+
+    def _available(self) -> list[str]:
+        out = []
+        for name, (node_id, _service) in self.placements.items():
+            node = self.network.node(node_id)
+            if node.is_up and self.network.reachable(self.rpc.origin, node_id):
+                out.append(name)
+        return out
+
+    def _collect(self, votes_needed: int, kind: str) -> list[str]:
+        order = self._available()
+        self.rng.shuffle(order)
+        chosen: list[str] = []
+        got = 0
+        for name in order:
+            weight = self.config.votes[name]
+            if weight <= 0:
+                continue
+            chosen.append(name)
+            got += weight
+            if got >= votes_needed:
+                return chosen
+        raise QuorumUnavailableError(votes_needed, got, kind=kind)
+
+    def _call(self, rep: str, method: str, *args: Any, **kw: Any) -> Any:
+        node_id, service = self.placements[rep]
+        return self.rpc.call(node_id, service, method, *args, **kw)
+
+    # -- operations -----------------------------------------------------------
+
+    def read(self) -> Any:
+        """Current file contents (highest version in a read quorum)."""
+        quorum = self._collect(self.config.read_quorum, "read quorum")
+        best_version = -1
+        best: Any = None
+        for rep in quorum:
+            version, contents = self._call(rep, "read")
+            if version > best_version:
+                best_version, best = version, contents
+        return best
+
+    def current_version(self) -> Version:
+        """Highest version among a read quorum."""
+        quorum = self._collect(self.config.read_quorum, "read quorum")
+        return max(self._call(rep, "read_version") for rep in quorum)
+
+    def write(self, contents: Any, payload_items: int = 1) -> Version:
+        """Install new contents on a write quorum; returns the new version.
+
+        Per Gifford, the new version is one greater than the highest
+        version among the write quorum (write quorums mutually intersect,
+        so that maximum is the current version).  ``payload_items`` lets
+        callers account for the logical size of what was shipped — the
+        directory-as-file baseline ships whole directories.
+        """
+        quorum = self._collect(self.config.write_quorum, "write quorum")
+        version = max(self._call(rep, "read_version") for rep in quorum) + 1
+        for rep in quorum:
+            self._call(
+                rep, "write", version, contents, payload_items=payload_items
+            )
+        return version
+
+
+def build_file_suite(
+    spec: str = "3-2-2", seed: int | None = None
+) -> tuple[FileSuite, dict[str, FileRepresentative]]:
+    """Wire a file suite onto a fresh simulated network."""
+    config = SuiteConfig.from_xyz(spec)
+    network = Network()
+    rpc = RpcEndpoint(network, origin="client")
+    placements: dict[str, tuple[str, str]] = {}
+    reps: dict[str, FileRepresentative] = {}
+    for name in config.names:
+        node = network.add_node(f"node-{name}")
+        rep = FileRepresentative(name)
+        node.host(f"file:{name}", rep)
+        placements[name] = (node.node_id, f"file:{name}")
+        reps[name] = rep
+    suite = FileSuite(config, placements, network, rpc, random.Random(seed))
+    return suite, reps

@@ -1,0 +1,306 @@
+"""Command-line interface for running the paper's experiments.
+
+::
+
+    python -m repro demo
+    python -m repro simulate --config 3-2-2 --size 100 --ops 10000
+    python -m repro figure14 [--ops 10000]
+    python -m repro figure15 [--ops 100000 --sizes 100,1000,10000]
+    python -m repro availability [--p 0.8,0.9,0.95,0.99]
+    python -m repro concurrency [--txns 1000 --rate 8.0]
+    python -m repro analytic [--configs 3-2-2,4-2-3,5-3-3]
+
+Every subcommand prints a paper-style plain-text table to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cluster import DirectoryCluster
+from repro.core.config import SuiteConfig
+from repro.sim.analytic import predict_xyz
+from repro.sim.availability import analyze
+from repro.sim.concurrency import ConcurrencySpec, compare_granularities
+from repro.sim.driver import (
+    SimulationSpec,
+    run_figure14_grid,
+    run_figure15_sizes,
+    run_simulation,
+)
+from repro.sim.report import (
+    comparison_table,
+    figure14_table,
+    figure15_table,
+    format_table,
+)
+
+DEFAULT_FIGURE14_CONFIGS = [
+    "1-1-1", "2-1-2", "3-2-2", "3-1-3", "4-2-3", "4-3-3", "5-3-3", "5-2-4",
+]
+
+
+def _parse_list(text: str, cast=str) -> list:
+    return [cast(part) for part in text.split(",") if part]
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """A one-minute tour: operations, a crash, recovery."""
+    cluster = DirectoryCluster.create(args.config, seed=args.seed)
+    directory = cluster.suite
+    print(f"created a {args.config} directory suite")
+    directory.insert("alice", "room 4101")
+    directory.insert("bob", "room 4203")
+    print(f"lookup(alice) = {directory.lookup('alice')}")
+    directory.delete("alice")
+    print(f"after delete: lookup(alice) = {directory.lookup('alice')}")
+    victim = next(iter(cluster.representatives))
+    cluster.crash(victim)
+    directory.update("bob", "room 9999")
+    print(f"with {victim} crashed, update still works: {directory.lookup('bob')}")
+    cluster.recover(victim)
+    print(f"{victim} recovered from its write-ahead log")
+    stats = cluster.network.stats
+    print(f"traffic: {stats.rpc_rounds} RPC rounds, {stats.messages} messages")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """One paper-style simulation; prints the three statistics."""
+    spec = SimulationSpec(
+        config=args.config,
+        directory_size=args.size,
+        operations=args.ops,
+        seed=args.seed,
+        store=args.store,
+        neighbor_batch_size=args.batch,
+        read_repair=args.read_repair,
+    )
+    result = run_simulation(spec)
+    rows = []
+    for name, row in result.stats_table().items():
+        rows.append(
+            [name, f"{row['avg']:.3f}", f"{row['max']:.0f}", f"{row['std_dev']:.3f}"]
+        )
+    print(
+        format_table(
+            ["statistic", "avg", "max", "std dev"],
+            rows,
+            title=(
+                f"{args.config}, {args.size} entries, {args.ops} operations "
+                f"(seed {args.seed})"
+            ),
+        )
+    )
+    print(
+        f"\nfinal size {result.final_size}; "
+        f"{result.traffic['rpc_rounds']} RPC rounds; "
+        f"{result.elapsed_seconds:.1f}s wall clock"
+    )
+    return 0
+
+
+def cmd_figure14(args: argparse.Namespace) -> int:
+    """Regenerate Figure 14."""
+    configs = _parse_list(args.configs) if args.configs else DEFAULT_FIGURE14_CONFIGS
+    results = run_figure14_grid(
+        configs, directory_size=args.size, operations=args.ops, seed=args.seed
+    )
+    print(figure14_table(results))
+    return 0
+
+
+def cmd_figure15(args: argparse.Namespace) -> int:
+    """Regenerate Figure 15."""
+    sizes = _parse_list(args.sizes, int)
+    results = run_figure15_sizes(
+        sizes, config=args.config, operations=args.ops, seed=args.seed
+    )
+    print(figure15_table(results))
+    return 0
+
+
+def cmd_availability(args: argparse.Namespace) -> int:
+    """Exact read/write availability for standard configurations."""
+    p_values = _parse_list(args.p, float)
+    configs = {
+        "1-1-1": SuiteConfig.from_xyz("1-1-1"),
+        "3 unanimous": SuiteConfig.unanimous(3),
+        "3-2-2": SuiteConfig.from_xyz("3-2-2"),
+        "5 unanimous": SuiteConfig.unanimous(5),
+        "5-3-3": SuiteConfig.uniform(5, 3, 3),
+    }
+    headers = ["configuration"] + [f"write@p={p}" for p in p_values]
+    rows = []
+    for label, config in configs.items():
+        points = [analyze(config, p) for p in p_values]
+        rows.append([label] + [f"{pt.write_availability:.4f}" for pt in points])
+    print(format_table(headers, rows, title="Write availability"))
+    return 0
+
+
+def cmd_concurrency(args: argparse.Namespace) -> int:
+    """Lock-granularity comparison (range vs static vs whole)."""
+    spec = ConcurrencySpec(
+        n_transactions=args.txns,
+        concurrency_level=args.clients,
+        seed=args.seed,
+    )
+    results = compare_granularities(spec, static_partitions=args.partitions)
+    table = {
+        name: {
+            "throughput": r.throughput,
+            "mean_latency": r.mean_latency,
+            "restarts": float(r.aborted_restarts),
+        }
+        for name, r in results.items()
+    }
+    print(
+        comparison_table(
+            table,
+            columns=["throughput", "mean_latency", "restarts"],
+            title=f"Lock granularity with {args.clients} concurrent clients",
+        )
+    )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Tailor (R, W) to a workload: the section 5 configuration question."""
+    from repro.sim.planner import cheapest_within, enumerate_plans, most_available
+
+    plans = enumerate_plans(args.replicas, args.p, args.read_fraction)
+    plans.sort(key=lambda pt: -pt.operation_availability)
+    headers = [
+        "config",
+        "op availability",
+        "read avail",
+        "write avail",
+        "accesses/op",
+    ]
+    rows = [
+        [
+            pt.spec,
+            f"{pt.operation_availability:.4f}",
+            f"{pt.read_availability:.4f}",
+            f"{pt.write_availability:.4f}",
+            f"{pt.accesses_per_operation:.2f}",
+        ]
+        for pt in plans
+    ]
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Legal configurations for {args.replicas} replicas at "
+                f"p={args.p}, read fraction {args.read_fraction}"
+            ),
+        )
+    )
+    best = most_available(args.replicas, args.p, args.read_fraction)
+    cheap = cheapest_within(
+        args.replicas, args.p, args.read_fraction, args.slack
+    )
+    print(f"\nmost available: {best.spec}")
+    print(
+        f"cheapest within {args.slack:.0%} of it: {cheap.spec} "
+        f"({cheap.accesses_per_operation:.2f} accesses/op)"
+    )
+    return 0
+
+
+def cmd_analytic(args: argparse.Namespace) -> int:
+    """The section 5 analytic model's predictions."""
+    configs = _parse_list(args.configs)
+    headers = ["config", "entries coalesced", "ghost deletions", "insertions"]
+    rows = []
+    for config in configs:
+        p = predict_xyz(config, args.size)
+        rows.append(
+            [
+                config,
+                f"{p.entries_in_ranges_coalesced:.3f}",
+                f"{p.deletions_while_coalescing:.3f}",
+                f"{p.insertions_while_coalescing:.3f}",
+            ]
+        )
+    print(format_table(headers, rows, title="Analytic model predictions"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Replicated directories (Daniels & Spector 1983): "
+        "demos and experiment reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="one-minute feature tour")
+    p.add_argument("--config", default="3-2-2")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("simulate", help="one section-4 style simulation")
+    p.add_argument("--config", default="3-2-2")
+    p.add_argument("--size", type=int, default=100)
+    p.add_argument("--ops", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--store", choices=["sorted", "btree"], default="sorted")
+    p.add_argument("--batch", type=int, default=1, help="neighbor batch size")
+    p.add_argument("--read-repair", action="store_true")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("figure14", help="regenerate Figure 14")
+    p.add_argument("--configs", default="", help="comma-separated x-y-z list")
+    p.add_argument("--size", type=int, default=100)
+    p.add_argument("--ops", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=14)
+    p.set_defaults(fn=cmd_figure14)
+
+    p = sub.add_parser("figure15", help="regenerate Figure 15")
+    p.add_argument("--config", default="3-2-2")
+    p.add_argument("--sizes", default="100,1000,10000")
+    p.add_argument("--ops", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=15)
+    p.set_defaults(fn=cmd_figure15)
+
+    p = sub.add_parser("availability", help="exact quorum availability")
+    p.add_argument("--p", default="0.8,0.9,0.95,0.99")
+    p.set_defaults(fn=cmd_availability)
+
+    p = sub.add_parser("concurrency", help="lock-granularity comparison")
+    p.add_argument("--txns", type=int, default=1000)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--partitions", type=int, default=4)
+    p.add_argument("--seed", type=int, default=88)
+    p.set_defaults(fn=cmd_concurrency)
+
+    p = sub.add_parser("analytic", help="analytic model predictions")
+    p.add_argument("--configs", default="3-2-2,4-2-3,5-3-3")
+    p.add_argument("--size", type=int, default=100)
+    p.set_defaults(fn=cmd_analytic)
+
+    p = sub.add_parser("plan", help="tailor R/W to a workload (section 5)")
+    p.add_argument("--replicas", type=int, default=5)
+    p.add_argument("--p", type=float, default=0.9, help="per-node availability")
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--slack", type=float, default=0.01)
+    p.set_defaults(fn=cmd_plan)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's algorithm: suites, representatives, quorums, configuration.
+
+* :mod:`repro.core.suite` — DirSuiteLookup/Insert/Update/Delete and the
+  RealPredecessor/RealSuccessor searches (Figures 8, 9, 12, 13);
+* :mod:`repro.core.representative` — the five representative operations
+  of Figure 6 with Figure 7 locking, WAL, undo, and crash recovery;
+* :mod:`repro.core.quorum` — random, sticky, preferred, and locality
+  quorum policies;
+* :mod:`repro.core.config` — vote assignments and the x-y-z shorthand;
+* :mod:`repro.core.keys` / :mod:`repro.core.versions` /
+  :mod:`repro.core.entries` — the key, version-number, and record models;
+* :mod:`repro.core.stats` — the section 4 delete-overhead statistics;
+* :mod:`repro.core.errors` — the exception hierarchy.
+"""
+
+from repro.core.config import SuiteConfig
+from repro.core.keys import HIGH, LOW, BoundedKey, KeyRange, wrap
+from repro.core.representative import DirectoryRepresentative
+from repro.core.suite import DirectorySuite, Placement
+
+__all__ = [
+    "SuiteConfig",
+    "DirectorySuite",
+    "DirectoryRepresentative",
+    "Placement",
+    "BoundedKey",
+    "KeyRange",
+    "LOW",
+    "HIGH",
+    "wrap",
+]

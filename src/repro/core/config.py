@@ -1,0 +1,159 @@
+"""Suite configuration: vote assignments and quorum sizes.
+
+Gifford's weighted voting assigns each representative a number of votes and
+fixes a read quorum size R and write quorum size W such that
+
+    R + W > total votes       (every read quorum intersects every write
+                               quorum), and
+    W > total votes / 2       (any two write quorums intersect, so two
+                               concurrent writers cannot both miss each
+                               other's versions).
+
+The paper's examples use the ``x-y-z`` shorthand — x representatives, read
+quorum y, write quorum z, one vote each — which :meth:`SuiteConfig.from_xyz`
+parses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Immutable description of a directory suite's replication layout.
+
+    Parameters
+    ----------
+    votes:
+        Mapping from representative name to its (non-negative) vote count.
+        Zero-vote representatives are legal; they act as hints (Lampson)
+        and can serve reads only as extra members beyond the quorum.
+    read_quorum:
+        Number of votes R a read quorum must gather.
+    write_quorum:
+        Number of votes W a write quorum must gather.
+    """
+
+    votes: dict[str, int] = field(default_factory=dict)
+    read_quorum: int = 0
+    write_quorum: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.votes:
+            raise ConfigurationError("a suite needs at least one representative")
+        for name, v in self.votes.items():
+            if v < 0:
+                raise ConfigurationError(
+                    f"representative {name!r} has negative votes: {v}"
+                )
+        total = self.total_votes
+        if total <= 0:
+            raise ConfigurationError("total votes must be positive")
+        if not (0 < self.read_quorum <= total):
+            raise ConfigurationError(
+                f"read quorum {self.read_quorum} out of range (1..{total})"
+            )
+        if not (0 < self.write_quorum <= total):
+            raise ConfigurationError(
+                f"write quorum {self.write_quorum} out of range (1..{total})"
+            )
+        if self.read_quorum + self.write_quorum <= total:
+            raise ConfigurationError(
+                f"R + W must exceed total votes for quorum intersection: "
+                f"R={self.read_quorum}, W={self.write_quorum}, total={total}"
+            )
+        if 2 * self.write_quorum <= total:
+            raise ConfigurationError(
+                f"write quorums must mutually intersect: "
+                f"2*W={2 * self.write_quorum} <= total={total}"
+            )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_xyz(cls, spec: str) -> "SuiteConfig":
+        """Parse the paper's ``x-y-z`` notation, one vote per representative.
+
+        ``"3-2-2"`` → three representatives named ``"A".."C"``, R=2, W=2.
+        """
+        try:
+            x_s, y_s, z_s = spec.split("-")
+            x, y, z = int(x_s), int(y_s), int(z_s)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad x-y-z spec: {spec!r}") from exc
+        names = [_rep_name(i) for i in range(x)]
+        return cls(votes={n: 1 for n in names}, read_quorum=y, write_quorum=z)
+
+    @classmethod
+    def uniform(cls, n_reps: int, read_quorum: int, write_quorum: int) -> "SuiteConfig":
+        """n representatives with one vote each."""
+        names = [_rep_name(i) for i in range(n_reps)]
+        return cls(
+            votes={n: 1 for n in names},
+            read_quorum=read_quorum,
+            write_quorum=write_quorum,
+        )
+
+    @classmethod
+    def unanimous(cls, n_reps: int) -> "SuiteConfig":
+        """Read-one / write-all: R=1, W=n (the unanimous update strategy)."""
+        return cls.uniform(n_reps, read_quorum=1, write_quorum=n_reps)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def total_votes(self) -> int:
+        """Sum of votes over all representatives."""
+        return sum(self.votes.values())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Representative names in insertion order."""
+        return tuple(self.votes)
+
+    @property
+    def n_representatives(self) -> int:
+        """Number of representatives (including zero-vote hints)."""
+        return len(self.votes)
+
+    def voting_names(self) -> tuple[str, ...]:
+        """Names of representatives holding at least one vote."""
+        return tuple(n for n, v in self.votes.items() if v > 0)
+
+    def spec(self) -> str:
+        """Render the x-y-z shorthand when votes are uniform, else a long form."""
+        vote_values = set(self.votes.values())
+        if vote_values == {1}:
+            return (
+                f"{self.n_representatives}-{self.read_quorum}-{self.write_quorum}"
+            )
+        body = ",".join(f"{n}:{v}" for n, v in self.votes.items())
+        return f"[{body}] R={self.read_quorum} W={self.write_quorum}"
+
+    def min_reps_for(self, votes_needed: int) -> int:
+        """Fewest representatives whose votes can reach ``votes_needed``."""
+        remaining = votes_needed
+        count = 0
+        for v in sorted(self.votes.values(), reverse=True):
+            if remaining <= 0:
+                break
+            remaining -= v
+            count += 1
+        if remaining > 0:
+            raise ConfigurationError(
+                f"configuration cannot reach {votes_needed} votes"
+            )
+        return count
+
+
+def _rep_name(index: int) -> str:
+    """Spreadsheet-style names: A, B, ..., Z, AA, AB, ..."""
+    name = ""
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, 26)
+        name = chr(ord("A") + rem) + name
+    return name

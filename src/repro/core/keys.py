@@ -1,0 +1,221 @@
+"""Key model for replicated directories.
+
+The paper requires every directory representative to contain two
+distinguished keys, ``LOW`` and ``HIGH``::
+
+    HIGH is greater than any key that can be inserted into the
+    representative, and LOW is less than any key.  HIGH and LOW simplify
+    the directory suite delete operation by ensuring that all keys have a
+    real successor and real predecessor.
+
+This module provides :class:`BoundedKey`, a total-order wrapper that embeds
+arbitrary (mutually comparable) user keys between the two sentinels, and
+:class:`KeyRange`, the closed/open interval algebra used by the range-lock
+manager (Figure 7 of the paper) and by the coalesce operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+class _Sentinel(enum.IntEnum):
+    """Ordering rank of a :class:`BoundedKey`.
+
+    ``LOW < NORMAL < HIGH``; two NORMAL keys compare by their payload.
+    """
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+@dataclass(frozen=True, slots=True)
+class BoundedKey:
+    """A user key embedded in the bounded key space of a representative.
+
+    Instances are immutable, hashable, and totally ordered.  The two
+    sentinel instances are exposed as module-level constants :data:`LOW`
+    and :data:`HIGH`; user keys are wrapped with :func:`wrap` (or the
+    :meth:`of` constructor).
+
+    The payload of a NORMAL key may be any value that is totally ordered
+    against the other payloads used in the same directory (strings,
+    integers, tuples, ...).  Mixing incomparable payload types in one
+    directory raises ``TypeError`` at comparison time, which is the
+    correct, loud failure mode.
+    """
+
+    rank: _Sentinel
+    payload: Any = None
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def of(cls, payload: Any) -> "BoundedKey":
+        """Wrap ``payload`` as a normal (non-sentinel) key."""
+        if isinstance(payload, BoundedKey):
+            return payload
+        return cls(_Sentinel.NORMAL, payload)
+
+    # -- predicates -------------------------------------------------------
+
+    @property
+    def is_low(self) -> bool:
+        """True if this is the LOW sentinel."""
+        return self.rank is _Sentinel.LOW
+
+    @property
+    def is_high(self) -> bool:
+        """True if this is the HIGH sentinel."""
+        return self.rank is _Sentinel.HIGH
+
+    @property
+    def is_sentinel(self) -> bool:
+        """True if this is either sentinel."""
+        return self.rank is not _Sentinel.NORMAL
+
+    # -- ordering ---------------------------------------------------------
+
+    def __lt__(self, other: "BoundedKey") -> bool:
+        if not isinstance(other, BoundedKey):
+            return NotImplemented
+        if self.rank is not other.rank:
+            return self.rank < other.rank
+        if self.rank is not _Sentinel.NORMAL:
+            return False  # equal sentinels
+        return self.payload < other.payload
+
+    def __le__(self, other: "BoundedKey") -> bool:
+        if not isinstance(other, BoundedKey):
+            return NotImplemented
+        return self == other or self < other
+
+    def __gt__(self, other: "BoundedKey") -> bool:
+        if not isinstance(other, BoundedKey):
+            return NotImplemented
+        return other < self
+
+    def __ge__(self, other: "BoundedKey") -> bool:
+        if not isinstance(other, BoundedKey):
+            return NotImplemented
+        return other <= self
+
+    def __repr__(self) -> str:
+        if self.is_low:
+            return "LOW"
+        if self.is_high:
+            return "HIGH"
+        return f"Key({self.payload!r})"
+
+
+#: The distinguished key smaller than every insertable key.
+LOW = BoundedKey(_Sentinel.LOW)
+
+#: The distinguished key greater than every insertable key.
+HIGH = BoundedKey(_Sentinel.HIGH)
+
+
+def wrap(payload: Any) -> BoundedKey:
+    """Wrap a user payload as a :class:`BoundedKey` (idempotent)."""
+    return BoundedKey.of(payload)
+
+
+def unwrap(key: BoundedKey) -> Any:
+    """Return the user payload of a normal key.
+
+    Raises ``ValueError`` for sentinels, which have no user payload.
+    """
+    if key.is_sentinel:
+        raise ValueError(f"sentinel key {key!r} has no payload")
+    return key.payload
+
+
+def wrap_all(payloads: Iterable[Any]) -> list[BoundedKey]:
+    """Wrap an iterable of payloads, preserving order."""
+    return [BoundedKey.of(p) for p in payloads]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyRange:
+    """A closed interval ``[low .. high]`` of bounded keys.
+
+    The lock classes of the paper (RepLookup(sigma, tau) and
+    RepModify(sigma, tau)) lock "those keys greater than or equal to sigma
+    and less than or equal to tau" — closed intervals — and lock
+    compatibility depends only on whether two ranges *intersect*.  This
+    class implements exactly that algebra.
+    """
+
+    low: BoundedKey
+    high: BoundedKey
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(
+                f"invalid key range: low {self.low!r} > high {self.high!r}"
+            )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def point(cls, key: BoundedKey) -> "KeyRange":
+        """The degenerate range ``[key .. key]`` (a single key)."""
+        return cls(key, key)
+
+    @classmethod
+    def of(cls, low: Any, high: Any) -> "KeyRange":
+        """Build a range from user payloads or BoundedKeys."""
+        return cls(BoundedKey.of(low), BoundedKey.of(high))
+
+    @classmethod
+    def full(cls) -> "KeyRange":
+        """The whole key space, ``[LOW .. HIGH]``."""
+        return cls(LOW, HIGH)
+
+    # -- queries ----------------------------------------------------------
+
+    def contains(self, key: BoundedKey) -> bool:
+        """True if ``key`` lies inside the closed interval."""
+        return self.low <= key <= self.high
+
+    def contains_strictly(self, key: BoundedKey) -> bool:
+        """True if ``key`` lies strictly inside the interval."""
+        return self.low < key < self.high
+
+    def intersects(self, other: "KeyRange") -> bool:
+        """True if the two closed intervals share at least one key.
+
+        This is the predicate the Figure 7 lock-compatibility matrix is
+        built on.
+        """
+        return self.low <= other.high and other.low <= self.high
+
+    def covers(self, other: "KeyRange") -> bool:
+        """True if ``other`` is entirely inside this range."""
+        return self.low <= other.low and other.high <= self.high
+
+    def is_point(self) -> bool:
+        """True if the range holds exactly one key."""
+        return self.low == self.high
+
+    def union_hull(self, other: "KeyRange") -> "KeyRange":
+        """The smallest range covering both ranges (their convex hull)."""
+        return KeyRange(min(self.low, other.low), max(self.high, other.high))
+
+    def __repr__(self) -> str:
+        return f"[{self.low!r} .. {self.high!r}]"
+
+
+def hull(ranges: Iterable[KeyRange]) -> KeyRange:
+    """Convex hull of a non-empty iterable of ranges."""
+    it = iter(ranges)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("hull() of an empty iterable") from None
+    for r in it:
+        acc = acc.union_hull(r)
+    return acc

@@ -1,0 +1,192 @@
+"""Quorum collection policies.
+
+Weighted voting only requires that a read quorum carry R votes and a write
+quorum W votes; *which* representatives are chosen is a policy decision
+with large performance consequences that section 5 of the paper discusses:
+
+* the paper's simulations choose quorum members "randomly from a uniform
+  distribution" (:class:`RandomQuorumPolicy`);
+* "if the memberships of write quorums change infrequently, coalescing
+  during deletions will not be costly" (:class:`StickyQuorumPolicy`);
+* "if transactions ... exhibit locality of reference ... quorums can be
+  chosen that permit reads to be done locally and non-local writes to be
+  distributed among all the non-local representatives" — Figure 16
+  (:class:`LocalityQuorumPolicy`).
+
+A policy receives the currently *available* representatives (up and
+reachable) with their votes, and must return members carrying enough
+votes, or raise :class:`~repro.core.errors.QuorumUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import SuiteConfig
+from repro.core.errors import QuorumUnavailableError
+
+
+class QuorumPolicy(abc.ABC):
+    """Strategy deciding which representatives form each quorum."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        kind: str,  # "read" | "write"
+        available: list[str],
+        config: SuiteConfig,
+        rng: random.Random,
+    ) -> list[str]:
+        """Pick quorum members from ``available`` (names, in any order)."""
+
+    @staticmethod
+    def _greedy_fill(
+        ordered: list[str], config: SuiteConfig, needed: int, kind: str
+    ) -> list[str]:
+        """Take representatives in order until their votes reach ``needed``."""
+        chosen: list[str] = []
+        votes = 0
+        for name in ordered:
+            weight = config.votes[name]
+            if weight <= 0:
+                continue  # zero-vote hints can never help a quorum
+            chosen.append(name)
+            votes += weight
+            if votes >= needed:
+                return chosen
+        raise QuorumUnavailableError(needed, votes, kind=f"{kind} quorum")
+
+    @staticmethod
+    def quorum_size(kind: str, config: SuiteConfig) -> int:
+        """Votes needed for a quorum of ``kind``."""
+        if kind == "read":
+            return config.read_quorum
+        if kind == "write":
+            return config.write_quorum
+        raise ValueError(f"unknown quorum kind {kind!r}")
+
+
+class RandomQuorumPolicy(QuorumPolicy):
+    """Uniform-random members — the paper's simulation setup."""
+
+    def select(
+        self,
+        kind: str,
+        available: list[str],
+        config: SuiteConfig,
+        rng: random.Random,
+    ) -> list[str]:
+        order = list(available)
+        rng.shuffle(order)
+        return self._greedy_fill(order, config, self.quorum_size(kind, config), kind)
+
+
+@dataclass
+class StickyQuorumPolicy(QuorumPolicy):
+    """Reuse the previous quorum while its members remain available.
+
+    ``switch_prob`` re-picks a random quorum with the given probability
+    even when the old one is usable, interpolating between fully sticky
+    (0.0, a moving-primary-like regime) and the paper's fully random
+    simulations (1.0).
+    """
+
+    switch_prob: float = 0.0
+    _last: dict[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.switch_prob <= 1.0:
+            raise ValueError(f"switch_prob out of [0,1]: {self.switch_prob}")
+
+    def select(
+        self,
+        kind: str,
+        available: list[str],
+        config: SuiteConfig,
+        rng: random.Random,
+    ) -> list[str]:
+        previous = self._last.get(kind)
+        available_set = set(available)
+        reuse = (
+            previous is not None
+            and all(name in available_set for name in previous)
+            and rng.random() >= self.switch_prob
+        )
+        if reuse:
+            assert previous is not None
+            return list(previous)
+        order = list(available)
+        rng.shuffle(order)
+        chosen = self._greedy_fill(
+            order, config, self.quorum_size(kind, config), kind
+        )
+        self._last[kind] = list(chosen)
+        return chosen
+
+
+@dataclass
+class PreferredQuorumPolicy(QuorumPolicy):
+    """Fixed priority order (local representatives first).
+
+    Reads come from the front of ``preference``; unavailable members are
+    skipped.  Deterministic, so all operations hit the same replicas while
+    those are healthy.
+    """
+
+    preference: list[str] = field(default_factory=list)
+
+    def select(
+        self,
+        kind: str,
+        available: list[str],
+        config: SuiteConfig,
+        rng: random.Random,
+    ) -> list[str]:
+        available_set = set(available)
+        order = [n for n in self.preference if n in available_set]
+        order += [n for n in available if n not in set(order)]
+        return self._greedy_fill(order, config, self.quorum_size(kind, config), kind)
+
+
+@dataclass
+class LocalityQuorumPolicy(QuorumPolicy):
+    """Figure 16: read locally; rotate the extra write among remote reps.
+
+    ``local`` names the representatives co-located with this client type
+    (e.g. A1, A2 for type-A transactions in the paper's 4-2-3 example).
+    Read quorums are filled from the local members first.  Write quorums
+    take all available local members, then spread the remaining votes
+    round-robin over the remote members, so that "the non-local write that
+    is required for modification operations is evenly distributed among
+    the remote representatives."
+    """
+
+    local: list[str] = field(default_factory=list)
+    _rotation: int = 0
+
+    def select(
+        self,
+        kind: str,
+        available: list[str],
+        config: SuiteConfig,
+        rng: random.Random,
+    ) -> list[str]:
+        available_set = set(available)
+        local_avail = [n for n in self.local if n in available_set]
+        remote_avail = [n for n in available if n not in set(self.local)]
+        needed = self.quorum_size(kind, config)
+        if kind == "read":
+            order = local_avail + remote_avail
+            return self._greedy_fill(order, config, needed, kind)
+        # Write: local members first, then rotate through remote members so
+        # consecutive writes spread across them.
+        if remote_avail:
+            start = self._rotation % len(remote_avail)
+            rotated = remote_avail[start:] + remote_avail[:start]
+        else:
+            rotated = []
+        self._rotation += 1
+        order = local_avail + rotated
+        return self._greedy_fill(order, config, needed, kind)

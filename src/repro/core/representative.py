@@ -1,0 +1,353 @@
+"""Directory representatives: one replica of the directory data.
+
+A representative is "an instance of an abstract object that stores one copy
+of the directory data" (section 3.1).  It provides the five operations of
+Figure 6 — DirRepLookup, DirRepPredecessor, DirRepSuccessor, DirRepInsert,
+and DirRepCoalesce — each of which acquires the range lock the paper
+specifies, writes redo records to a write-ahead log before mutating the
+store, and registers undo records so the transaction can abort.
+
+Representatives are crash-aware services (see :mod:`repro.net.node`): a
+node crash discards the volatile store, lock table, and undo state;
+recovery rebuilds the store by replaying the committed prefix of the log,
+resolving in-doubt prepared transactions against the coordinator's
+decision log.
+
+Beyond the paper's five operations, :meth:`rep_neighbors_batch` implements
+the optimization sketched in section 4: "if each member of a read quorum
+sends the results of three successive DirRepPredecessor and
+DirRepSuccessor operations in a single message, the real predecessor and
+real successor will often be located using one remote procedure call."
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.core.entries import Entry, LookupReply, NeighborReply
+from repro.core.errors import WouldBlockError
+from repro.core.keys import BoundedKey, KeyRange
+from repro.core.versions import Version
+from repro.storage.interface import RepresentativeStore
+from repro.storage.snapshot import CheckpointPolicy
+from repro.storage.sorted_store import SortedStore
+from repro.storage.wal import WriteAheadLog
+from repro.txn.ids import TxnId
+from repro.txn.locks import LockMode, LockTable
+from repro.txn.undo import UndoCoalesce, UndoInsert, UndoRecord
+
+
+def _latched(method):
+    """Run a service method under the representative's physical latch."""
+
+    def wrapper(self, *args, **kwargs):
+        with self._latch:
+            return method(self, *args, **kwargs)
+
+    wrapper.__name__ = method.__name__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
+
+
+
+class DirectoryRepresentative:
+    """One replica of a replicated directory (service object).
+
+    Parameters
+    ----------
+    name:
+        The representative's name within its suite ("A", "B", ...).
+    store_factory:
+        Constructor for the backing store; defaults to
+        :class:`~repro.storage.sorted_store.SortedStore`.
+    locking:
+        When False, range locking is skipped entirely.  Useful for the
+        serial paper simulations where exactly one transaction runs at a
+        time and lock bookkeeping is pure overhead.
+    checkpoint_policy:
+        When to fold the log into a checkpoint; default never.
+    decision_outcomes:
+        Callable returning the coordinator's committed transaction ids,
+        used to resolve in-doubt transactions at recovery.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store_factory: Callable[[], RepresentativeStore] = SortedStore,
+        locking: bool = True,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        decision_outcomes: Callable[[], frozenset[int]] | None = None,
+    ) -> None:
+        self.name = name
+        self._store_factory = store_factory
+        self.store: RepresentativeStore = store_factory()
+        self.locking = locking
+        self.locks = LockTable()
+        self.wal = WriteAheadLog()
+        self._undo: dict[TxnId, list[UndoRecord]] = {}
+        self._prepared: set[TxnId] = set()
+        # Transactions that have performed any operation here since the
+        # last crash; prepare() votes no for unknown transactions because
+        # their effects (if any) were lost with the volatile state.
+        self._seen_txns: set[TxnId] = set()
+        self._checkpoint_policy = checkpoint_policy or CheckpointPolicy()
+        self._commits_since_checkpoint = 0
+        self._decision_outcomes = decision_outcomes or (lambda: frozenset())
+        # Physical latch (as distinct from the logical range locks): each
+        # service call runs under it, so multi-threaded clients (see
+        # repro.sim.threads) can never observe a store mid-mutation.
+        # Serial simulations pay one uncontended RLock acquire per call.
+        self._latch = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # locking helper
+    # ------------------------------------------------------------------
+
+    def _lock(self, txn_id: TxnId, mode: LockMode, key_range: KeyRange) -> None:
+        """Acquire or raise WouldBlockError (never queue on this sync path)."""
+        self._seen_txns.add(txn_id)
+        if not self.locking:
+            return
+        result = self.locks.acquire(txn_id, mode, key_range, wait=False)
+        if not result.granted:
+            raise WouldBlockError(txn_id, result.blockers)
+
+    def _note_undo(self, txn_id: TxnId, record: UndoRecord) -> None:
+        self._undo.setdefault(txn_id, []).append(record)
+
+    # ------------------------------------------------------------------
+    # Figure 6 operations
+    # ------------------------------------------------------------------
+
+    @_latched
+    def rep_lookup(self, txn_id: TxnId, key: BoundedKey) -> LookupReply:
+        """DirRepLookup(x): entry or gap version for x.
+
+        Locks RepLookup(x, x).
+        """
+        self._lock(txn_id, LockMode.REP_LOOKUP, KeyRange.point(key))
+        return self.store.lookup(key)
+
+    @_latched
+    def rep_lookup_version(self, txn_id: TxnId, key: BoundedKey) -> Version:
+        """Version-only DirRepLookup: the entry's or containing gap's version.
+
+        Used by the zero-vote-hint read protocol (see
+        :mod:`repro.core.hints`): version probes are tiny messages, so a
+        client can validate a nearby hint's data against a read quorum
+        without shipping values from the quorum.  Locks RepLookup(x, x).
+        """
+        self._lock(txn_id, LockMode.REP_LOOKUP, KeyRange.point(key))
+        return self.store.lookup(key).version
+
+    @_latched
+    def rep_predecessor(self, txn_id: TxnId, key: BoundedKey) -> NeighborReply:
+        """DirRepPredecessor(x): nearest entry below x plus the gap version.
+
+        Locks RepLookup(y, x) where y is the key returned — the whole
+        range implicitly observed to be empty, protecting against
+        phantoms.
+        """
+        reply = self.store.predecessor(key)
+        self._lock(txn_id, LockMode.REP_LOOKUP, KeyRange(reply.key, key))
+        return reply
+
+    @_latched
+    def rep_successor(self, txn_id: TxnId, key: BoundedKey) -> NeighborReply:
+        """DirRepSuccessor(x): nearest entry above x plus the gap version.
+
+        Locks RepLookup(x, y) where y is the key returned.
+        """
+        reply = self.store.successor(key)
+        self._lock(txn_id, LockMode.REP_LOOKUP, KeyRange(key, reply.key))
+        return reply
+
+    @_latched
+    def rep_neighbors_batch(
+        self, txn_id: TxnId, key: BoundedKey, direction: str, count: int
+    ) -> list[NeighborReply]:
+        """Up to ``count`` successive predecessors (or successors) of ``key``.
+
+        The section 4 batching optimization: one message carries several
+        neighbor results, so the suite's real-predecessor search usually
+        needs a single RPC round per quorum member.  Locks RepLookup over
+        the whole range scanned.
+        """
+        if direction not in ("pred", "succ"):
+            raise ValueError(f"direction must be 'pred' or 'succ': {direction!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        replies: list[NeighborReply] = []
+        cursor = key
+        for _ in range(count):
+            if direction == "pred":
+                if cursor.is_low:
+                    break
+                reply = self.store.predecessor(cursor)
+            else:
+                if cursor.is_high:
+                    break
+                reply = self.store.successor(cursor)
+            replies.append(reply)
+            cursor = reply.key
+        if replies:
+            if direction == "pred":
+                scanned = KeyRange(replies[-1].key, key)
+            else:
+                scanned = KeyRange(key, replies[-1].key)
+            self._lock(txn_id, LockMode.REP_LOOKUP, scanned)
+        return replies
+
+    @_latched
+    def rep_insert(
+        self, txn_id: TxnId, key: BoundedKey, version: Version, value: Any
+    ) -> None:
+        """DirRepInsert(x, v, z): create or overwrite the entry for x.
+
+        Locks RepModify(x, x); logs redo before touching the store.
+        """
+        self._lock(txn_id, LockMode.REP_MODIFY, KeyRange.point(key))
+        self.wal.log_insert(txn_id, key, version, value)
+        result = self.store.insert(key, version, value)
+        self._note_undo(
+            txn_id,
+            UndoInsert(
+                key,
+                replaced=result.replaced,
+                split_gap_version=result.split_gap_version,
+            ),
+        )
+
+    @_latched
+    def rep_coalesce(
+        self, txn_id: TxnId, low: BoundedKey, high: BoundedKey, version: Version
+    ):
+        """DirRepCoalesce(l, h, v): delete entries strictly inside (l, h).
+
+        The covered gaps merge into one gap with version v.  Locks
+        RepModify(l, h); returns the store's
+        :class:`~repro.storage.interface.CoalesceResult`, whose removed
+        segment feeds the paper's delete-overhead statistics.
+        """
+        self._lock(txn_id, LockMode.REP_MODIFY, KeyRange(low, high))
+        self.wal.log_coalesce(txn_id, low, high, version)
+        result = self.store.coalesce(low, high, version)
+        self._note_undo(txn_id, UndoCoalesce(low, high, result.removed))
+        return result
+
+    # ------------------------------------------------------------------
+    # transaction protocol (called by the coordinator)
+    # ------------------------------------------------------------------
+
+    @_latched
+    def prepare(self, txn_id: TxnId) -> bool:
+        """Phase one of 2PC: vote yes iff the transaction's state survives.
+
+        The representative votes yes only for transactions it has seen
+        since its last crash: if the node crashed mid-transaction, that
+        transaction's effects here were lost with the volatile store, so
+        a yes vote would commit a torn write.
+        """
+        if txn_id not in self._seen_txns:
+            return False
+        self.wal.log_prepare(txn_id)
+        self._prepared.add(txn_id)
+        return True
+
+    @_latched
+    def commit(self, txn_id: TxnId) -> None:
+        """Phase two: make the transaction's effects durable and visible."""
+        self.wal.log_commit(txn_id)
+        self._undo.pop(txn_id, None)
+        self._prepared.discard(txn_id)
+        self._seen_txns.discard(txn_id)
+        if self.locking:
+            self.locks.release_all(txn_id)
+        self._commits_since_checkpoint += 1
+        self._maybe_checkpoint()
+
+    @_latched
+    def abort(self, txn_id: TxnId) -> None:
+        """Roll the transaction back: apply undo records in reverse."""
+        for record in reversed(self._undo.pop(txn_id, [])):
+            record.apply(self.store)
+        self.wal.log_abort(txn_id)
+        self._prepared.discard(txn_id)
+        self._seen_txns.discard(txn_id)
+        if self.locking:
+            self.locks.release_all(txn_id)
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        quiescent = not self._undo and (not self.locking or self.locks.is_idle())
+        if quiescent and self._checkpoint_policy.should_checkpoint(
+            self._commits_since_checkpoint, len(self.wal)
+        ):
+            self.checkpoint()
+
+    @_latched
+    def checkpoint(self) -> None:
+        """Fold the current state into the log (must be quiescent)."""
+        if self._undo:
+            raise RuntimeError(
+                f"representative {self.name} has active transactions; "
+                "cannot checkpoint"
+            )
+        self.wal.log_checkpoint(self.store.snapshot())
+        self._commits_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # crash / recovery (see repro.net.node.CrashAware)
+    # ------------------------------------------------------------------
+
+    @_latched
+    def on_crash(self) -> None:
+        """Lose all volatile state: store, locks, undo, prepared set."""
+        self.store = self._store_factory()
+        self.locks = LockTable()
+        self._undo = {}
+        self._prepared = set()
+        self._seen_txns = set()
+
+    @_latched
+    def on_recover(self) -> None:
+        """Rebuild the store from the log.
+
+        In-doubt prepared transactions are resolved against the
+        coordinator's decision log: decided-commit ⇒ replayed; anything
+        else ⇒ presumed abort (not replayed).
+        """
+        self.store = self._store_factory()
+        in_doubt = self.wal.in_doubt_txns()
+        resolved_commit = in_doubt & set(self._decision_outcomes())
+        self.wal.replay_into(self.store, extra_committed=resolved_commit)
+
+    # ------------------------------------------------------------------
+    # introspection (tests, statistics, figures)
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of user entries currently stored."""
+        return self.store.entry_count()
+
+    def contains(self, key: BoundedKey) -> bool:
+        """True if an entry for ``key`` is stored."""
+        return self.store.contains(key)
+
+    def entries_between(
+        self, low: BoundedKey, high: BoundedKey
+    ) -> tuple[Entry, ...]:
+        """Entries strictly inside (low, high) — used by delete statistics."""
+        return self.store.entries_between(low, high)
+
+    def user_entries(self) -> tuple[Entry, ...]:
+        """All non-sentinel entries."""
+        return self.store.user_entries()
+
+    def __repr__(self) -> str:
+        return f"DirectoryRepresentative({self.name}, {self.entry_count()} entries)"

@@ -1,0 +1,71 @@
+"""Replicated sets — the paper's "trivial modification".
+
+Section 1: "Trivial modifications of this algorithm may be used to
+implement sets or similar abstractions."  A set is a directory whose
+entries carry no values and whose add/remove are idempotent: adding a
+present element or removing an absent one is a no-op rather than an
+error.  Everything else — quorum voting, gap versions, coalescing
+deletes, availability — is inherited unchanged from
+:class:`~repro.core.suite.DirectorySuite`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.suite import DirectorySuite
+
+
+class ReplicatedSet:
+    """A replicated set of totally ordered elements.
+
+    Wraps a directory suite; construct one with
+    :func:`repro.cluster.DirectoryCluster.create` and pass its suite, or
+    use :meth:`over`.
+    """
+
+    def __init__(self, suite: DirectorySuite) -> None:
+        self.suite = suite
+
+    @classmethod
+    def over(cls, cluster) -> "ReplicatedSet":
+        """A set over a :class:`~repro.cluster.DirectoryCluster`."""
+        return cls(cluster.suite)
+
+    # -- operations -----------------------------------------------------------
+
+    def contains(self, element: Any) -> bool:
+        """Membership test via DirSuiteLookup."""
+        present, _value = self.suite.lookup(element)
+        return present
+
+    def add(self, element: Any) -> bool:
+        """Add an element; returns True if it was new (idempotent)."""
+        present, _value = self.suite.lookup(element)
+        if present:
+            return False
+        self.suite.insert(element, None)
+        return True
+
+    def remove(self, element: Any) -> bool:
+        """Remove an element; returns True if it was present (idempotent)."""
+        present, _value = self.suite.lookup(element)
+        if not present:
+            return False
+        self.suite.delete(element)
+        return True
+
+    def add_all(self, elements: Iterable[Any]) -> int:
+        """Add several elements; returns how many were new."""
+        return sum(self.add(e) for e in elements)
+
+    def remove_all(self, elements: Iterable[Any]) -> int:
+        """Remove several elements; returns how many were present."""
+        return sum(self.remove(e) for e in elements)
+
+    def elements(self) -> list[Any]:
+        """All current elements (test/debug aid; reads every replica)."""
+        return sorted(self.suite.authoritative_state())
+
+    def __contains__(self, element: Any) -> bool:
+        return self.contains(element)

@@ -1,0 +1,515 @@
+"""Directory suites: the paper's replication algorithm (section 3.2).
+
+A directory suite combines a set of directory representatives, a vote
+assignment, and quorum sizes R and W into one replicated directory with
+the operations DirSuiteLookup (Figure 8), DirSuiteInsert (Figure 9),
+DirSuiteUpdate, and DirSuiteDelete (Figure 13), the latter built on the
+RealPredecessor / RealSuccessor searches of Figure 12.
+
+Every public operation runs as one distributed transaction: representative
+operations acquire the Figure 7 range locks as they go (strict two-phase
+locking), and the operation commits with two-phase commit across every
+representative it touched.  Network failures (crashed or partitioned
+representatives, insufficient votes) abort the transaction, leaving no
+partial effects.
+
+The suite front-end issues remote procedure calls through an
+:class:`~repro.net.rpc.RpcEndpoint`; representative placement is a simple
+name → (node, service) map.  The suite additionally collects the paper's
+three delete-overhead statistics (see :mod:`repro.core.stats`) and
+supports the section 4 batching optimization for neighbor searches
+(``neighbor_batch_size > 1``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import SuiteConfig
+from repro.core.entries import (
+    LookupReply,
+    NeighborReply,
+    RealNeighbor,
+    SuiteLookupReply,
+)
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    NetworkError,
+    ReproError,
+    SentinelKeyError,
+)
+from repro.core.keys import BoundedKey, wrap
+from repro.core.quorum import QuorumPolicy, RandomQuorumPolicy
+from repro.core.stats import DeleteOverheadStats, SuiteOpCounts
+from repro.core.versions import VersionSpace, UNBOUNDED
+from repro.net.network import Network
+from repro.net.rpc import RpcEndpoint
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """Where one representative lives."""
+
+    node_id: str
+    service_name: str
+
+
+class DirectorySuite:
+    """A replicated directory implemented with weighted voting.
+
+    Parameters
+    ----------
+    config:
+        Vote assignment and quorum sizes.
+    placements:
+        Representative name → (node, service) location map; must cover
+        every name in ``config``.
+    network / rpc / txn_manager:
+        The simulated cluster substrate.
+    quorum_policy:
+        How quorum members are chosen; defaults to the paper's uniform
+        random selection.
+    rng:
+        Randomness source for quorum selection (seed it for reproducible
+        simulations).
+    version_space:
+        Version-number arithmetic; defaults to unbounded integers.
+    neighbor_batch_size:
+        How many predecessor/successor results one RPC carries during the
+        real-neighbor searches (1 = the paper's unbatched pseudocode;
+        3 = the batching suggested in section 4).
+    read_repair:
+        When True, a lookup that observes a stale or missing entry on a
+        read-quorum member pushes the current entry back to it (within
+        the same transaction).  An extension in the spirit of section
+        5's "an inventive reader will find many improvements": it raises
+        copy density, which shrinks the delete operation's
+        insertions-while-coalescing overhead (see
+        benchmarks/bench_read_repair.py).
+    """
+
+    def __init__(
+        self,
+        config: SuiteConfig,
+        placements: dict[str, Placement],
+        network: Network,
+        rpc: RpcEndpoint,
+        txn_manager: TransactionManager,
+        quorum_policy: QuorumPolicy | None = None,
+        rng: random.Random | None = None,
+        version_space: VersionSpace = UNBOUNDED,
+        neighbor_batch_size: int = 1,
+        read_repair: bool = False,
+    ) -> None:
+        missing = set(config.names) - set(placements)
+        if missing:
+            raise ValueError(f"placements missing for representatives: {missing}")
+        if neighbor_batch_size < 1:
+            raise ValueError("neighbor_batch_size must be >= 1")
+        self.config = config
+        self.placements = dict(placements)
+        self.network = network
+        self.rpc = rpc
+        self.txn_manager = txn_manager
+        self.quorum_policy = quorum_policy or RandomQuorumPolicy()
+        self.rng = rng or random.Random()
+        self.version_space = version_space
+        self.neighbor_batch_size = neighbor_batch_size
+        self.read_repair = read_repair
+        self.repairs_performed = 0
+        self.delete_stats = DeleteOverheadStats()
+        self.op_counts = SuiteOpCounts()
+
+    # ------------------------------------------------------------------
+    # public API (user payload keys)
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Any) -> tuple[bool, Any]:
+        """DirSuiteLookup: (present?, value).
+
+        The internal version number is deliberately not exposed — "a user
+        would ignore this number" (paper, footnote 4).
+        """
+        bkey = self._user_key(key)
+        self.op_counts.lookups += 1
+        with self._transaction() as txn:
+            reply = self._suite_lookup(txn, bkey)
+        return reply.present, reply.value
+
+    def insert(self, key: Any, value: Any) -> None:
+        """DirSuiteInsert: add a new entry; error if the key is present."""
+        bkey = self._user_key(key)
+        self.op_counts.inserts += 1
+        with self._transaction() as txn:
+            self._suite_insert(txn, bkey, value, expect_present=False)
+
+    def update(self, key: Any, value: Any) -> None:
+        """DirSuiteUpdate: overwrite an entry; error if the key is absent."""
+        bkey = self._user_key(key)
+        self.op_counts.updates += 1
+        with self._transaction() as txn:
+            self._suite_insert(txn, bkey, value, expect_present=True)
+
+    def delete(self, key: Any) -> None:
+        """DirSuiteDelete: remove an entry; error if the key is absent."""
+        bkey = self._user_key(key)
+        self.op_counts.deletes += 1
+        with self._transaction() as txn:
+            self._suite_delete(txn, bkey)
+
+    # ------------------------------------------------------------------
+    # transaction plumbing
+    # ------------------------------------------------------------------
+
+    def _transaction(self) -> "_SuiteTransaction":
+        return _SuiteTransaction(self)
+
+    def _user_key(self, key: Any) -> BoundedKey:
+        bkey = wrap(key)
+        if bkey.is_sentinel:
+            raise SentinelKeyError(bkey)
+        return bkey
+
+    def _available(self) -> list[str]:
+        """Representatives that are up and reachable right now."""
+        names = []
+        for name, place in self.placements.items():
+            node = self.network.node(place.node_id)
+            if node.is_up and self.network.reachable(self.rpc.origin, place.node_id):
+                names.append(name)
+        return names
+
+    def _collect_quorum(self, kind: str) -> list[str]:
+        """CollectReadQuorum / CollectWriteQuorum."""
+        return self.quorum_policy.select(
+            kind, self._available(), self.config, self.rng
+        )
+
+    def _call(self, txn: Transaction, rep: str, method: str, *args: Any, **kw: Any) -> Any:
+        """RPC to one representative, enlisting it in the transaction."""
+        place = self.placements[rep]
+        txn.enlist(rep, place.node_id, place.service_name)
+        return self.rpc.call(place.node_id, place.service_name, method, *args, **kw)
+
+    # ------------------------------------------------------------------
+    # Figure 8: DirSuiteLookup
+    # ------------------------------------------------------------------
+
+    def _suite_lookup(self, txn: Transaction, key: BoundedKey) -> SuiteLookupReply:
+        """Send DirRepLookup to a read quorum; keep the highest version."""
+        quorum = self._collect_quorum("read")
+        best: LookupReply | None = None
+        replies: dict[str, LookupReply] = {}
+        for rep in quorum:
+            reply: LookupReply = self._call(txn, rep, "rep_lookup", txn.txn_id, key)
+            replies[rep] = reply
+            if reply.beats(best):
+                best = reply
+        assert best is not None  # quorum is never empty
+        if self.read_repair and best.present and not key.is_sentinel:
+            self._repair_stale(txn, key, best, replies)
+        return SuiteLookupReply(best.present, best.version, best.value)
+
+    def _repair_stale(
+        self,
+        txn: Transaction,
+        key: BoundedKey,
+        best: LookupReply,
+        replies: dict[str, LookupReply],
+    ) -> None:
+        """Push the current entry onto stale read-quorum members.
+
+        Copying *current* data at its *current* version preserves the
+        monotonicity invariant (no version is invented), so repair is
+        always safe; it simply raises the entry's copy density.
+        """
+        for rep, reply in replies.items():
+            if reply.version < best.version:
+                self._call(
+                    txn,
+                    rep,
+                    "rep_insert",
+                    txn.txn_id,
+                    key,
+                    best.version,
+                    best.value,
+                )
+                self.repairs_performed += 1
+
+    # ------------------------------------------------------------------
+    # Figure 9: DirSuiteInsert (and DirSuiteUpdate, its analog)
+    # ------------------------------------------------------------------
+
+    def _suite_insert(
+        self,
+        txn: Transaction,
+        key: BoundedKey,
+        value: Any,
+        expect_present: bool,
+    ) -> None:
+        """Shared body of DirSuiteInsert / DirSuiteUpdate.
+
+        Looks the key up in a read quorum, derives the new version number
+        (one greater than the highest version previously associated with
+        the key — whether that was an entry or a gap), and installs the
+        entry in a write quorum.
+        """
+        reply = self._suite_lookup(txn, key)
+        if reply.present and not expect_present:
+            raise KeyAlreadyPresentError(key.payload)
+        if not reply.present and expect_present:
+            raise KeyNotPresentError(key.payload)
+        quorum = self._collect_quorum("write")
+        version = self.version_space.successor(reply.version)
+        for rep in quorum:
+            self._call(txn, rep, "rep_insert", txn.txn_id, key, version, value)
+
+    # ------------------------------------------------------------------
+    # Figure 12: RealPredecessor / RealSuccessor
+    # ------------------------------------------------------------------
+
+    def _real_neighbor(
+        self, txn: Transaction, key: BoundedKey, direction: str
+    ) -> RealNeighbor:
+        """Locate the real predecessor ("pred") or successor ("succ") of key.
+
+        The real predecessor of x is "the entry with the largest key less
+        than x that appears in a write quorum of representatives"; the
+        search walks candidate keys outward, skipping *ghosts* — candidates
+        whose suite-level lookup says they are no longer present — and
+        accumulates the largest gap version number seen, which bounds the
+        version numbers of all stale data in the walked range.
+
+        With ``neighbor_batch_size`` > 1, each representative returns
+        several successive neighbors per RPC (section 4's optimization);
+        the walk then usually costs one RPC round per quorum member.
+        """
+        assert direction in ("pred", "succ")
+        quorum = self._collect_quorum("read")
+        streams = {
+            rep: _NeighborStream(self, txn, rep, key, direction)
+            for rep in quorum
+        }
+        cursor = key
+        max_gap_version = self.version_space.lowest
+        while True:
+            candidate: BoundedKey | None = None
+            for rep in quorum:
+                reply = streams[rep].reply_for(cursor)
+                max_gap_version = max(max_gap_version, reply.gap_version)
+                if candidate is None:
+                    candidate = reply.key
+                elif direction == "pred":
+                    candidate = max(candidate, reply.key)
+                else:
+                    candidate = min(candidate, reply.key)
+            assert candidate is not None
+            reply = self._suite_lookup(txn, candidate)
+            if reply.present:
+                return RealNeighbor(
+                    key=candidate,
+                    value=reply.value,
+                    version=reply.version,
+                    max_gap_version=max_gap_version,
+                )
+            cursor = candidate
+
+    # ------------------------------------------------------------------
+    # Figure 13: DirSuiteDelete
+    # ------------------------------------------------------------------
+
+    def _suite_delete(self, txn: Transaction, key: BoundedKey) -> None:
+        """Delete ``key`` by coalescing from real predecessor to successor.
+
+        Steps (Figure 13):
+
+        1. find the real successor and real predecessor of the key;
+        2. compute the new gap's version number: one greater than the
+           maximum of every gap version encountered during the searches
+           and the deleted entry's own version (so no stale data anywhere
+           in the coalesced range can outrank the new gap);
+        3. install the real predecessor/successor on write-quorum members
+           that lack them (counted as "insertions while coalescing");
+        4. coalesce the range on every write-quorum member, which also
+           removes any ghosts (counted as "deletions while coalescing").
+        """
+        lookup = self._suite_lookup(txn, key)
+        if not lookup.present:
+            raise KeyNotPresentError(key.payload)
+        quorum = self._collect_quorum("write")
+        succ = self._real_neighbor(txn, key, "succ")
+        pred = self._real_neighbor(txn, key, "pred")
+        version = max(succ.max_gap_version, pred.max_gap_version, lookup.version)
+
+        insertions = 0
+        for rep in quorum:
+            for neighbor in (succ, pred):
+                reply: LookupReply = self._call(
+                    txn, rep, "rep_lookup", txn.txn_id, neighbor.key
+                )
+                if not reply.present:
+                    self._call(
+                        txn,
+                        rep,
+                        "rep_insert",
+                        txn.txn_id,
+                        neighbor.key,
+                        neighbor.version,
+                        neighbor.value,
+                    )
+                    insertions += 1
+
+        new_gap_version = self.version_space.successor(version)
+        per_rep_coalesced: list[int] = []
+        ghost_deletions = 0
+        for rep in quorum:
+            result = self._call(
+                txn,
+                rep,
+                "rep_coalesce",
+                txn.txn_id,
+                pred.key,
+                succ.key,
+                new_gap_version,
+            )
+            per_rep_coalesced.append(len(result.removed.entries))
+            ghost_deletions += sum(
+                1 for e in result.removed.entries if e.key != key
+            )
+        self.delete_stats.record_delete(
+            per_rep_coalesced, insertions, ghost_deletions
+        )
+
+    # ------------------------------------------------------------------
+    # debugging / test support
+    # ------------------------------------------------------------------
+
+    def authoritative_state(self) -> dict[Any, Any]:
+        """The directory's true contents, resolved key by key.
+
+        For every key appearing on any representative, run a full-votes
+        read (all available representatives) and keep the highest-version
+        verdict.  Test-only: it peeks at every replica directly.
+        """
+        state: dict[Any, Any] = {}
+        candidate_keys: set[BoundedKey] = set()
+        for name, place in self.placements.items():
+            node = self.network.node(place.node_id)
+            if not node.is_up:
+                continue
+            rep = node.service(place.service_name)
+            for entry in rep.user_entries():  # type: ignore[attr-defined]
+                candidate_keys.add(entry.key)
+        for bkey in candidate_keys:
+            best: LookupReply | None = None
+            for name, place in self.placements.items():
+                node = self.network.node(place.node_id)
+                if not node.is_up:
+                    continue
+                rep = node.service(place.service_name)
+                reply = rep.store.lookup(bkey)  # type: ignore[attr-defined]
+                if reply.beats(best):
+                    best = reply
+            if best is not None and best.present:
+                state[bkey.payload] = best.value
+        return state
+
+
+class _NeighborStream:
+    """Cursor over one representative's successive neighbors of a key.
+
+    Fetches ``neighbor_batch_size`` results per RPC and serves
+    ``reply_for(k)`` — the representative's immediate neighbor of ``k`` —
+    from the cache.  Gap versions come out exactly as an unbatched
+    DirRepPredecessor/DirRepSuccessor would return them, because for any
+    probe key k between two of this representative's entries the gap (and
+    its version) is the same one the batch already crossed.
+    """
+
+    def __init__(
+        self,
+        suite: DirectorySuite,
+        txn: Transaction,
+        rep: str,
+        start: BoundedKey,
+        direction: str,
+    ) -> None:
+        self.suite = suite
+        self.txn = txn
+        self.rep = rep
+        self.direction = direction
+        self._items: list[NeighborReply] = []
+        self._fetch_from = start
+        self._exhausted = False
+        self._pos = 0
+
+    def _fetch(self) -> None:
+        if self._exhausted:
+            raise ReproError(
+                f"neighbor stream past the {self.direction} sentinel"
+            )  # pragma: no cover - the sentinels always terminate the walk
+        batch: list[NeighborReply] = self.suite._call(
+            self.txn,
+            self.rep,
+            "rep_neighbors_batch",
+            self.txn.txn_id,
+            self._fetch_from,
+            self.direction,
+            self.suite.neighbor_batch_size,
+            payload_items=self.suite.neighbor_batch_size,
+        )
+        self._items.extend(batch)
+        if batch:
+            last = batch[-1].key
+            self._fetch_from = last
+            if last.is_low or last.is_high:
+                self._exhausted = True
+        else:
+            self._exhausted = True
+
+    def reply_for(self, probe: BoundedKey) -> NeighborReply:
+        """This representative's immediate neighbor of ``probe``.
+
+        ``probe`` must move monotonically (downward for "pred", upward
+        for "succ"), which the suite's walk guarantees.
+        """
+        while True:
+            while self._pos < len(self._items):
+                item = self._items[self._pos]
+                if self.direction == "pred":
+                    if item.key < probe:
+                        return item
+                else:
+                    if item.key > probe:
+                        return item
+                self._pos += 1
+            self._fetch()
+
+
+class _SuiteTransaction:
+    """Context manager: begin, then commit on success / abort on error."""
+
+    def __init__(self, suite: DirectorySuite) -> None:
+        self.suite = suite
+        self.txn: Transaction | None = None
+
+    def __enter__(self) -> Transaction:
+        self.txn = self.suite.txn_manager.begin()
+        return self.txn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self.txn is not None
+        if exc_type is None:
+            self.suite.txn_manager.commit(self.txn)
+            return False
+        self.suite.op_counts.failed += 1
+        try:
+            self.suite.txn_manager.abort(self.txn)
+        except NetworkError:  # pragma: no cover - abort is best-effort
+            pass
+        return False  # propagate the original error

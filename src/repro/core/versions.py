@@ -1,0 +1,107 @@
+"""Version numbers for directory entries and gaps.
+
+The algorithm's correctness rests on a single monotonicity invariant: *for
+every possible key, the version number of the current information about
+that key is greater than the version number of any non-current (stale)
+information about it* (section 3.3 of the paper).  Version numbers are
+therefore simple monotone counters.
+
+Section 5 of the paper notes that "for some applications, version numbers
+containing 48 or more bits may be required to prevent version numbers from
+cycling."  Python integers never overflow, so the reproduction is immune to
+cycling; this module still models the paper's concern by providing
+:class:`VersionSpace`, which can enforce a fixed bit width and raise
+:class:`VersionOverflowError` instead of silently wrapping (silent wraps are
+exactly the failure the paper warns about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+#: Type alias: versions are plain ints in all hot paths.
+Version = int
+
+#: The smallest version number ("LowestVersion" in the paper's pseudocode).
+LOWEST_VERSION: Version = 0
+
+#: Bit width the paper recommends to make cycling practically impossible.
+PAPER_RECOMMENDED_BITS = 48
+
+
+class VersionOverflowError(ReproError):
+    """A bounded version counter was incremented past its maximum.
+
+    Raised instead of wrapping around: a wrapped version number would
+    violate the monotonicity invariant and silently corrupt the directory.
+    """
+
+    def __init__(self, bits: int) -> None:
+        super().__init__(
+            f"version number overflowed its {bits}-bit space; "
+            f"the paper (section 5) recommends at least "
+            f"{PAPER_RECOMMENDED_BITS} bits to prevent cycling"
+        )
+        self.bits = bits
+
+
+@dataclass(frozen=True, slots=True)
+class VersionSpace:
+    """Policy object describing the version-number space of a suite.
+
+    Parameters
+    ----------
+    bits:
+        Width of the version counter, or ``None`` for unbounded Python
+        integers (the default; can never cycle).
+    """
+
+    bits: int | None = None
+
+    @property
+    def lowest(self) -> Version:
+        """The smallest version number in this space."""
+        return LOWEST_VERSION
+
+    @property
+    def highest(self) -> Version | None:
+        """The largest representable version, or None if unbounded."""
+        if self.bits is None:
+            return None
+        return (1 << self.bits) - 1
+
+    def successor(self, version: Version) -> Version:
+        """Return ``version + 1``, refusing to wrap around.
+
+        This is the only way version numbers ever advance: DirSuiteInsert,
+        DirSuiteUpdate, and DirSuiteDelete all assign "one greater than the
+        highest version number" observed in a read quorum.
+        """
+        nxt = version + 1
+        if self.bits is not None and nxt > (1 << self.bits) - 1:
+            raise VersionOverflowError(self.bits)
+        return nxt
+
+    def validate(self, version: Version) -> Version:
+        """Check that ``version`` is representable; return it unchanged."""
+        if version < LOWEST_VERSION:
+            raise ValueError(f"version numbers are non-negative: {version}")
+        if self.bits is not None and version > (1 << self.bits) - 1:
+            raise VersionOverflowError(self.bits)
+        return version
+
+
+#: Default, unbounded version space used unless a suite opts into a width.
+UNBOUNDED = VersionSpace(bits=None)
+
+#: The 48-bit space the paper recommends for long-lived directories.
+PAPER_48BIT = VersionSpace(bits=PAPER_RECOMMENDED_BITS)
+
+
+def max_version(*versions: Version) -> Version:
+    """Maximum of one or more version numbers (paper's ``Max``)."""
+    if not versions:
+        raise ValueError("max_version() requires at least one version")
+    return max(versions)

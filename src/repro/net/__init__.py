@@ -1,0 +1,26 @@
+"""The simulated cluster substrate.
+
+* :mod:`repro.net.clock` — deterministic logical time;
+* :mod:`repro.net.node` — crash-aware nodes hosting services;
+* :mod:`repro.net.network` — latency models, partitions, traffic stats;
+* :mod:`repro.net.rpc` — synchronous RPC with failure surfacing;
+* :mod:`repro.net.failures` — scripted and random failure injection.
+"""
+
+from repro.net.clock import SimClock
+from repro.net.failures import FailureEvent, RandomFailures, ScriptedFailures
+from repro.net.network import Network, site_latency, uniform_latency
+from repro.net.node import Node
+from repro.net.rpc import RpcEndpoint
+
+__all__ = [
+    "SimClock",
+    "Node",
+    "Network",
+    "RpcEndpoint",
+    "uniform_latency",
+    "site_latency",
+    "ScriptedFailures",
+    "RandomFailures",
+    "FailureEvent",
+]

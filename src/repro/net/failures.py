@@ -1,0 +1,110 @@
+"""Failure injection for simulated clusters.
+
+Two injectors are provided:
+
+* :class:`ScriptedFailures` — deterministic crash/recover/partition events
+  at fixed operation counts, for reproducible integration tests.
+* :class:`RandomFailures` — a memoryless crash/recover process (per-step
+  crash probability and recovery probability), for availability and
+  fault-tolerance sweeps.
+
+Both are driven by calling :meth:`step` once per simulated operation, which
+matches how the paper-style operation-count simulations advance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.network import Network
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One scripted event: at operation ``at_step`` apply ``action``."""
+
+    at_step: int
+    action: str  # "crash" | "recover" | "heal"
+    node_id: str | None = None
+    groups: tuple[tuple[str, ...], ...] = ()
+
+
+class ScriptedFailures:
+    """Deterministic failure schedule applied step by step."""
+
+    def __init__(self, network: Network, events: list[FailureEvent]) -> None:
+        self.network = network
+        self._events = sorted(events, key=lambda e: e.at_step)
+        self._cursor = 0
+        self.step_count = 0
+
+    def step(self) -> list[FailureEvent]:
+        """Advance one operation; apply and return any due events."""
+        fired: list[FailureEvent] = []
+        while (
+            self._cursor < len(self._events)
+            and self._events[self._cursor].at_step <= self.step_count
+        ):
+            event = self._events[self._cursor]
+            self._apply(event)
+            fired.append(event)
+            self._cursor += 1
+        self.step_count += 1
+        return fired
+
+    def _apply(self, event: FailureEvent) -> None:
+        if event.action == "crash":
+            assert event.node_id is not None
+            self.network.node(event.node_id).crash()
+        elif event.action == "recover":
+            assert event.node_id is not None
+            self.network.node(event.node_id).recover()
+        elif event.action == "partition":
+            self.network.partition(*event.groups)
+        elif event.action == "heal":
+            self.network.heal()
+        else:
+            raise ValueError(f"unknown failure action {event.action!r}")
+
+
+@dataclass
+class RandomFailures:
+    """Memoryless crash/recover process.
+
+    Each :meth:`step`, every up node crashes with probability
+    ``crash_prob`` and every down node recovers with probability
+    ``recover_prob``.  The steady-state availability of a node is
+    ``recover_prob / (crash_prob + recover_prob)``, which benchmarks use
+    to position quorum-availability sweeps.
+    """
+
+    network: Network
+    crash_prob: float = 0.001
+    recover_prob: float = 0.05
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    min_up: int = 0  # never let fewer than this many nodes stay up
+    on_event: Callable[[str, str], None] | None = None
+
+    def steady_state_availability(self) -> float:
+        """Long-run probability that a node is up."""
+        denom = self.crash_prob + self.recover_prob
+        return 1.0 if denom == 0 else self.recover_prob / denom
+
+    def step(self) -> None:
+        """Advance the crash/recover process by one operation."""
+        nodes = self.network.nodes()
+        up_count = sum(1 for n in nodes if n.is_up)
+        for node in nodes:
+            if node.is_up:
+                if up_count > self.min_up and self.rng.random() < self.crash_prob:
+                    node.crash()
+                    up_count -= 1
+                    if self.on_event:
+                        self.on_event("crash", node.node_id)
+            elif self.rng.random() < self.recover_prob:
+                node.recover()
+                up_count += 1
+                if self.on_event:
+                    self.on_event("recover", node.node_id)

@@ -1,0 +1,145 @@
+"""Simulated network connecting nodes: latency, partitions, traffic stats.
+
+The network is deliberately simple — synchronous request/reply with a
+pluggable latency model, optional network partitions, and full traffic
+accounting — because the replication algorithm's behaviour depends only on
+*which* nodes are reachable and *how many* messages are exchanged, not on
+wire-level detail.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.errors import NodeDownError
+from repro.net.clock import SimClock
+from repro.net.message import TrafficStats
+from repro.net.node import Node
+
+#: Latency models map (src, dst) node ids to one-way latency in ticks.
+LatencyModel = Callable[[str, str], float]
+
+
+def uniform_latency(latency: float = 1.0) -> LatencyModel:
+    """Every link has the same one-way latency."""
+
+    def model(src: str, dst: str) -> float:
+        return 0.0 if src == dst else latency
+
+    return model
+
+
+def site_latency(
+    sites: dict[str, str], local: float = 0.5, remote: float = 10.0
+) -> LatencyModel:
+    """Two-tier latency: cheap within a site, expensive across sites.
+
+    This is the cost structure behind the paper's Figure 16 locality
+    discussion — reads served by co-located representatives avoid the
+    expensive cross-site hop.
+    """
+
+    def model(src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        if sites.get(src) == sites.get(dst):
+            return local
+        return remote
+
+    return model
+
+
+class Network:
+    """A set of nodes plus connectivity state and traffic accounting."""
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.latency = latency if latency is not None else uniform_latency()
+        self.stats = TrafficStats()
+        self._nodes: dict[str, Node] = {}
+        # Partition groups: nodes can only reach nodes in their own group.
+        # None means fully connected.
+        self._partition: dict[str, int] | None = None
+        self._partition_default = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def add_node(self, node_id: str) -> Node:
+        """Create and register a node."""
+        if node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        node = Node(node_id)
+        self._nodes[node_id] = node
+        return node
+
+    def add_nodes(self, node_ids: Iterable[str]) -> list[Node]:
+        """Create several nodes at once."""
+        return [self.add_node(n) for n in node_ids]
+
+    def node(self, node_id: str) -> Node:
+        """Look up a node by id."""
+        return self._nodes[node_id]
+
+    def nodes(self) -> list[Node]:
+        """All nodes in creation order."""
+        return list(self._nodes.values())
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network into isolated groups of endpoints.
+
+        Groups may name registered nodes *or* external endpoints (e.g.
+        the ``"client"`` origin of an RpcEndpoint), so tests can cut a
+        client off from part of the cluster.  Nodes not named in any
+        group land in an implicit final group together, as do unnamed
+        external endpoints.  Call :meth:`heal` to reconnect everyone.
+        """
+        assignment: dict[str, int] = {}
+        for gi, group in enumerate(groups):
+            for endpoint in group:
+                assignment[endpoint] = gi
+        rest = [n for n in self._nodes if n not in assignment]
+        for node_id in rest:
+            assignment[node_id] = len(groups)
+        self._partition = assignment
+        self._partition_default = len(groups)
+
+    def _group_of(self, endpoint: str) -> int:
+        """Partition group of an endpoint; unnamed externals join the
+        implicit last group."""
+        assert self._partition is not None
+        return self._partition.get(endpoint, self._partition_default)
+
+    def heal(self) -> None:
+        """Remove any partition; the network is fully connected again."""
+        self._partition = None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True if a message from ``src`` can currently reach ``dst``."""
+        if src == dst:
+            return True
+        if self._partition is None:
+            return True
+        return self._group_of(src) == self._group_of(dst)
+
+    # -- delivery ------------------------------------------------------------
+
+    def check_path(self, src: str, dst: str) -> None:
+        """Raise NodeDownError unless ``dst`` is up and reachable from ``src``."""
+        dst_node = self._nodes[dst]
+        if not dst_node.is_up:
+            raise NodeDownError(dst)
+        if not self.reachable(src, dst):
+            raise NodeDownError(dst)
+
+    def transmit_round(
+        self, src: str, dst: str, method: str, payload_items: int = 1
+    ) -> None:
+        """Account one request/reply exchange and advance the clock."""
+        self.stats.record_round(method, payload_items)
+        self.clock.advance(2 * self.latency(src, dst))

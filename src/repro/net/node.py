@@ -1,0 +1,102 @@
+"""Simulated storage nodes.
+
+A node hosts named *services* (a directory representative, a file
+representative, ...).  Nodes can crash — losing all volatile state of their
+services — and later recover, at which point each service is asked to
+rebuild itself from its durable state (write-ahead log and checkpoint).
+
+Services participate in the crash/recover protocol by implementing the
+:class:`CrashAware` duck type; anything else hosted on a node is assumed
+stateless.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import NodeDownError
+
+
+@runtime_checkable
+class CrashAware(Protocol):
+    """Duck type for services that hold volatile state."""
+
+    def on_crash(self) -> None:
+        """Discard volatile state (the node lost power)."""
+
+    def on_recover(self) -> None:
+        """Rebuild volatile state from durable storage."""
+
+
+class Node:
+    """A simulated machine hosting services.
+
+    Parameters
+    ----------
+    node_id:
+        Unique name of the node within its network.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self._services: dict[str, object] = {}
+        self._up = True
+        self.crashes = 0
+        self.recoveries = 0
+
+    # -- service registry ---------------------------------------------------
+
+    def host(self, name: str, service: object) -> None:
+        """Register ``service`` under ``name`` on this node."""
+        if name in self._services:
+            raise ValueError(f"service {name!r} already hosted on {self.node_id}")
+        self._services[name] = service
+
+    def service(self, name: str) -> object:
+        """Return the hosted service; raises NodeDownError if crashed."""
+        if not self._up:
+            raise NodeDownError(self.node_id)
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(
+                f"no service {name!r} on node {self.node_id}"
+            ) from None
+
+    def services(self) -> dict[str, object]:
+        """All hosted services (available even while down, for recovery)."""
+        return dict(self._services)
+
+    # -- availability --------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """True while the node is running."""
+        return self._up
+
+    def crash(self) -> None:
+        """Power-fail the node: every crash-aware service loses volatile state.
+
+        Crashing an already-down node is a no-op.
+        """
+        if not self._up:
+            return
+        self._up = False
+        self.crashes += 1
+        for service in self._services.values():
+            if isinstance(service, CrashAware):
+                service.on_crash()
+
+    def recover(self) -> None:
+        """Restart the node; services rebuild from durable state."""
+        if self._up:
+            return
+        self._up = True
+        self.recoveries += 1
+        for service in self._services.values():
+            if isinstance(service, CrashAware):
+                service.on_recover()
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "DOWN"
+        return f"Node({self.node_id}, {state}, services={sorted(self._services)})"

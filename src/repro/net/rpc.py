@@ -1,0 +1,79 @@
+"""Synchronous remote procedure calls over the simulated network.
+
+The paper writes remote invocations as ``Send(<procedure>) to(<object>)``
+with ARGUS-like semantics, deliberately eliding error responses.  This
+layer supplies the elided part: a call to a crashed or partitioned node
+raises :class:`~repro.core.errors.NodeDownError`, and callers (the suite's
+quorum machinery) must cope.
+
+An :class:`RpcEndpoint` is the client stub owned by one origin (a suite
+front-end running on some node, or an external client with origin
+``"client"``).  It resolves a (node, service) pair, accounts the traffic,
+advances the simulated clock, and invokes the service method in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.network import Network
+
+
+class RpcEndpoint:
+    """Client-side stub for issuing RPCs from a fixed origin."""
+
+    def __init__(self, network: Network, origin: str = "client") -> None:
+        self.network = network
+        self.origin = origin
+
+    def call(
+        self,
+        node_id: str,
+        service_name: str,
+        method: str,
+        *args: Any,
+        payload_items: int = 1,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``service.method(*args, **kwargs)`` on ``node_id``.
+
+        Raises NodeDownError if the target is crashed or unreachable.
+        Application exceptions raised by the service propagate to the
+        caller unchanged (the reply message is still accounted: the
+        remote node did the work and answered).
+        """
+        if self.origin in self.network._nodes:  # origin may be external
+            origin_node = self.network.node(self.origin)
+            if not origin_node.is_up:
+                raise RuntimeError(
+                    f"origin node {self.origin} is down; cannot issue RPCs"
+                )
+        self.network.check_path(self.origin, node_id)
+        service = self.network.node(node_id).service(service_name)
+        bound = getattr(service, method)
+        self.network.transmit_round(
+            self.origin, node_id, f"{service_name}.{method}", payload_items
+        )
+        return bound(*args, **kwargs)
+
+    def try_call(
+        self,
+        node_id: str,
+        service_name: str,
+        method: str,
+        *args: Any,
+        default: Any = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Like :meth:`call` but returns ``default`` on network failure.
+
+        Application exceptions still propagate; only NodeDownError is
+        absorbed.  Used by best-effort paths such as background ghost
+        cleanup.
+        """
+        from repro.core.errors import NodeDownError
+
+        try:
+            return self.call(node_id, service_name, method, *args, **kwargs)
+        except NodeDownError:
+            return default

@@ -1,0 +1,47 @@
+"""Simulation harness: workloads, drivers, analysis, reporting.
+
+* :mod:`repro.sim.workload` — uniform (the paper's), Zipf, and locality
+  operation generators;
+* :mod:`repro.sim.driver` — the serial section 4 simulations;
+* :mod:`repro.sim.availability` — exact quorum availability analysis;
+* :mod:`repro.sim.concurrency` — discrete-event lock-contention runs;
+* :mod:`repro.sim.analytic` — the simple analytic model of the delete
+  statistics (section 5);
+* :mod:`repro.sim.planner` — tailoring (R, W) to a workload (section 5);
+* :mod:`repro.sim.replication` — multi-seed runs with confidence
+  intervals;
+* :mod:`repro.sim.threads` — real concurrent client threads;
+* :mod:`repro.sim.trace` — operation-stream record/replay;
+* :mod:`repro.sim.report` — paper-style table rendering.
+"""
+
+from repro.sim.driver import (
+    SimulationResult,
+    SimulationSpec,
+    count_ghosts,
+    run_figure14_grid,
+    run_figure15_sizes,
+    run_simulation,
+)
+from repro.sim.replication import ReplicatedResult, replicate
+from repro.sim.threads import ThreadedClients
+from repro.sim.trace import Trace, replay
+from repro.sim.workload import LocalityWorkload, OpMix, UniformWorkload, ZipfWorkload
+
+__all__ = [
+    "SimulationSpec",
+    "SimulationResult",
+    "run_simulation",
+    "run_figure14_grid",
+    "run_figure15_sizes",
+    "count_ghosts",
+    "replicate",
+    "ReplicatedResult",
+    "ThreadedClients",
+    "Trace",
+    "replay",
+    "OpMix",
+    "UniformWorkload",
+    "ZipfWorkload",
+    "LocalityWorkload",
+]

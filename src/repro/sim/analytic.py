@@ -1,0 +1,97 @@
+"""A simple analytic model of the delete-overhead statistics.
+
+Section 5 of the paper: "The performance characterizations presented in
+this paper are based on simulations, however initial work on an analytical
+treatment indicates that we can obtain similar results from simple
+analytic models."  This module is such a model — a first-order,
+steady-state balance argument that predicts the three section 4 statistics
+from the configuration alone (x representatives, read/write quorums of one
+vote each, uniform random quorum selection, balanced insert/delete
+workload).
+
+Derivation sketch (all quantities are steady-state expectations):
+
+* ``q = W / x`` — probability a given representative is in a uniformly
+  chosen write quorum.
+* **Copy density.** A key is born on W representatives; while alive it is
+  designated as a real predecessor/successor by deletes of neighboring
+  keys, each designation forcing its presence onto that delete's write
+  quorum.  A key is designated about twice over its lifetime (each delete
+  consumes one key and designates two neighbors), i.e. about once before a
+  random observation instant.  With ``h`` the expected number of replicas
+  holding a live key, one enrichment event adds ``W·(1 − h/x)`` copies:
+  ``h = W + W(1 − h/x)``, so ``h = 2W / (1 + q)`` and the per-replica
+  presence probability is ``rho = h / x``.
+* **Ghost density.** Each delete leaves ghosts on the holders outside the
+  write quorum — ``rho·(1 − q)`` per representative per delete — and
+  removes the ghosts of that representative lying in the coalesced range,
+  which spans about 2 of the N inter-key intervals: a fraction ``2/N`` of
+  that replica's ``g`` ghosts, collected only when the replica is in the
+  quorum (probability q).  Balance gives ``g = rho(1 − q)N / (2q)``.
+* **The three statistics** follow directly:
+
+  - entries in ranges coalesced (per quorum member) ≈ ``rho + 2g/N``;
+  - deletions while coalescing (per suite) ≈ ``W · 2g/N = x·rho·(1 − q)``;
+  - insertions while coalescing (per suite) ≈ ``2W(1 − rho_n)`` where
+    ``rho_n = 1 − (1 − rho)/2`` is the enriched presence probability of a
+    designated neighbor (on average one earlier designation has already
+    spread its copies).
+
+For the paper's 3-2-2 / 100-entry setting the model predicts
+1.20 / 0.80 / 0.40 against simulated ≈1.33 / 0.88 / 0.44 — the "similar
+results" the authors describe.  The model's N-independence also explains
+Figure 15's observation that the statistics "do not vary significantly
+with directory size".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SuiteConfig
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyticPrediction:
+    """Model outputs for one configuration."""
+
+    config_spec: str
+    copy_density: float  # rho: P(a live key is on a given replica)
+    ghosts_per_replica: float  # g, at directory size n
+    entries_in_ranges_coalesced: float
+    deletions_while_coalescing: float
+    insertions_while_coalescing: float
+
+
+def predict(config: SuiteConfig, directory_size: int = 100) -> AnalyticPrediction:
+    """Evaluate the model for one (uniform-vote) configuration.
+
+    Weighted (non-uniform) vote assignments fall outside the model's
+    assumptions; it treats every configuration through the vote totals.
+    """
+    x = config.total_votes
+    w = config.write_quorum
+    q = w / x
+    # Copy density via the one-enrichment self-consistency argument.
+    h = 2.0 * w / (1.0 + q)
+    rho = min(1.0, h / x)
+    # Ghost density via creation/removal balance.
+    if q >= 1.0:
+        ghosts = 0.0  # write-all: no replica ever misses a delete
+    else:
+        ghosts = rho * (1.0 - q) * directory_size / (2.0 * q)
+    ghosts_in_range = 2.0 * ghosts / directory_size if directory_size else 0.0
+    rho_neighbor = 1.0 - (1.0 - rho) / 2.0
+    return AnalyticPrediction(
+        config_spec=config.spec(),
+        copy_density=rho,
+        ghosts_per_replica=ghosts,
+        entries_in_ranges_coalesced=rho + ghosts_in_range,
+        deletions_while_coalescing=w * ghosts_in_range,
+        insertions_while_coalescing=2.0 * w * (1.0 - rho_neighbor),
+    )
+
+
+def predict_xyz(spec: str, directory_size: int = 100) -> AnalyticPrediction:
+    """Convenience wrapper taking the paper's x-y-z shorthand."""
+    return predict(SuiteConfig.from_xyz(spec), directory_size)

@@ -1,0 +1,218 @@
+"""Serial simulation driver: the paper's section 4 experiments.
+
+One simulation builds a cluster, loads the directory to its target size,
+then applies a stream of generated operations while collecting the three
+delete-overhead statistics, traffic counters, and (optionally) failure
+behaviour.  The paper's runs are serial — one transaction at a time — so
+the driver executes operations back to back; contention experiments live
+in :mod:`repro.sim.concurrency`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster import DirectoryCluster
+from repro.core.errors import NetworkError, TransactionError
+from repro.core.quorum import QuorumPolicy
+from repro.core.stats import DeleteOverheadStats, SuiteOpCounts
+from repro.sim.workload import OpMix, Operation, UniformWorkload
+
+
+@dataclass
+class SimulationSpec:
+    """Everything that defines one simulation run."""
+
+    config: str = "3-2-2"
+    directory_size: int = 100
+    operations: int = 10_000
+    seed: int = 0
+    mix: OpMix = field(default_factory=OpMix)
+    store: str = "sorted"
+    locking: bool = False  # serial runs: lock bookkeeping is pure overhead
+    quorum_policy: QuorumPolicy | None = None
+    neighbor_batch_size: int = 1
+    read_repair: bool = False
+    keep_samples: bool = False
+    warmup_operations: int = 0  # extra unmeasured operations after loading
+    #: When > 0, sample the cluster-wide ghost population every this many
+    #: measured operations (a ghost is a stored entry whose key is no
+    #: longer in the directory).  Costs a full cluster scan per sample.
+    ghost_sample_interval: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run."""
+
+    spec: SimulationSpec
+    delete_stats: DeleteOverheadStats
+    op_counts: SuiteOpCounts
+    traffic: dict[str, Any]
+    rep_entry_counts: dict[str, int]
+    final_size: int
+    elapsed_seconds: float
+    failed_operations: int = 0
+    #: (operation index, total ghosts across replicas) samples, when
+    #: ``spec.ghost_sample_interval`` > 0.
+    ghost_timeline: list[tuple[int, int]] = field(default_factory=list)
+
+    def stats_table(self) -> dict[str, dict[str, float]]:
+        """The Figure 14/15 row block for this run."""
+        return self.delete_stats.as_table()
+
+
+def run_simulation(
+    spec: SimulationSpec,
+    cluster: DirectoryCluster | None = None,
+    failure_stepper: Any | None = None,
+) -> SimulationResult:
+    """Execute one paper-style simulation.
+
+    Parameters
+    ----------
+    spec:
+        The run definition.
+    cluster:
+        Optionally a pre-built cluster (for custom topologies); by default
+        one is created from ``spec``.
+    failure_stepper:
+        An object with a ``step()`` method (see :mod:`repro.net.failures`)
+        called once per measured operation; operations that then fail for
+        availability reasons are counted, not raised.
+    """
+    started = time.perf_counter()
+    if cluster is None:
+        cluster = DirectoryCluster.create(
+            spec.config,
+            store=spec.store,
+            locking=spec.locking,
+            seed=spec.seed,
+            quorum_policy=spec.quorum_policy,
+            neighbor_batch_size=spec.neighbor_batch_size,
+            read_repair=spec.read_repair,
+        )
+    suite = cluster.suite
+    workload = UniformWorkload(
+        target_size=spec.directory_size, mix=spec.mix, seed=spec.seed + 1
+    )
+
+    # Load phase: bring the directory to its target size.
+    for op in workload.initial_load(spec.directory_size):
+        suite.insert(op.key, op.value)
+
+    # Optional unmeasured warmup churn.
+    for op in workload.operations(spec.warmup_operations):
+        _apply(suite, op)
+
+    # Measurement phase starts from clean statistics.
+    suite.delete_stats = DeleteOverheadStats(keep_samples=spec.keep_samples)
+    suite.op_counts = SuiteOpCounts()
+    cluster.network.stats.reset()
+
+    failed = 0
+    ghost_timeline: list[tuple[int, int]] = []
+    for index, op in enumerate(workload.operations(spec.operations)):
+        if failure_stepper is not None:
+            failure_stepper.step()
+        try:
+            _apply(suite, op)
+        except (NetworkError, TransactionError):
+            failed += 1
+            # The optimistic workload model assumed success; correct it.
+            if op.kind == "insert":
+                workload.note_delete(op.key)
+            elif op.kind == "delete":
+                workload.note_insert(op.key)
+        if (
+            spec.ghost_sample_interval
+            and (index + 1) % spec.ghost_sample_interval == 0
+        ):
+            ghost_timeline.append((index + 1, count_ghosts(cluster)))
+
+    return SimulationResult(
+        spec=spec,
+        delete_stats=suite.delete_stats,
+        op_counts=suite.op_counts,
+        traffic=cluster.network.stats.snapshot(),
+        rep_entry_counts={
+            name: rep.entry_count()
+            for name, rep in cluster.representatives.items()
+        },
+        final_size=workload.size,
+        elapsed_seconds=time.perf_counter() - started,
+        failed_operations=failed,
+        ghost_timeline=ghost_timeline,
+    )
+
+
+def count_ghosts(cluster: DirectoryCluster) -> int:
+    """Total stale entries across replicas.
+
+    A ghost is a stored entry whose key is no longer present in the
+    directory (its highest-version information is a gap).  Measurement
+    aid: peeks at every replica directly.
+    """
+    truth = set(cluster.suite.authoritative_state())
+    total = 0
+    for rep in cluster.representatives.values():
+        total += sum(1 for e in rep.user_entries() if e.key.payload not in truth)
+    return total
+
+
+def _apply(suite: Any, op: Operation) -> None:
+    """Dispatch one generated operation to the suite."""
+    if op.kind == "insert":
+        suite.insert(op.key, op.value)
+    elif op.kind == "update":
+        suite.update(op.key, op.value)
+    elif op.kind == "delete":
+        suite.delete(op.key)
+    elif op.kind == "lookup":
+        suite.lookup(op.key)
+    else:  # pragma: no cover - workloads only emit the four kinds
+        raise ValueError(f"unknown operation kind {op.kind!r}")
+
+
+def run_figure14_grid(
+    configs: list[str],
+    directory_size: int = 100,
+    operations: int = 10_000,
+    seed: int = 0,
+    **spec_kwargs: Any,
+) -> dict[str, SimulationResult]:
+    """One simulation per configuration — the Figure 14 sweep."""
+    results: dict[str, SimulationResult] = {}
+    for config in configs:
+        spec = SimulationSpec(
+            config=config,
+            directory_size=directory_size,
+            operations=operations,
+            seed=seed,
+            **spec_kwargs,
+        )
+        results[config] = run_simulation(spec)
+    return results
+
+
+def run_figure15_sizes(
+    sizes: list[int],
+    config: str = "3-2-2",
+    operations: int = 100_000,
+    seed: int = 0,
+    **spec_kwargs: Any,
+) -> dict[int, SimulationResult]:
+    """One simulation per directory size — the Figure 15 detail table."""
+    results: dict[int, SimulationResult] = {}
+    for size in sizes:
+        spec = SimulationSpec(
+            config=config,
+            directory_size=size,
+            operations=operations,
+            seed=seed,
+            **spec_kwargs,
+        )
+        results[size] = run_simulation(spec)
+    return results

@@ -1,0 +1,120 @@
+"""Quorum-configuration planning.
+
+Section 5: "As is the case with Gifford's algorithm, the exact
+configuration of suites can be tailored to provide higher or lower
+availability, and higher or lower performance."  This module does the
+tailoring: given the number of replicas, the per-node availability, and
+the workload's read fraction, it enumerates every legal (R, W) pair and
+scores it on
+
+* **operation availability** — the probability a random operation (read
+  with probability ``read_fraction``, else write) finds its quorum, and
+* **message cost** — the expected number of representative accesses per
+  operation (R per read; R + W per modification, which performs a
+  version-establishing read before its quorum write).
+
+The planner returns the full frontier so callers can see the trade-off,
+plus argmax helpers for the common questions ("most available
+configuration", "cheapest configuration within x% of the best
+availability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SuiteConfig
+from repro.core.errors import ConfigurationError
+from repro.sim.availability import quorum_availability
+
+
+@dataclass(frozen=True, slots=True)
+class PlanPoint:
+    """One legal configuration with its scores."""
+
+    n_replicas: int
+    read_quorum: int
+    write_quorum: int
+    read_availability: float
+    write_availability: float
+    operation_availability: float
+    accesses_per_operation: float
+
+    @property
+    def spec(self) -> str:
+        return f"{self.n_replicas}-{self.read_quorum}-{self.write_quorum}"
+
+
+def enumerate_plans(
+    n_replicas: int,
+    p_up: float,
+    read_fraction: float = 0.5,
+) -> list[PlanPoint]:
+    """Every legal uniform-vote (R, W) pair for ``n_replicas``, scored."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction out of [0,1]: {read_fraction}")
+    if not 0.0 <= p_up <= 1.0:
+        raise ValueError(f"p_up out of [0,1]: {p_up}")
+    plans: list[PlanPoint] = []
+    for r in range(1, n_replicas + 1):
+        for w in range(1, n_replicas + 1):
+            try:
+                config = SuiteConfig.uniform(n_replicas, r, w)
+            except ConfigurationError:
+                continue
+            read_avail = quorum_availability(config, p_up, r)
+            write_avail = quorum_availability(config, p_up, w)
+            op_avail = (
+                read_fraction * read_avail
+                + (1.0 - read_fraction) * write_avail
+            )
+            accesses = read_fraction * r + (1.0 - read_fraction) * (r + w)
+            plans.append(
+                PlanPoint(
+                    n_replicas=n_replicas,
+                    read_quorum=r,
+                    write_quorum=w,
+                    read_availability=read_avail,
+                    write_availability=write_avail,
+                    operation_availability=op_avail,
+                    accesses_per_operation=accesses,
+                )
+            )
+    return plans
+
+
+def most_available(
+    n_replicas: int, p_up: float, read_fraction: float = 0.5
+) -> PlanPoint:
+    """The configuration maximizing operation availability.
+
+    Ties break toward fewer representative accesses.
+    """
+    plans = enumerate_plans(n_replicas, p_up, read_fraction)
+    return max(
+        plans,
+        key=lambda pt: (pt.operation_availability, -pt.accesses_per_operation),
+    )
+
+
+def cheapest_within(
+    n_replicas: int,
+    p_up: float,
+    read_fraction: float = 0.5,
+    availability_slack: float = 0.01,
+) -> PlanPoint:
+    """The cheapest configuration within ``availability_slack`` of the best.
+
+    "Cheapest" = fewest expected representative accesses per operation.
+    """
+    plans = enumerate_plans(n_replicas, p_up, read_fraction)
+    best = max(pt.operation_availability for pt in plans)
+    eligible = [
+        pt
+        for pt in plans
+        if pt.operation_availability >= best - availability_slack
+    ]
+    return min(
+        eligible,
+        key=lambda pt: (pt.accesses_per_operation, -pt.operation_availability),
+    )

@@ -1,0 +1,109 @@
+"""Multi-seed replication of simulations, with confidence intervals.
+
+The paper reports single simulation runs.  For a reproduction it is worth
+knowing how much of any discrepancy is seed noise, so this module runs
+the same :class:`~repro.sim.driver.SimulationSpec` across several seeds,
+pools the three delete-overhead statistics (their collectors merge
+exactly — Welford moments compose), and computes a normal-approximation
+confidence interval for each per-run average.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.stats import DeleteOverheadStats
+from repro.sim.driver import SimulationResult, SimulationSpec, run_simulation
+
+#: z-values for the intervals callers usually want.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalEstimate:
+    """Mean of per-run averages with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    n_runs: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+@dataclass
+class ReplicatedResult:
+    """Outcome of running one spec across several seeds."""
+
+    spec: SimulationSpec
+    runs: list[SimulationResult] = field(default_factory=list)
+    pooled: DeleteOverheadStats = field(default_factory=DeleteOverheadStats)
+
+    def estimate(
+        self, statistic: str, confidence: float = 0.95
+    ) -> IntervalEstimate:
+        """Confidence interval over the per-run averages of a statistic.
+
+        ``statistic`` is one of ``"entries_in_ranges_coalesced"``,
+        ``"deletions_while_coalescing"``,
+        ``"insertions_while_coalescing"``.
+        """
+        try:
+            z = _Z[confidence]
+        except KeyError:
+            raise ValueError(
+                f"confidence must be one of {sorted(_Z)}: {confidence}"
+            ) from None
+        averages = [
+            run.stats_table()[statistic]["avg"] for run in self.runs
+        ]
+        n = len(averages)
+        if n == 0:
+            raise ValueError("no runs recorded")
+        mean = sum(averages) / n
+        if n == 1:
+            return IntervalEstimate(mean, float("inf"), 1, confidence)
+        var = sum((a - mean) ** 2 for a in averages) / (n - 1)
+        half = z * math.sqrt(var / n)
+        return IntervalEstimate(mean, half, n, confidence)
+
+    def summary(self, confidence: float = 0.95) -> dict[str, IntervalEstimate]:
+        """Interval estimates for all three statistics."""
+        return {
+            name: self.estimate(name, confidence)
+            for name in (
+                "entries_in_ranges_coalesced",
+                "deletions_while_coalescing",
+                "insertions_while_coalescing",
+            )
+        }
+
+
+def replicate(
+    spec: SimulationSpec, n_runs: int = 5, base_seed: int | None = None
+) -> ReplicatedResult:
+    """Run ``spec`` with ``n_runs`` different seeds and pool the results."""
+    if n_runs < 1:
+        raise ValueError(f"need at least one run: {n_runs}")
+    base = spec.seed if base_seed is None else base_seed
+    result = ReplicatedResult(spec=spec)
+    for i in range(n_runs):
+        run_spec = SimulationSpec(**{**spec.__dict__, "seed": base + i * 1009})
+        run = run_simulation(run_spec)
+        result.runs.append(run)
+        result.pooled.merge(run.delete_stats)
+    return result

@@ -1,0 +1,104 @@
+"""Paper-style table rendering for simulation results.
+
+Formats the three delete-overhead statistics the way Figures 14 and 15
+print them (Avg / Max / Std Dev per statistic), plus generic aligned-column
+tables for the other benchmarks.  Everything renders to plain strings so
+benchmark runs can ``print`` them and EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+#: Display order and labels for the three statistics, as in the paper.
+STATISTIC_LABELS: list[tuple[str, str]] = [
+    ("entries_in_ranges_coalesced", "Entries in ranges coalesced"),
+    ("deletions_while_coalescing", "Deletions while coalescing"),
+    ("insertions_while_coalescing", "Insertions while coalescing"),
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for r, row in enumerate(cells):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def figure14_table(
+    results: Mapping[str, Any],
+    title: str = "Figure 14: delete overhead across suite configurations",
+) -> str:
+    """One row per x-y-z configuration, three Avg columns.
+
+    ``results`` maps configuration spec to a
+    :class:`~repro.sim.driver.SimulationResult` (or anything exposing
+    ``stats_table()``).
+    """
+    headers = ["Configuration"] + [label for _, label in STATISTIC_LABELS]
+    rows = []
+    for config, result in results.items():
+        table = result.stats_table()
+        rows.append(
+            [config]
+            + [f"{table[key]['avg']:.2f}" for key, _ in STATISTIC_LABELS]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def figure15_table(
+    results: Mapping[int, Any],
+    title: str = "Figure 15: detailed results for 3-2-2 directory suites",
+) -> str:
+    """The Avg/Max/StdDev block per directory size, as the paper prints it.
+
+    ``results`` maps directory size to a simulation result.
+    """
+    sizes = list(results)
+    headers = ["Statistic", "Measure"] + [f"{s} entries" for s in sizes]
+    rows: list[list[str]] = []
+    for key, label in STATISTIC_LABELS:
+        for measure, fmt in (("Avg", "{:.2f}"), ("Max", "{:.0f}"), ("Std Dev", "{:.2f}")):
+            row = [label if measure == "Avg" else "", measure]
+            for size in sizes:
+                cell = results[size].stats_table()[key]
+                value = {
+                    "Avg": cell["avg"],
+                    "Max": cell["max"],
+                    "Std Dev": cell["std_dev"],
+                }[measure]
+                row.append(fmt.format(value))
+            rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def comparison_table(
+    rows: Mapping[str, Mapping[str, Any]],
+    columns: Sequence[str],
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Generic label → metrics table used by the discussion benchmarks."""
+    headers = [""] + list(columns)
+    body = []
+    for label, metrics in rows.items():
+        body.append(
+            [label]
+            + [
+                fmt.format(metrics[c]) if isinstance(metrics[c], float) else str(metrics[c])
+                for c in columns
+            ]
+        )
+    return format_table(headers, body, title=title)

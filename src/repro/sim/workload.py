@@ -1,0 +1,241 @@
+"""Workload generation for directory-suite simulations.
+
+The paper's simulations (section 4) use directories held near a target
+size, with "the keys to insert, update, or delete ... selected randomly
+from a uniform distribution" and quorum members likewise random.  The
+:class:`UniformWorkload` reproduces that setup: every operation is drawn
+from a configurable insert/update/delete/lookup mix (insert and delete
+equally weighted, so the directory size performs an unbiased random walk
+around its starting point), insert keys are fresh uniform draws from the
+key space, and update/delete keys are uniform over the current membership.
+
+Extensions beyond the paper:
+
+* :class:`ZipfWorkload` — skewed key popularity for update/delete/lookup,
+  exercising hot-spot behaviour;
+* :class:`LocalityWorkload` — two client types operating on disjoint key
+  halves, the access pattern behind Figure 16.
+
+Workloads track their own model of the directory contents (they observe
+every operation outcome), so generation is O(1)-ish per op and the model
+doubles as a correctness oracle for integration tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One generated directory operation."""
+
+    kind: str  # "insert" | "update" | "delete" | "lookup"
+    key: Any
+    value: Any = None
+    client: str = "default"  # which client type issued it (locality runs)
+
+
+@dataclass
+class OpMix:
+    """Relative weights of the four operation kinds."""
+
+    insert: float = 1.0
+    update: float = 1.0
+    delete: float = 1.0
+    lookup: float = 0.0
+
+    def __post_init__(self) -> None:
+        weights = (self.insert, self.update, self.delete, self.lookup)
+        if any(w < 0 for w in weights) or not any(w > 0 for w in weights):
+            raise ValueError(f"bad operation mix: {self!r}")
+
+    def kinds_and_weights(self) -> tuple[list[str], list[float]]:
+        return (
+            ["insert", "update", "delete", "lookup"],
+            [self.insert, self.update, self.delete, self.lookup],
+        )
+
+
+class UniformWorkload:
+    """The paper's workload: uniform keys, balanced insert/delete.
+
+    Keys are uniform floats in [0, 1), so fresh inserts never collide and
+    the key order is uniform — matching "selected randomly from a uniform
+    distribution" without retry loops.
+    """
+
+    def __init__(
+        self,
+        target_size: int = 100,
+        mix: OpMix | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.target_size = target_size
+        self.mix = mix or OpMix()
+        self.rng = random.Random(seed)
+        self._members: list[Any] = []
+        self._member_set: set[Any] = set()
+
+    # -- membership model ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current number of keys the workload believes are present."""
+        return len(self._members)
+
+    def members(self) -> list[Any]:
+        """A copy of the tracked membership."""
+        return list(self._members)
+
+    def note_insert(self, key: Any) -> None:
+        """Record that an insert committed."""
+        if key not in self._member_set:
+            self._member_set.add(key)
+            self._members.append(key)
+
+    def note_delete(self, key: Any) -> None:
+        """Record that a delete committed."""
+        if key in self._member_set:
+            self._member_set.remove(key)
+            # Swap-remove keeps deletion O(1).
+            i = self._members.index(key)
+            self._members[i] = self._members[-1]
+            self._members.pop()
+
+    # -- generation ------------------------------------------------------------
+
+    def fresh_key(self) -> Any:
+        """A key not currently present (uniform over the key space)."""
+        while True:
+            key = self.rng.random()
+            if key not in self._member_set:
+                return key
+
+    def existing_key(self) -> Any:
+        """A uniformly chosen current member (None if empty)."""
+        if not self._members:
+            return None
+        return self.rng.choice(self._members)
+
+    def initial_load(self, n: int) -> list[Operation]:
+        """Operations that populate the directory to ``n`` entries."""
+        ops = []
+        for i in range(n):
+            key = self.fresh_key()
+            ops.append(Operation("insert", key, value=i))
+            self.note_insert(key)
+        return ops
+
+    def next_operation(self) -> Operation:
+        """Draw the next operation from the mix.
+
+        When the directory is empty, update/delete draws degrade to
+        inserts so the run can proceed.
+        """
+        kinds, weights = self.mix.kinds_and_weights()
+        kind = self.rng.choices(kinds, weights)[0]
+        if kind == "insert":
+            return Operation("insert", self.fresh_key(), value=self.rng.random())
+        key = self.existing_key()
+        if key is None:
+            return Operation("insert", self.fresh_key(), value=self.rng.random())
+        if kind == "update":
+            return Operation("update", key, value=self.rng.random())
+        if kind == "delete":
+            return Operation("delete", key)
+        return Operation("lookup", key)
+
+    def operations(self, n: int) -> Iterator[Operation]:
+        """Generate ``n`` operations, updating the model optimistically.
+
+        Suitable when the driver applies every generated operation and
+        reports failures back via ``note_*`` corrections; the serial
+        simulations never fail, so optimistic tracking is exact there.
+        """
+        for _ in range(n):
+            op = self.next_operation()
+            if op.kind == "insert":
+                self.note_insert(op.key)
+            elif op.kind == "delete":
+                self.note_delete(op.key)
+            yield op
+
+
+class ZipfWorkload(UniformWorkload):
+    """Uniform inserts but Zipf-skewed choice of existing keys.
+
+    ``skew`` is the Zipf exponent: 0 degenerates to uniform; 1+ makes a
+    few keys dominate updates/deletes/lookups.  Rank is membership-list
+    position, so popular ranks shift as keys churn — a deliberately harsh
+    hot-spot pattern.
+    """
+
+    def __init__(
+        self,
+        target_size: int = 100,
+        mix: OpMix | None = None,
+        seed: int | None = None,
+        skew: float = 1.0,
+    ) -> None:
+        super().__init__(target_size, mix, seed)
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0: {skew}")
+        self.skew = skew
+
+    def existing_key(self) -> Any:
+        if not self._members:
+            return None
+        if self.skew == 0:
+            return super().existing_key()
+        n = len(self._members)
+        weights = [1.0 / (rank + 1) ** self.skew for rank in range(n)]
+        return self.rng.choices(self._members, weights)[0]
+
+
+class LocalityWorkload:
+    """Figure 16's access pattern: two client types on disjoint key halves.
+
+    Type-A transactions operate on keys in [0, 0.5), type-B on [0.5, 1).
+    Each generated operation is tagged with its client so the driver can
+    route it through that client's locality quorum policy.
+    """
+
+    def __init__(
+        self,
+        target_size: int = 100,
+        mix: OpMix | None = None,
+        seed: int | None = None,
+        type_a_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 < type_a_fraction <= 1.0:
+            raise ValueError("type_a_fraction must be in (0, 1]")
+        self.rng = random.Random(seed)
+        self.type_a_fraction = type_a_fraction
+        half = target_size // 2
+        self._halves = {
+            "A": UniformWorkload(half, mix, self.rng.randrange(2**31)),
+            "B": UniformWorkload(target_size - half, mix, self.rng.randrange(2**31)),
+        }
+
+    def _scale(self, client: str, key: float) -> float:
+        return key / 2 if client == "A" else 0.5 + key / 2
+
+    def initial_load(self, n: int) -> list[Operation]:
+        """Populate both halves evenly."""
+        ops: list[Operation] = []
+        for client, workload in self._halves.items():
+            for op in workload.initial_load(n // 2):
+                ops.append(
+                    Operation(op.kind, self._scale(client, op.key), op.value, client)
+                )
+        return ops
+
+    def operations(self, n: int) -> Iterator[Operation]:
+        """Interleave type-A and type-B operations randomly."""
+        for _ in range(n):
+            client = "A" if self.rng.random() < self.type_a_fraction else "B"
+            op = next(self._halves[client].operations(1))
+            yield Operation(op.kind, self._scale(client, op.key), op.value, client)

@@ -1,0 +1,36 @@
+"""Representative stores and durability.
+
+* :mod:`repro.storage.interface` — the abstract store: lookup, neighbor
+  queries, insert, coalesce, plus undo-only raw mutators;
+* :mod:`repro.storage.sorted_store` — bisect-based reference store;
+* :mod:`repro.storage.btree` — the B-tree representation section 5 of the
+  paper envisions, with gap versions stored in bounding entries;
+* :mod:`repro.storage.skiplist` — a skip-list alternative with the same
+  gap-in-bounding-entry layout;
+* :mod:`repro.storage.wal` — redo logging and crash recovery;
+* :mod:`repro.storage.snapshot` — checkpoint policies.
+"""
+
+from repro.storage.btree import BTreeStore
+from repro.storage.interface import (
+    CoalesceResult,
+    InsertResult,
+    RepresentativeStore,
+    Segment,
+    StoreSnapshot,
+)
+from repro.storage.skiplist import SkipListStore
+from repro.storage.sorted_store import SortedStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "RepresentativeStore",
+    "SortedStore",
+    "BTreeStore",
+    "SkipListStore",
+    "WriteAheadLog",
+    "InsertResult",
+    "CoalesceResult",
+    "Segment",
+    "StoreSnapshot",
+]

@@ -1,0 +1,26 @@
+"""Transaction identifiers.
+
+Ids are monotonically increasing integers drawn from a generator owned by
+one transaction manager; the ordering doubles as transaction age, which the
+deadlock detector uses for youngest-victim selection.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+#: Transaction ids are plain ints; 0 is reserved for system records.
+TxnId = int
+
+
+class TxnIdGenerator:
+    """Monotone transaction-id source (one per transaction manager)."""
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise ValueError("transaction ids start at 1 (0 is reserved)")
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> TxnId:
+        """Allocate the next id."""
+        return next(self._counter)

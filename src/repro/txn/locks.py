@@ -1,0 +1,232 @@
+"""Type-specific range locking for directory representatives (Figure 7).
+
+Each directory representative synchronizes the operations of concurrent
+transactions with two lock classes generalized over *ranges of keys*:
+
+* ``RepLookup(sigma, tau)`` — set by the inquiry operations DirRepLookup,
+  DirRepPredecessor, and DirRepSuccessor on the range of keys they
+  explicitly or implicitly access;
+* ``RepModify(sigma, tau)`` — set by DirRepInsert and DirRepCoalesce on
+  the keys of the entries they modify.
+
+The compatibility relation (paper, Figure 7): locks are compatible except
+that a RepModify may not intersect a range locked by *any* other
+transaction's lock (lookup or modify), and a RepLookup may not intersect a
+range RepModify-locked by another transaction.  Equivalently: two locks
+conflict iff their ranges intersect and at least one of them is RepModify.
+The ranges are closed intervals, so locking ``[k .. k]`` locks a single
+key, and DirRepPredecessor(x) locks ``[y .. x]`` where y is the key it
+returns — the *phantom-protection* trick that makes the neighbor scans
+serializable.
+
+Grants are FIFO-fair: a request must be compatible with every lock held by
+other transactions *and* with every earlier-queued conflicting request, so
+writers cannot starve behind a stream of readers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.keys import KeyRange
+from repro.txn.ids import TxnId
+
+
+class LockMode(enum.Enum):
+    """The two lock classes of Figure 7."""
+
+    REP_LOOKUP = "RepLookup"
+    REP_MODIFY = "RepModify"
+
+
+def conflicts(
+    mode_a: LockMode, range_a: KeyRange, mode_b: LockMode, range_b: KeyRange
+) -> bool:
+    """True iff two locks held by *different* transactions conflict.
+
+    Figure 7: conflict iff the ranges intersect and at least one lock is
+    RepModify.
+    """
+    if mode_a is LockMode.REP_LOOKUP and mode_b is LockMode.REP_LOOKUP:
+        return False
+    return range_a.intersects(range_b)
+
+
+@dataclass(frozen=True, slots=True)
+class Lock:
+    """A granted lock: holder, mode, range."""
+
+    txn_id: TxnId
+    mode: LockMode
+    key_range: KeyRange
+
+
+@dataclass(frozen=True, slots=True)
+class LockRequest:
+    """A queued (not yet granted) lock request."""
+
+    txn_id: TxnId
+    mode: LockMode
+    key_range: KeyRange
+    seq: int  # queue arrival order
+
+
+class AcquireStatus(enum.Enum):
+    """Outcome of :meth:`LockTable.acquire`."""
+
+    GRANTED = "granted"
+    WAITING = "waiting"
+
+
+@dataclass(frozen=True, slots=True)
+class AcquireResult:
+    """Grant decision plus, when waiting, the conflicting transactions."""
+
+    status: AcquireStatus
+    blockers: tuple[TxnId, ...] = ()
+
+    @property
+    def granted(self) -> bool:
+        return self.status is AcquireStatus.GRANTED
+
+
+@dataclass
+class LockTableStats:
+    """Counters the concurrency benchmarks read."""
+
+    acquisitions: int = 0
+    immediate_grants: int = 0
+    waits: int = 0
+
+    def reset(self) -> None:
+        self.acquisitions = 0
+        self.immediate_grants = 0
+        self.waits = 0
+
+
+class LockTable:
+    """The lock table of one directory representative.
+
+    Strict two-phase locking is enforced by the transaction layer: locks
+    are only released via :meth:`release_all` at commit or abort.
+    """
+
+    def __init__(self) -> None:
+        self._held: list[Lock] = []
+        self._queue: list[LockRequest] = []
+        self._seq = 0
+        self.stats = LockTableStats()
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: TxnId,
+        mode: LockMode,
+        key_range: KeyRange,
+        wait: bool = True,
+    ) -> AcquireResult:
+        """Request a lock; grant immediately or join the FIFO queue.
+
+        A transaction's own locks never conflict with its new requests
+        (re-entrancy, including RepLookup→RepModify upgrades on the same
+        range, provided no other transaction holds a conflicting lock).
+
+        With ``wait=False`` a conflicting request is *not* queued: the
+        caller gets WAITING with the blocker set and decides what to do
+        (the synchronous representative path raises WouldBlockError).
+        """
+        self.stats.acquisitions += 1
+        blockers = self._blockers_for(txn_id, mode, key_range)
+        if not blockers:
+            self._held.append(Lock(txn_id, mode, key_range))
+            self.stats.immediate_grants += 1
+            return AcquireResult(AcquireStatus.GRANTED)
+        if wait:
+            self._queue.append(LockRequest(txn_id, mode, key_range, self._seq))
+            self._seq += 1
+        self.stats.waits += 1
+        return AcquireResult(AcquireStatus.WAITING, blockers=tuple(blockers))
+
+    def _blockers_for(
+        self,
+        txn_id: TxnId,
+        mode: LockMode,
+        key_range: KeyRange,
+        queue_before: int | None = None,
+    ) -> list[TxnId]:
+        """Transactions this request must wait for (empty = grantable)."""
+        seen: dict[TxnId, None] = {}
+        for lock in self._held:
+            if lock.txn_id != txn_id and conflicts(
+                lock.mode, lock.key_range, mode, key_range
+            ):
+                seen.setdefault(lock.txn_id)
+        for req in self._queue:
+            if queue_before is not None and req.seq >= queue_before:
+                break
+            if req.txn_id != txn_id and conflicts(
+                req.mode, req.key_range, mode, key_range
+            ):
+                # FIFO fairness: conflicting earlier waiters block us too.
+                seen.setdefault(req.txn_id)
+        return list(seen)
+
+    # -- release ------------------------------------------------------------
+
+    def release_all(self, txn_id: TxnId) -> list[LockRequest]:
+        """Drop every lock and queued request of ``txn_id``.
+
+        Returns the queued requests of *other* transactions that become
+        grantable as a result (already granted and recorded as held); the
+        caller wakes those transactions.
+        """
+        self._held = [l for l in self._held if l.txn_id != txn_id]
+        self._queue = [r for r in self._queue if r.txn_id != txn_id]
+        return self._promote_waiters()
+
+    def _promote_waiters(self) -> list[LockRequest]:
+        """Grant queued requests that are now compatible, in FIFO order."""
+        granted: list[LockRequest] = []
+        still_waiting: list[LockRequest] = []
+        for req in self._queue:
+            if self._blockers_for(req.txn_id, req.mode, req.key_range, req.seq):
+                still_waiting.append(req)
+            else:
+                self._held.append(Lock(req.txn_id, req.mode, req.key_range))
+                granted.append(req)
+        self._queue = still_waiting
+        return granted
+
+    # -- introspection -----------------------------------------------------------
+
+    def held_by(self, txn_id: TxnId) -> list[Lock]:
+        """Locks currently held by ``txn_id``."""
+        return [l for l in self._held if l.txn_id == txn_id]
+
+    def all_held(self) -> list[Lock]:
+        """Every held lock."""
+        return list(self._held)
+
+    def waiting_requests(self) -> list[LockRequest]:
+        """Every queued request, in FIFO order."""
+        return list(self._queue)
+
+    def holders(self) -> set[TxnId]:
+        """Transactions currently holding at least one lock."""
+        return {l.txn_id for l in self._held}
+
+    def waits_for_edges(self) -> list[tuple[TxnId, TxnId]]:
+        """(waiter, blocker) pairs for the deadlock detector."""
+        edges: list[tuple[TxnId, TxnId]] = []
+        for req in self._queue:
+            for blocker in self._blockers_for(
+                req.txn_id, req.mode, req.key_range, req.seq
+            ):
+                edges.append((req.txn_id, blocker))
+        return edges
+
+    def is_idle(self) -> bool:
+        """True when no locks are held and nothing is queued."""
+        return not self._held and not self._queue

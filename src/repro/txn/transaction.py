@@ -1,0 +1,62 @@
+"""Client-side transaction objects.
+
+A :class:`Transaction` tracks the participants (representatives) a
+directory-suite operation has touched, so that commit and abort know whom
+to contact.  The actual synchronization (locks) and rollback state (undo
+records) live *at* the representatives, matching the paper's model in
+which "directory representatives must synchronize concurrent operations
+performed by different transactions and store critical information in a
+fashion that recovers from failures."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidTransactionStateError
+from repro.txn.ids import TxnId
+
+
+class TxnState(enum.Enum):
+    """Life cycle of a transaction."""
+
+    ACTIVE = "active"
+    PREPARING = "preparing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True, slots=True)
+class Participant:
+    """Where to find an enlisted representative."""
+
+    node_id: str
+    service_name: str
+
+
+@dataclass
+class Transaction:
+    """One client-side transaction."""
+
+    txn_id: TxnId
+    state: TxnState = TxnState.ACTIVE
+    participants: dict[str, Participant] = field(default_factory=dict)
+    started_at: float = 0.0
+
+    def enlist(self, key: str, node_id: str, service_name: str) -> None:
+        """Record that the representative at ``key`` joined the transaction."""
+        self.require_active()
+        self.participants.setdefault(key, Participant(node_id, service_name))
+
+    def require_active(self) -> None:
+        """Raise unless the transaction can still do work."""
+        if self.state is not TxnState.ACTIVE:
+            raise InvalidTransactionStateError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    @property
+    def is_finished(self) -> bool:
+        """True once committed or aborted."""
+        return self.state in (TxnState.COMMITTED, TxnState.ABORTED)

@@ -1,0 +1,123 @@
+"""Two-phase commit across the representatives of a write quorum.
+
+Directory-suite modifications touch several representatives and must be
+all-or-nothing: a DirSuiteInsert that reached only part of its write quorum
+would break the quorum-intersection invariant.  The coordinator:
+
+1. **Prepare** — asks every participant to vote.  A participant that is
+   reachable and still holds the transaction's state votes yes and force-
+   writes a prepare record to its log.
+2. **Decide** — all-yes ⇒ commit, otherwise abort.  The decision is made
+   durable in the coordinator's decision log *before* phase two, so a
+   participant that crashes between prepare and commit can resolve its
+   in-doubt transaction against the coordinator at recovery.
+3. **Complete** — sends the decision to every reachable participant;
+   unreachable prepared participants resolve later via the decision log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import NodeDownError
+from repro.net.rpc import RpcEndpoint
+from repro.txn.ids import TxnId
+from repro.txn.transaction import Participant
+
+
+@dataclass
+class DecisionLog:
+    """The coordinator's durable record of commit/abort outcomes.
+
+    Shared with representatives so their recovery can resolve in-doubt
+    (prepared) transactions; in a real system this would be a query RPC to
+    the coordinator, which the simulation collapses to a dict lookup.
+    """
+
+    decisions: dict[TxnId, str] = field(default_factory=dict)
+
+    def decide(self, txn_id: TxnId, decision: str) -> None:
+        if decision not in ("commit", "abort"):
+            raise ValueError(f"bad decision {decision!r}")
+        existing = self.decisions.get(txn_id)
+        if existing is not None and existing != decision:
+            raise ValueError(
+                f"conflicting decision for txn {txn_id}: "
+                f"{existing} then {decision}"
+            )
+        self.decisions[txn_id] = decision
+
+    def outcome(self, txn_id: TxnId) -> str | None:
+        """"commit", "abort", or None if never decided."""
+        return self.decisions.get(txn_id)
+
+    def committed_ids(self) -> frozenset[TxnId]:
+        """All transactions decided commit."""
+        return frozenset(
+            t for t, d in self.decisions.items() if d == "commit"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CommitOutcome:
+    """Result of one two-phase commit run."""
+
+    committed: bool
+    votes: dict[str, bool]
+    unreachable_at_completion: tuple[str, ...] = ()
+
+
+class TwoPhaseCoordinator:
+    """Runs the commit protocol for one transaction at a time."""
+
+    def __init__(self, rpc: RpcEndpoint, decision_log: DecisionLog) -> None:
+        self.rpc = rpc
+        self.decision_log = decision_log
+
+    def commit(
+        self, txn_id: TxnId, participants: dict[str, Participant]
+    ) -> CommitOutcome:
+        """Run 2PC; returns the outcome (never raises for participant loss).
+
+        An unreachable or no-voting participant in phase one forces abort.
+        Participant loss in phase two is tolerated: the decision log
+        resolves the in-doubt transaction when the participant recovers.
+        """
+        votes: dict[str, bool] = {}
+        for name, part in participants.items():
+            try:
+                votes[name] = bool(
+                    self.rpc.call(
+                        part.node_id, part.service_name, "prepare", txn_id
+                    )
+                )
+            except NodeDownError:
+                votes[name] = False
+        all_yes = bool(votes) and all(votes.values())
+        decision = "commit" if all_yes else "abort"
+        self.decision_log.decide(txn_id, decision)
+        unreachable: list[str] = []
+        method = "commit" if decision == "commit" else "abort"
+        for name, part in participants.items():
+            try:
+                self.rpc.call(part.node_id, part.service_name, method, txn_id)
+            except NodeDownError:
+                unreachable.append(name)
+        return CommitOutcome(
+            committed=decision == "commit",
+            votes=votes,
+            unreachable_at_completion=tuple(unreachable),
+        )
+
+    def abort(
+        self, txn_id: TxnId, participants: dict[str, Participant]
+    ) -> tuple[str, ...]:
+        """Abort everywhere reachable; returns unreachable participant names."""
+        self.decision_log.decide(txn_id, "abort")
+        unreachable: list[str] = []
+        for name, part in participants.items():
+            try:
+                self.rpc.call(part.node_id, part.service_name, "abort", txn_id)
+            except NodeDownError:
+                unreachable.append(name)
+        return tuple(unreachable)

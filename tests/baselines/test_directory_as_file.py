@@ -1,0 +1,66 @@
+"""Tests for the directory-as-one-voted-file baseline."""
+
+import pytest
+
+from repro.baselines.directory_as_file import build_directory_as_file
+from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
+
+
+class TestSemantics:
+    def test_crud_roundtrip(self):
+        d = build_directory_as_file("3-2-2", seed=1)
+        d.insert("a", 1)
+        d.insert("b", 2)
+        assert d.lookup("a") == (True, 1)
+        d.update("a", 3)
+        assert d.lookup("a") == (True, 3)
+        d.delete("b")
+        assert d.lookup("b") == (False, None)
+        assert d.size() == 1
+
+    def test_insert_existing_rejected(self):
+        d = build_directory_as_file("3-2-2", seed=2)
+        d.insert("a", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            d.insert("a", 2)
+
+    def test_update_and_delete_missing_rejected(self):
+        d = build_directory_as_file("3-2-2", seed=3)
+        with pytest.raises(KeyNotPresentError):
+            d.update("ghost", 1)
+        with pytest.raises(KeyNotPresentError):
+            d.delete("ghost")
+
+    def test_deletes_need_no_ghost_machinery(self):
+        # This is why the baseline is correct despite one version number:
+        # deletes rewrite the whole object, so absence is authoritative.
+        d = build_directory_as_file("3-2-2", seed=4)
+        for i in range(20):
+            d.insert(i, i)
+        for i in range(0, 20, 2):
+            d.delete(i)
+        for i in range(20):
+            assert d.lookup(i) == ((i % 2 == 1), i if i % 2 else None)
+
+
+class TestCost:
+    def test_payload_grows_with_directory_size(self):
+        d = build_directory_as_file("3-2-2", seed=5)
+        net = d.file_suite.network
+        for i in range(50):
+            d.insert(i, i)
+        net.stats.reset()
+        d.insert("one-more", 0)
+        # One insert shipped the whole ~51-entry directory to W replicas.
+        assert net.stats.payload_items >= 51 * 2
+
+    def test_fine_grained_suite_payload_is_constant(self):
+        # Contrast: the paper's algorithm ships only the touched entry.
+        from repro.cluster import DirectoryCluster
+
+        cluster = DirectoryCluster.create("3-2-2", seed=6)
+        for i in range(50):
+            cluster.suite.insert(i, i)
+        cluster.network.stats.reset()
+        cluster.suite.insert(999, 0)
+        assert cluster.network.stats.payload_items < 20

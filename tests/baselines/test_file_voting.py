@@ -1,0 +1,67 @@
+"""Tests for Gifford's weighted voting on files."""
+
+import pytest
+
+from repro.baselines.file_voting import build_file_suite
+from repro.core.errors import QuorumUnavailableError
+
+
+class TestFileSuite:
+    def test_read_your_writes(self):
+        suite, _ = build_file_suite("3-2-2", seed=1)
+        suite.write("v1")
+        assert suite.read() == "v1"
+        suite.write("v2")
+        assert suite.read() == "v2"
+
+    def test_versions_advance(self):
+        suite, _ = build_file_suite("3-2-2", seed=2)
+        v1 = suite.write("a")
+        v2 = suite.write("b")
+        assert v2 > v1
+        assert suite.current_version() == v2
+
+    def test_read_quorum_intersects_write_quorum(self):
+        # Run many write/read cycles with random quorums: reads must
+        # always see the latest contents.
+        suite, _ = build_file_suite("5-3-3", seed=3)
+        for i in range(100):
+            suite.write(i)
+            assert suite.read() == i
+
+    def test_stale_replica_outvoted(self):
+        suite, reps = build_file_suite("3-2-2", seed=4)
+        suite.write("current")
+        # Find a replica that missed the write (or rewind one).
+        stale = next(iter(reps.values()))
+        stale.version = 0
+        stale.contents = "ancient"
+        for _ in range(20):
+            assert suite.read() == "current"
+
+    def test_crash_recovery_restores_durable_state(self):
+        suite, reps = build_file_suite("3-2-2", seed=5)
+        suite.write("persisted")
+        rep = reps["A"]
+        rep.on_crash()
+        assert rep.contents is None
+        rep.on_recover()
+        assert rep.contents in ("persisted", None)  # None iff A missed the write
+
+    def test_unavailable_quorum_raises(self):
+        suite, _ = build_file_suite("3-2-2", seed=6)
+        suite.write("x")
+        suite.network.node("node-A").crash()
+        suite.network.node("node-B").crash()
+        with pytest.raises(QuorumUnavailableError):
+            suite.read()
+        with pytest.raises(QuorumUnavailableError):
+            suite.write("y")
+
+    def test_single_crash_tolerated(self):
+        suite, _ = build_file_suite("3-2-2", seed=7)
+        suite.write("x")
+        suite.network.node("node-C").crash()
+        assert suite.read() == "x"
+        suite.write("y")
+        assert suite.read() == "y"

@@ -1,0 +1,152 @@
+"""Tests for the section 2 strawman: per-entry versions, no gap versions.
+
+The first class replays the paper's Figures 1–3 scenario and demonstrates
+the exact failure the paper describes; the rest cover the three resolution
+modes and their costs.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.naive_entry_versions import build_naive
+from repro.core.errors import (
+    AmbiguousLookupError,
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    QuorumUnavailableError,
+)
+
+
+def figures_1_to_3_state(reps):
+    """All replicas hold a, c; b inserted at {A,B} then deleted at {B,C}."""
+    for rep in reps.values():
+        rep.put("a", 1, "A-val")
+        rep.put("c", 1, "C-val")
+    reps["A"].put("b", 1, "B-val")
+    reps["B"].put("b", 1, "B-val")
+    reps["B"].remove("b")
+    reps["C"].remove("b")
+
+
+class TestPaperScenario:
+    def test_version_mode_returns_deleted_entry(self):
+        d, reps = build_naive("3-2-2", seed=1, resolution="version")
+        figures_1_to_3_state(reps)
+        d.rng = random.Random(0)
+        wrong = sum(d.lookup("b") == (True, "B-val") for _ in range(100))
+        # Read quorums containing A ({A,B} or {A,C}) trust the ghost:
+        # roughly 2/3 of uniformly chosen quorums answer wrongly.
+        assert wrong > 30
+
+    def test_error_mode_raises_on_mixed_replies(self):
+        d, reps = build_naive("3-2-2", seed=2, resolution="error")
+        figures_1_to_3_state(reps)
+        saw_ambiguous = 0
+        for _ in range(50):
+            try:
+                present, _ = d.lookup("b")
+                assert present is False  # quorum {B, C}: both absent
+            except AmbiguousLookupError:
+                saw_ambiguous += 1
+        assert saw_ambiguous > 0
+        assert d.ambiguous_lookups >= saw_ambiguous
+
+    def test_consult_mode_always_correct(self):
+        d, reps = build_naive("3-2-2", seed=3, resolution="consult")
+        figures_1_to_3_state(reps)
+        for _ in range(100):
+            assert d.lookup("b") == (False, None)
+        # Deciding required going beyond the read quorum.
+        assert d.extra_consultations > 0
+
+    def test_consult_mode_correct_for_present_partial_entry(self):
+        # Entry on a write quorum {A, B} but absent from C: consult mode
+        # must answer present.
+        d, reps = build_naive("3-2-2", seed=4, resolution="consult")
+        for rep in reps.values():
+            rep.put("a", 1, "A-val")
+        reps["A"].put("x", 1, "X")
+        reps["B"].put("x", 1, "X")
+        for _ in range(100):
+            assert d.lookup("x") == (True, "X")
+
+    def test_consult_mode_reduced_availability(self):
+        # "this approach ... results in reduced availability": with one
+        # node down, 2 replies may satisfy neither counting threshold.
+        d, reps = build_naive("3-2-2", seed=5, resolution="consult")
+        figures_1_to_3_state(reps)
+        d.network.node("node-B").crash()
+        # Remaining: A (has ghost b), C (does not). 1 present, 1 absent,
+        # threshold = x - W = 1: neither side exceeds it. Unresolvable.
+        with pytest.raises(QuorumUnavailableError):
+            for _ in range(50):
+                d.lookup("b")
+
+    def test_paper_algorithm_same_scenario_no_extra_reps(self):
+        # Control: the gap-version algorithm answers from any R=2 quorum.
+        from repro.cluster import DirectoryCluster
+        from tests.integration.test_paper_figures import (
+            FixedQuorumPolicy,
+        )
+
+        cluster = DirectoryCluster.create("3-2-2", seed=6)
+        suite = cluster.suite
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
+        suite.insert("a", "A-val")
+        suite.insert("b", "B-val")
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["B", "C"])
+        suite.delete("b")
+        for quorum in (["A", "B"], ["A", "C"], ["B", "C"]):
+            suite.quorum_policy = FixedQuorumPolicy(read=quorum)
+            assert suite.lookup("b") == (False, None)
+
+
+class TestNaiveModesGeneral:
+    def test_unambiguous_operations_work(self):
+        d, _ = build_naive("3-2-2", seed=7, resolution="error")
+        # Full write quorum = 2 of 3; insert then read can still be
+        # ambiguous if the read quorum straddles the write quorum, so use
+        # consult mode for the general check.
+        d2, _ = build_naive("3-2-2", seed=8, resolution="consult")
+        d2.insert("k", 1)
+        assert d2.lookup("k") == (True, 1)
+        d2.update("k", 2)
+        assert d2.lookup("k") == (True, 2)
+        d2.delete("k")
+        assert d2.lookup("k") == (False, None)
+
+    def test_insert_update_delete_errors(self):
+        d, _ = build_naive("3-2-2", seed=9, resolution="consult")
+        d.insert("k", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            d.insert("k", 2)
+        with pytest.raises(KeyNotPresentError):
+            d.update("ghost", 1)
+        with pytest.raises(KeyNotPresentError):
+            d.delete("ghost")
+
+    def test_bad_resolution_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_naive("3-2-2", resolution="vibes")
+
+    def test_random_workload_consult_mode_matches_model(self):
+        d, _ = build_naive("3-2-2", seed=10, resolution="consult")
+        model = {}
+        rng = random.Random(11)
+        for i in range(300):
+            k = rng.randint(0, 15)
+            if k in model and rng.random() < 0.5:
+                d.delete(k)
+                del model[k]
+            elif k not in model:
+                d.insert(k, i)
+                model[k] = i
+            else:
+                d.update(k, i)
+                model[k] = i
+        for k in range(16):
+            present, value = d.lookup(k)
+            assert present == (k in model)
+            if present:
+                assert value == model[k]

@@ -1,0 +1,114 @@
+"""Tests for the primary/secondary copy baseline."""
+
+import pytest
+
+from repro.baselines.primary_copy import build_primary_copy
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    NodeDownError,
+    QuorumUnavailableError,
+)
+
+
+class TestBasicOperation:
+    def test_crud_with_propagation(self):
+        d = build_primary_copy(2, seed=1)
+        d.insert("a", 1)
+        d.update("a", 2)
+        d.propagate()
+        assert all(d.lookup("a") == (True, 2) for _ in range(10))
+        d.delete("a")
+        d.propagate()
+        assert all(d.lookup("a") == (False, None) for _ in range(10))
+
+    def test_errors(self):
+        d = build_primary_copy(2, seed=2)
+        d.insert("a", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            d.insert("a", 2)
+        with pytest.raises(KeyNotPresentError):
+            d.update("ghost", 1)
+
+
+class TestStaleness:
+    """The paper's indictment: "the result may not reflect the most
+    current updates"."""
+
+    def test_unpropagated_update_readable_as_stale(self):
+        d = build_primary_copy(2, seed=3)
+        d.insert("k", "v1")
+        # No propagate(): secondaries have never heard of k.
+        answers = {d.lookup("k") for _ in range(30)}
+        assert (False, None) in answers  # stale read observed
+        assert (True, "v1") in answers  # primary read observed
+
+    def test_unpropagated_delete_resurrects_entry(self):
+        d = build_primary_copy(2, seed=4)
+        d.insert("k", "v1")
+        d.propagate()
+        d.delete("k")
+        answers = {d.lookup("k") for _ in range(30)}
+        assert (True, "v1") in answers  # the deleted entry still answers
+
+    def test_read_primary_only_restores_semantics(self):
+        d = build_primary_copy(2, seed=5, read_primary_only=True)
+        d.insert("k", "v1")
+        assert all(d.lookup("k") == (True, "v1") for _ in range(10))
+        d.delete("k")
+        assert all(d.lookup("k") == (False, None) for _ in range(10))
+
+    def test_read_primary_only_hangs_off_one_node(self):
+        d = build_primary_copy(2, seed=6, read_primary_only=True)
+        d.insert("k", "v1")
+        d.network.node("node-primary").crash()
+        with pytest.raises(NodeDownError):
+            d.lookup("k")
+
+
+class TestPropagation:
+    def test_propagate_is_incremental(self):
+        d = build_primary_copy(1, seed=7)
+        d.insert("a", 1)
+        assert d.propagate() == 1
+        assert d.propagate() == 0  # nothing new
+        d.insert("b", 2)
+        d.update("a", 3)
+        assert d.propagate() == 2
+
+    def test_down_secondary_catches_up_later(self):
+        d = build_primary_copy(2, seed=8)
+        d.insert("a", 1)
+        d.network.node("node-S1").crash()
+        d.insert("b", 2)
+        d.propagate()  # S1 unreachable, S2 catches up
+        d.network.node("node-S1").recover()
+        d.propagate()  # now S1 replays the backlog in order
+        s1 = d.network.node("node-S1").service("secondary:S1")
+        assert s1.data == {"a": 1, "b": 2}
+
+    def test_updates_applied_in_sequence_order(self):
+        d = build_primary_copy(1, seed=9)
+        for i in range(10):
+            d.insert(i, i)
+        d.propagate()
+        s1 = d.network.node("node-S1").service("secondary:S1")
+        assert s1.applied_seq == 10
+
+    def test_primary_down_blocks_writes(self):
+        d = build_primary_copy(2, seed=10)
+        d.insert("a", 1)
+        d.propagate()
+        d.network.node("node-primary").crash()
+        with pytest.raises(NodeDownError):
+            d.insert("b", 2)
+        # Reads still served by secondaries (stale-tolerant mode).
+        assert d.lookup("a") == (True, 1)
+
+    def test_all_replicas_down(self):
+        d = build_primary_copy(1, seed=11)
+        d.insert("a", 1)
+        d.network.node("node-primary").crash()
+        d.network.node("node-S1").crash()
+        with pytest.raises(QuorumUnavailableError):
+            d.lookup("a")

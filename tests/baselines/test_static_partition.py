@@ -1,0 +1,91 @@
+"""Tests for the statically partitioned directory baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.static_partition import build_static_partitioned
+from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
+
+
+class TestPartitionFunction:
+    def test_keys_map_to_expected_partitions(self):
+        d = build_static_partitioned("3-2-2", n_partitions=4, seed=1)
+        assert d.partition_of(0.0) == 0
+        assert d.partition_of(0.26) == 1
+        assert d.partition_of(0.99) == 3
+
+    def test_out_of_range_key_rejected(self):
+        d = build_static_partitioned("3-2-2", n_partitions=4, seed=2)
+        with pytest.raises(ValueError):
+            d.partition_of(1.5)
+
+    def test_at_least_one_partition(self):
+        with pytest.raises(ValueError):
+            build_static_partitioned("3-2-2", n_partitions=0)
+
+
+class TestSemantics:
+    def test_crud_roundtrip(self):
+        d = build_static_partitioned("3-2-2", n_partitions=8, seed=3)
+        d.insert(0.1, "x")
+        d.insert(0.9, "y")
+        d.update(0.1, "x2")
+        assert d.lookup(0.1) == (True, "x2")
+        d.delete(0.9)
+        assert d.lookup(0.9) == (False, None)
+        assert d.size() == 1
+
+    def test_errors(self):
+        d = build_static_partitioned("3-2-2", n_partitions=8, seed=4)
+        d.insert(0.5, "v")
+        with pytest.raises(KeyAlreadyPresentError):
+            d.insert(0.5, "w")
+        with pytest.raises(KeyNotPresentError):
+            d.delete(0.6)
+
+    def test_deletes_sound_despite_partial_replication(self):
+        # Partition-level version numbers make absence authoritative:
+        # the delete's rewritten partition outranks every stale copy.
+        d = build_static_partitioned("3-2-2", n_partitions=2, seed=5)
+        rng = random.Random(6)
+        model = {}
+        for i in range(300):
+            k = round(rng.random(), 6)
+            if model and rng.random() < 0.4:
+                victim = rng.choice(list(model))
+                d.delete(victim)
+                del model[victim]
+            elif k not in model:
+                d.insert(k, i)
+                model[k] = i
+        for k, v in model.items():
+            assert d.lookup(k) == (True, v)
+        assert d.size() == len(model)
+
+
+class TestCostStructure:
+    def test_payload_tracks_partition_occupancy(self):
+        d = build_static_partitioned("3-2-2", n_partitions=2, seed=7)
+        net = d.network
+        # Fill partition 0 heavily, partition 1 lightly.
+        for i in range(40):
+            d.insert(0.001 + i * 0.01, i)  # all in [0, 0.5)
+        d.insert(0.9, "lone")
+        net.stats.reset()
+        d.update(0.9, "lone2")  # rewrites the 1-entry partition
+        light = net.stats.payload_items
+        net.stats.reset()
+        d.update(0.001, "heavy")  # rewrites the 40-entry partition
+        heavy = net.stats.payload_items
+        assert heavy > light * 10
+
+    def test_more_partitions_smaller_payloads(self):
+        coarse = build_static_partitioned("3-2-2", n_partitions=1, seed=8)
+        fine = build_static_partitioned("3-2-2", n_partitions=64, seed=8)
+        for d in (coarse, fine):
+            for i in range(32):
+                d.insert((i + 0.5) / 33, i)
+            d.network.stats.reset()
+            d.update(0.5 / 33, "new")
+        assert fine.network.stats.payload_items < coarse.network.stats.payload_items

@@ -1,0 +1,142 @@
+"""Tests for the tombstone + garbage collection baseline (section 2)."""
+
+import random
+
+import pytest
+
+from repro.baselines.tombstone import TOMBSTONE, build_tombstone
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    QuorumUnavailableError,
+)
+
+
+class TestSemantics:
+    def test_crud_roundtrip(self):
+        d, _ = build_tombstone("3-2-2", seed=1)
+        d.insert("a", 1)
+        d.update("a", 2)
+        assert d.lookup("a") == (True, 2)
+        d.delete("a")
+        assert d.lookup("a") == (False, None)
+
+    def test_errors(self):
+        d, _ = build_tombstone("3-2-2", seed=2)
+        d.insert("a", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            d.insert("a", 2)
+        d.delete("a")
+        with pytest.raises(KeyNotPresentError):
+            d.update("a", 3)
+        with pytest.raises(KeyNotPresentError):
+            d.delete("a")
+
+    def test_reinsert_after_delete(self):
+        # The tombstone's version history makes re-insertion safe — the
+        # capability the naive scheme lacks.
+        d, _ = build_tombstone("3-2-2", seed=3)
+        d.insert("k", "old")
+        d.delete("k")
+        d.insert("k", "new")
+        for _ in range(30):
+            assert d.lookup("k") == (True, "new")
+
+    def test_model_check_under_churn(self):
+        d, _ = build_tombstone("3-2-2", seed=4)
+        model = {}
+        rng = random.Random(5)
+        for i in range(400):
+            k = rng.randint(0, 25)
+            if k in model and rng.random() < 0.5:
+                d.delete(k)
+                del model[k]
+            elif k not in model:
+                d.insert(k, i)
+                model[k] = i
+            else:
+                d.update(k, i)
+                model[k] = i
+        for k in range(26):
+            present, value = d.lookup(k)
+            assert present == (k in model)
+            if present:
+                assert value == model[k]
+
+
+class TestSpaceOverhead:
+    def test_tombstones_accumulate(self):
+        # "the space occupied by 'deleted' entries could not easily be
+        # reclaimed"
+        d, reps = build_tombstone("3-2-2", seed=6)
+        for i in range(40):
+            d.insert(i, i)
+            d.delete(i)
+        overhead = d.live_overhead()
+        assert sum(overhead.values()) > 40  # tombstones on ~W reps each
+
+    def test_gc_reclaims_space(self):
+        d, reps = build_tombstone("3-2-2", seed=7)
+        for i in range(20):
+            d.insert(i, i)
+            d.delete(i)
+        d.insert("live", "v")
+        erased = d.collect()
+        assert erased > 0
+        assert sum(d.live_overhead().values()) == 0
+        assert d.lookup("live") == (True, "v")
+        for i in range(20):
+            assert d.lookup(i) == (False, None)
+
+    def test_gc_erases_stale_live_copies_too(self):
+        # A replica that missed the delete holds a live copy; GC must
+        # remove it with the tombstones or the key resurrects.
+        d, reps = build_tombstone("3-2-2", seed=8)
+        d.insert("k", "v")
+        d.delete("k")
+        # Force a stale live copy onto a replica lacking the tombstone.
+        victim = next(
+            name
+            for name, rep in reps.items()
+            if rep.data.get("k", (0, TOMBSTONE))[1] == TOMBSTONE
+        )
+        other = next(name for name in reps if name != victim)
+        stale_rep = reps[other]
+        stale_rep.put("k", 1, "stale")
+        d.collect()
+        for _ in range(30):
+            assert d.lookup("k") == (False, None)
+        assert all("k" not in rep.data for rep in reps.values())
+
+    def test_gc_skips_reinserted_keys(self):
+        d, reps = build_tombstone("3-2-2", seed=9)
+        d.insert("k", "v1")
+        d.delete("k")
+        d.insert("k", "v2")  # newer than any tombstone
+        d.collect()
+        assert d.lookup("k") == (True, "v2")
+
+
+class TestAvailabilityCost:
+    def test_gc_requires_every_replica(self):
+        # "that operation is complex and would itself be a concurrency
+        # bottleneck" — and an availability bottleneck: all replicas up.
+        d, _ = build_tombstone("3-2-2", seed=10)
+        d.insert("a", 1)
+        d.delete("a")
+        d.network.node("node-C").crash()
+        with pytest.raises(QuorumUnavailableError):
+            d.collect()
+        # Ordinary operations still run on the remaining quorum.
+        d.insert("b", 2)
+        assert d.lookup("b") == (True, 2)
+        d.network.node("node-C").recover()
+        assert d.collect() > 0
+
+    def test_gc_counters(self):
+        d, _ = build_tombstone("3-2-2", seed=11)
+        d.insert("a", 1)
+        d.delete("a")
+        d.collect()
+        assert d.gc_runs == 1
+        assert d.gc_erased > 0

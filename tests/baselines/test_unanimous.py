@@ -1,0 +1,83 @@
+"""Tests for the unanimous update baseline."""
+
+import pytest
+
+from repro.baselines.unanimous import build_unanimous
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    QuorumUnavailableError,
+)
+
+
+class TestSemantics:
+    def test_crud_roundtrip(self):
+        d = build_unanimous(3, seed=1)
+        d.insert("a", 1)
+        d.update("a", 2)
+        assert d.lookup("a") == (True, 2)
+        d.delete("a")
+        assert d.lookup("a") == (False, None)
+
+    def test_duplicate_and_missing_errors(self):
+        d = build_unanimous(3, seed=2)
+        d.insert("a", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            d.insert("a", 2)
+        with pytest.raises(KeyNotPresentError):
+            d.delete("ghost")
+
+    def test_reads_from_any_single_replica(self):
+        d = build_unanimous(3, seed=3)
+        d.insert("a", 1)
+        d.network.node("node-A").crash()
+        d.network.node("node-B").crash()
+        # One replica is enough for reads.
+        assert d.lookup("a") == (True, 1)
+
+    def test_exactly_n_writes_per_delete(self):
+        # The comparison point for the paper's section 4 statistics.
+        d = build_unanimous(3, seed=4)
+        d.insert("a", 1)
+        writes_before = d.writes_performed
+        d.delete("a")
+        assert d.writes_performed - writes_before == 3
+
+
+class TestAvailability:
+    def test_single_crash_blocks_all_updates(self):
+        # "the availability for updates ... is poor": ONE crash stops
+        # every modification.
+        d = build_unanimous(3, seed=5)
+        d.insert("a", 1)
+        d.network.node("node-C").crash()
+        with pytest.raises(QuorumUnavailableError):
+            d.insert("b", 2)
+        with pytest.raises(QuorumUnavailableError):
+            d.update("a", 9)
+        with pytest.raises(QuorumUnavailableError):
+            d.delete("a")
+        # Reads still fine.
+        assert d.lookup("a") == (True, 1)
+
+    def test_voting_suite_survives_what_unanimous_cannot(self):
+        from repro.cluster import DirectoryCluster
+
+        cluster = DirectoryCluster.create("3-2-2", seed=6)
+        cluster.suite.insert("a", 1)
+        cluster.crash("C")
+        cluster.suite.update("a", 2)  # weighted voting shrugs
+        assert cluster.suite.lookup("a") == (True, 2)
+
+
+class TestRecovery:
+    def test_replica_recovers_from_durable_ops(self):
+        d = build_unanimous(2, seed=7)
+        d.insert("a", 1)
+        d.insert("b", 2)
+        d.delete("a")
+        node = d.network.node("node-A")
+        node.crash()
+        node.recover()
+        svc = node.service("plain:A")
+        assert svc.data == {"b": 2}

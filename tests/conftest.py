@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.keys import wrap
+from repro.storage.btree import BTreeStore
+from repro.storage.sorted_store import SortedStore
+
+
+@pytest.fixture
+def cluster322():
+    """A fresh 3-2-2 cluster with deterministic quorum selection."""
+    return DirectoryCluster.create("3-2-2", seed=1234)
+
+
+@pytest.fixture(
+    params=["sorted", "btree", "skiplist"],
+    ids=["sorted", "btree", "skiplist"],
+)
+def store(request):
+    """Each concrete store implementation, fresh."""
+    from repro.storage.skiplist import SkipListStore
+
+    if request.param == "sorted":
+        return SortedStore()
+    if request.param == "btree":
+        return BTreeStore(order=4)
+    return SkipListStore()
+
+
+def fill_store(store, keys, start_version=1):
+    """Insert wrapped integer keys with increasing versions."""
+    for i, k in enumerate(keys):
+        store.insert(wrap(k), start_version + i, f"value-{k}")
+    return store
+
+
+def scripted_insert(cluster, rep_names, key, version, value):
+    """Force an entry onto specific representatives (paper-figure setups).
+
+    Bypasses the suite: used to construct the exact replica states the
+    paper's figures show.  Runs through a throwaway transaction so locks
+    and WAL stay consistent.
+    """
+    txn = cluster.suite.txn_manager.begin()
+    for name in rep_names:
+        place = cluster.suite.placements[name]
+        txn.enlist(name, place.node_id, place.service_name)
+        cluster.suite.rpc.call(
+            place.node_id,
+            place.service_name,
+            "rep_insert",
+            txn.txn_id,
+            wrap(key),
+            version,
+            value,
+        )
+    cluster.suite.txn_manager.commit(txn)
+
+
+def rng(seed=0):
+    """A seeded random source (alias to keep test intent obvious)."""
+    return random.Random(seed)

@@ -1,0 +1,133 @@
+"""Integration tests for zero-vote hint representatives."""
+
+import random
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.config import SuiteConfig
+from repro.core.hints import HintedDirectory
+
+
+def hinted_cluster(seed=1, refresh_on_miss=True):
+    config = SuiteConfig(
+        votes={"A": 1, "B": 1, "C": 1, "H": 0},
+        read_quorum=2,
+        write_quorum=2,
+    )
+    cluster = DirectoryCluster.create(config, seed=seed)
+    hinted = HintedDirectory(
+        cluster.suite, hint="H", refresh_on_miss=refresh_on_miss
+    )
+    return cluster, hinted
+
+
+class TestValidation:
+    def test_hint_requires_zero_votes(self):
+        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        with pytest.raises(ValueError):
+            HintedDirectory(cluster.suite, hint="A")
+
+    def test_unknown_hint_rejected(self):
+        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        with pytest.raises(ValueError):
+            HintedDirectory(cluster.suite, hint="Z")
+
+    def test_quorums_never_include_the_hint(self):
+        cluster, hinted = hinted_cluster()
+        for i in range(30):
+            hinted.insert(i, i)
+        assert cluster.representative("H").entry_count() == 0
+
+
+class TestHintedLookup:
+    def test_never_returns_stale_data(self):
+        cluster, hinted = hinted_cluster(seed=2)
+        model = {}
+        rng = random.Random(3)
+        for i in range(400):
+            k = rng.randint(0, 25)
+            roll = rng.random()
+            if roll < 0.3 and k in model:
+                hinted.delete(k)
+                del model[k]
+            elif roll < 0.6 and k not in model:
+                hinted.insert(k, i)
+                model[k] = i
+            elif k in model and roll < 0.75:
+                hinted.update(k, i)
+                model[k] = i
+            else:
+                present, value = hinted.lookup(k)
+                assert present == (k in model)
+                if present:
+                    assert value == model[k]
+        cluster.check_invariants()
+
+    def test_repeated_reads_become_hits(self):
+        cluster, hinted = hinted_cluster(seed=4)
+        hinted.insert("k", "v")
+        hinted.lookup("k")  # miss (hint empty) + refresh
+        before_hits = hinted.stats.hits
+        for _ in range(10):
+            assert hinted.lookup("k") == (True, "v")
+        assert hinted.stats.hits >= before_hits + 10
+        assert hinted.stats.hit_rate > 0.5
+
+    def test_update_invalidates_hint_until_next_miss(self):
+        cluster, hinted = hinted_cluster(seed=5)
+        hinted.insert("k", "v1")
+        hinted.lookup("k")  # refresh hint to v1
+        hinted.update("k", "v2")  # hint now stale
+        # Validation catches the stale hint; the answer is still correct.
+        assert hinted.lookup("k") == (True, "v2")
+        # And the miss refreshed the hint, so the next read hits.
+        hits_before = hinted.stats.hits
+        assert hinted.lookup("k") == (True, "v2")
+        assert hinted.stats.hits == hits_before + 1
+
+    def test_absent_keys_hit_when_gap_versions_agree(self):
+        cluster, hinted = hinted_cluster(seed=6)
+        # Nothing inserted: both hint and quorum report gap version 0.
+        present, value = hinted.lookup("never-inserted")
+        assert (present, value) == (False, None)
+        assert hinted.stats.hits == 1
+
+    def test_hint_node_down_falls_back(self):
+        cluster, hinted = hinted_cluster(seed=7)
+        hinted.insert("k", "v")
+        cluster.crash("H")
+        assert hinted.lookup("k") == (True, "v")
+        assert hinted.stats.hint_unavailable >= 1
+        cluster.recover("H")
+        assert hinted.lookup("k") == (True, "v")
+
+    def test_no_refresh_mode(self):
+        cluster, hinted = hinted_cluster(seed=8, refresh_on_miss=False)
+        hinted.insert("k", "v")
+        hinted.lookup("k")
+        hinted.lookup("k")
+        assert hinted.stats.refreshes == 0
+        assert cluster.representative("H").entry_count() == 0
+
+
+class TestMessageEconomics:
+    def test_hit_path_ships_fewer_payload_items(self):
+        # A hit carries one full entry (from the hint) plus version-only
+        # probes; a full lookup ships full replies from the whole quorum.
+        cluster, hinted = hinted_cluster(seed=9)
+        hinted.insert("k", "v")
+        hinted.lookup("k")  # warm the hint
+        cluster.network.stats.reset()
+        hinted.lookup("k")  # hit
+        by_method = cluster.network.stats.by_method
+        version_probes = sum(
+            c for m, c in by_method.items() if "rep_lookup_version" in m
+        )
+        full_reads = sum(
+            c
+            for m, c in by_method.items()
+            if m.endswith("rep_lookup")
+        )
+        assert version_probes == 2  # R = 2, versions only
+        assert full_reads == 1  # just the hint's data read

@@ -1,0 +1,187 @@
+"""Integration tests reproducing the paper's worked examples.
+
+* Figures 1–5: the 3-2-2 suite with entries "a", "c"; inserting "b" into
+  A and B; how gap versions disambiguate the lookup that the naive scheme
+  gets wrong; deleting "b" by coalescing.
+* Figures 10–11: ghosts — deleting "a" when its real successor "bb" is
+  missing from one write-quorum member and a ghost "b" sits in the range;
+  the delete copies "bb" in and the coalesce eliminates the ghost.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.config import SuiteConfig
+from repro.core.keys import LOW, wrap
+from repro.core.quorum import QuorumPolicy
+
+
+class FixedQuorumPolicy(QuorumPolicy):
+    """Deterministic quorums for scripting the paper's scenarios."""
+
+    def __init__(self, read=None, write=None):
+        self.read = read
+        self.write = write
+
+    def select(self, kind, available, config, rng):
+        fixed = self.read if kind == "read" else self.write
+        assert fixed is not None, f"no fixed {kind} quorum set"
+        missing = [n for n in fixed if n not in available]
+        assert not missing, f"scripted quorum members unavailable: {missing}"
+        return list(fixed)
+
+
+@pytest.fixture
+def cluster():
+    return DirectoryCluster.create("3-2-2", seed=0)
+
+
+def set_quorums(cluster, read, write=None):
+    cluster.suite.quorum_policy = FixedQuorumPolicy(read=read, write=write)
+
+
+def rep_keys(cluster, name):
+    return [e.key.payload for e in cluster.representative(name).user_entries()]
+
+
+class TestFigures1Through5:
+    def _setup_figure1(self, cluster):
+        """All representatives contain "a" and "c" with version 1."""
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        cluster.suite.insert("a", "A-val")
+        set_quorums(cluster, read=["B", "C"], write=["B", "C"])
+        # Bring "a" to C and "c" everywhere via quorum choices.
+        set_quorums(cluster, read=["A", "C"], write=["A", "C"])
+        cluster.suite.update("a", "A-val")  # copies a to C (version rises)
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        cluster.suite.insert("c", "C-val")
+        set_quorums(cluster, read=["A", "C"], write=["B", "C"])
+        cluster.suite.update("c", "C-val")
+
+    def test_insert_b_splits_gap_and_lookup_disambiguates(self, cluster):
+        self._setup_figure1(cluster)
+        # Figure 4: insert "b" into representatives A and B.
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        cluster.suite.insert("b", "B-val")
+        assert "b" in rep_keys(cluster, "A")
+        assert "b" in rep_keys(cluster, "B")
+        assert "b" not in rep_keys(cluster, "C")
+        # The paper's key moment: a read quorum of {A, C} where A says
+        # "present with version v" and C says "not present with the gap
+        # version" — the higher version (the entry's) wins.
+        set_quorums(cluster, read=["A", "C"])
+        assert cluster.suite.lookup("b") == (True, "B-val")
+
+    def test_delete_b_coalesces_and_raises_gap_version(self, cluster):
+        self._setup_figure1(cluster)
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        cluster.suite.insert("b", "B-val")
+        b_version = cluster.representative("A").store.lookup(wrap("b")).version
+        # Figure 5: delete "b" using representatives B and C.
+        set_quorums(cluster, read=["B", "C"], write=["B", "C"])
+        cluster.suite.delete("b")
+        # B and C now carry a coalesced gap between "a" and "c" whose
+        # version exceeds the deleted entry's version.
+        for name in ("B", "C"):
+            reply = cluster.representative(name).store.lookup(wrap("b"))
+            assert not reply.present
+            assert reply.version > b_version
+        # A still holds the ghost of "b"...
+        assert "b" in rep_keys(cluster, "A")
+        # ...but every legal read quorum answers "not present":
+        for quorum in (["A", "B"], ["A", "C"], ["B", "C"]):
+            set_quorums(cluster, read=quorum)
+            assert cluster.suite.lookup("b") == (False, None)
+
+    def test_figures_sequence_preserves_a_and_c(self, cluster):
+        self._setup_figure1(cluster)
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        cluster.suite.insert("b", "B-val")
+        set_quorums(cluster, read=["B", "C"], write=["B", "C"])
+        cluster.suite.delete("b")
+        for quorum in (["A", "B"], ["A", "C"], ["B", "C"]):
+            set_quorums(cluster, read=quorum)
+            assert cluster.suite.lookup("a")[0] is True
+            assert cluster.suite.lookup("c")[0] is True
+        cluster.check_invariants()
+
+
+class TestFigures10And11:
+    def _setup_figure10(self, cluster):
+        """Build the ghost scenario through real suite operations.
+
+        History: "a" reaches every representative; "b" is inserted at
+        {A, B} then deleted at {B, C} (leaving a ghost on A); "bb" is then
+        inserted at {A, B} (so it is missing from C).
+        """
+        suite = cluster.suite
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        suite.insert("a", "a-val")
+        set_quorums(cluster, read=["A", "B"], write=["A", "C"])
+        suite.update("a", "a-val")  # copy "a" onto C
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        suite.insert("b", "b-val")
+        set_quorums(cluster, read=["A", "B"], write=["B", "C"])
+        suite.delete("b")
+        set_quorums(cluster, read=["B", "C"], write=["A", "B"])
+        suite.insert("bb", "bb-val")
+
+    def test_figure10_state(self, cluster):
+        self._setup_figure10(cluster)
+        assert rep_keys(cluster, "A") == ["a", "b", "bb"]  # ghost "b" on A
+        assert rep_keys(cluster, "B") == ["a", "bb"]
+        assert rep_keys(cluster, "C") == ["a"]  # no "bb" on C
+        # Despite the ghost, the suite is coherent:
+        for quorum in (["A", "B"], ["A", "C"], ["B", "C"]):
+            set_quorums(cluster, read=quorum)
+            assert cluster.suite.lookup("b") == (False, None)
+            assert cluster.suite.lookup("bb") == (True, "bb-val")
+
+    def test_figure11_delete_a_copies_bb_and_kills_ghost(self, cluster):
+        self._setup_figure10(cluster)
+        # Delete "a" from representatives A and C (the paper's choice).
+        set_quorums(cluster, read=["A", "C"], write=["A", "C"])
+        cluster.suite.delete("a")
+        # The real successor "bb" was copied onto C...
+        assert "bb" in rep_keys(cluster, "C")
+        # ...and the coalesce eliminated the ghost of "b" from A.
+        assert rep_keys(cluster, "A") == ["bb"]
+        # The delete's bookkeeping saw the extra work:
+        stats = cluster.suite.delete_stats
+        assert stats.insertions_while_coalescing.n >= 1
+        assert stats.insertions_while_coalescing.max >= 1  # bb copied
+        assert stats.deletions_while_coalescing.max >= 1  # ghost b removed
+        cluster.check_invariants()
+
+    def test_figure11_suite_semantics_after_delete(self, cluster):
+        self._setup_figure10(cluster)
+        set_quorums(cluster, read=["A", "C"], write=["A", "C"])
+        cluster.suite.delete("a")
+        for quorum in (["A", "B"], ["A", "C"], ["B", "C"]):
+            set_quorums(cluster, read=quorum)
+            assert cluster.suite.lookup("a") == (False, None)
+            assert cluster.suite.lookup("b") == (False, None)
+            assert cluster.suite.lookup("bb") == (True, "bb-val")
+
+    def test_real_successor_search_skips_ghost(self, cluster):
+        self._setup_figure10(cluster)
+        suite = cluster.suite
+        set_quorums(cluster, read=["A", "C"], write=["A", "C"])
+        txn = suite.txn_manager.begin()
+        succ = suite._real_neighbor(txn, wrap("a"), "succ")
+        suite.txn_manager.abort(txn)
+        # The ghost "b" (visible on A) is skipped; "bb" is the real one.
+        assert succ.key == wrap("bb")
+        # The accumulated gap version bounds the stale data in the range.
+        assert succ.max_gap_version >= 2
+
+    def test_real_predecessor_of_first_entry_is_low(self, cluster):
+        self._setup_figure10(cluster)
+        suite = cluster.suite
+        set_quorums(cluster, read=["A", "B"], write=["A", "B"])
+        txn = suite.txn_manager.begin()
+        pred = suite._real_neighbor(txn, wrap("a"), "pred")
+        suite.txn_manager.abort(txn)
+        assert pred.key is LOW or pred.key.is_low

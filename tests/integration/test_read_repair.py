@@ -1,0 +1,111 @@
+"""Integration tests for the read-repair extension."""
+
+import random
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.keys import wrap
+from tests.integration.test_paper_figures import FixedQuorumPolicy
+
+
+class TestReadRepair:
+    def test_repair_copies_entry_to_stale_member(self):
+        cluster = DirectoryCluster.create("3-2-2", seed=1, read_repair=True)
+        suite = cluster.suite
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
+        suite.insert("k", "v")  # C never saw it
+        assert not cluster.representative("C").contains(wrap("k"))
+        # A lookup whose read quorum includes C repairs it.
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "C"])
+        assert suite.lookup("k") == (True, "v")
+        assert cluster.representative("C").contains(wrap("k"))
+        assert suite.repairs_performed == 1
+
+    def test_repair_preserves_version(self):
+        # Repair copies current data at its current version — it must not
+        # invent a higher one.
+        cluster = DirectoryCluster.create("3-2-2", seed=2, read_repair=True)
+        suite = cluster.suite
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
+        suite.insert("k", "v")
+        version_on_a = cluster.representative("A").store.lookup(wrap("k")).version
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "C"])
+        suite.lookup("k")
+        assert (
+            cluster.representative("C").store.lookup(wrap("k")).version
+            == version_on_a
+        )
+
+    def test_no_repair_when_disabled(self):
+        cluster = DirectoryCluster.create("3-2-2", seed=3, read_repair=False)
+        suite = cluster.suite
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
+        suite.insert("k", "v")
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "C"])
+        suite.lookup("k")
+        assert not cluster.representative("C").contains(wrap("k"))
+        assert suite.repairs_performed == 0
+
+    def test_repair_does_not_resurrect_deleted_keys(self):
+        # A ghost's reply loses the vote; repair must not copy the ghost.
+        cluster = DirectoryCluster.create("3-2-2", seed=4, read_repair=True)
+        suite = cluster.suite
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
+        suite.insert("k", "v")
+        suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["B", "C"])
+        suite.delete("k")  # ghost remains on A
+        for quorum in (["A", "B"], ["A", "C"], ["B", "C"]):
+            suite.quorum_policy = FixedQuorumPolicy(read=quorum)
+            assert suite.lookup("k") == (False, None)
+        # The ghost on A was never "repaired" onto anyone.
+        assert not cluster.representative("B").contains(wrap("k"))
+
+    def test_repair_with_model_check(self):
+        from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
+
+        cluster = DirectoryCluster.create("3-2-2", seed=5, read_repair=True)
+        suite = cluster.suite
+        model = {}
+        rng = random.Random(6)
+        for i in range(500):
+            k = rng.randint(0, 30)
+            if k in model and rng.random() < 0.5:
+                suite.delete(k)
+                del model[k]
+            elif k not in model:
+                suite.insert(k, i)
+                model[k] = i
+            else:
+                suite.update(k, i)
+                model[k] = i
+            if rng.random() < 0.3:
+                probe = rng.randint(0, 30)
+                present, value = suite.lookup(probe)
+                assert present == (probe in model)
+        assert suite.authoritative_state() == model
+        cluster.check_invariants()
+
+    def test_repair_raises_copy_density(self):
+        from repro.sim.driver import SimulationSpec, run_simulation
+
+        base = run_simulation(
+            SimulationSpec(
+                config="3-2-2", directory_size=80, operations=1500, seed=7
+            )
+        )
+        repaired = run_simulation(
+            SimulationSpec(
+                config="3-2-2",
+                directory_size=80,
+                operations=1500,
+                seed=7,
+                read_repair=True,
+            )
+        )
+        # Repair spreads entries to more replicas, so deletes find their
+        # real predecessor/successor already present more often.
+        assert (
+            repaired.delete_stats.insertions_while_coalescing.avg
+            < base.delete_stats.insertions_while_coalescing.avg
+        )

@@ -1,0 +1,137 @@
+"""Integration tests pinning the suite's user-visible semantics."""
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    SentinelKeyError,
+)
+from repro.core.keys import HIGH, LOW, wrap
+from repro.core.versions import PAPER_48BIT, VersionOverflowError, VersionSpace
+
+
+class TestDirectorySemantics:
+    def test_insert_existing_rejected(self, cluster322):
+        cluster322.suite.insert("k", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            cluster322.suite.insert("k", 2)
+        # The failed insert changed nothing.
+        assert cluster322.suite.lookup("k") == (True, 1)
+
+    def test_update_missing_rejected(self, cluster322):
+        with pytest.raises(KeyNotPresentError):
+            cluster322.suite.update("ghost", 1)
+
+    def test_delete_missing_rejected(self, cluster322):
+        with pytest.raises(KeyNotPresentError):
+            cluster322.suite.delete("ghost")
+
+    def test_sentinel_keys_rejected(self, cluster322):
+        for sentinel in (LOW, HIGH):
+            with pytest.raises(SentinelKeyError):
+                cluster322.suite.insert(sentinel, 1)
+            with pytest.raises(SentinelKeyError):
+                cluster322.suite.lookup(sentinel)
+            with pytest.raises(SentinelKeyError):
+                cluster322.suite.delete(sentinel)
+
+    def test_reinsert_after_delete(self, cluster322):
+        suite = cluster322.suite
+        suite.insert("k", "first")
+        suite.delete("k")
+        suite.insert("k", "second")
+        assert suite.lookup("k") == (True, "second")
+
+    def test_many_reinsert_cycles_raise_versions(self, cluster322):
+        suite = cluster322.suite
+        for i in range(10):
+            suite.insert("k", i)
+            suite.delete("k")
+        suite.insert("k", "final")
+        assert suite.lookup("k") == (True, "final")
+        # The key's version must exceed 10 (each cycle bumps it twice).
+        txn = suite.txn_manager.begin()
+        reply = suite._suite_lookup(txn, wrap("k"))
+        suite.txn_manager.abort(txn)
+        assert reply.version >= 20
+
+    def test_none_is_a_legal_value(self, cluster322):
+        cluster322.suite.insert("k", None)
+        assert cluster322.suite.lookup("k") == (True, None)
+
+    def test_mixed_comparable_keys(self, cluster322):
+        suite = cluster322.suite
+        for k in (3, 1, 2):
+            suite.insert(k, k * 10)
+        suite.delete(2)
+        assert suite.lookup(1) == (True, 10)
+        assert suite.lookup(2) == (False, None)
+        assert suite.lookup(3) == (True, 30)
+
+    def test_op_counts_track(self, cluster322):
+        suite = cluster322.suite
+        suite.insert("a", 1)
+        suite.lookup("a")
+        suite.update("a", 2)
+        suite.delete("a")
+        counts = suite.op_counts
+        assert (counts.inserts, counts.lookups, counts.updates, counts.deletes) == (
+            1, 1, 1, 1,
+        )
+
+    def test_failed_ops_counted(self, cluster322):
+        with pytest.raises(KeyNotPresentError):
+            cluster322.suite.delete("nope")
+        assert cluster322.suite.op_counts.failed == 1
+
+
+class TestVersionSpaceIntegration:
+    def test_version_overflow_surfaces(self):
+        cluster = DirectoryCluster.create(
+            "3-2-2", seed=2, version_space=VersionSpace(bits=3)
+        )
+        suite = cluster.suite
+        suite.insert("k", 0)
+        with pytest.raises(VersionOverflowError):
+            for i in range(10):  # 3-bit space: versions cap at 7
+                suite.update("k", i)
+
+    def test_48bit_space_practically_unbounded(self):
+        cluster = DirectoryCluster.create(
+            "3-2-2", seed=3, version_space=PAPER_48BIT
+        )
+        suite = cluster.suite
+        suite.insert("k", 0)
+        for i in range(50):
+            suite.update("k", i)
+        assert suite.lookup("k") == (True, 49)
+
+
+class TestTrafficAccounting:
+    def test_lookup_costs_read_quorum_rounds(self, cluster322):
+        suite = cluster322.suite
+        suite.insert("k", 1)
+        cluster322.network.stats.reset()
+        suite.lookup("k")
+        by_method = cluster322.network.stats.by_method
+        lookup_calls = sum(
+            count for method, count in by_method.items() if "rep_lookup" in method
+        )
+        assert lookup_calls == 2  # R = 2
+
+    def test_insert_costs_read_plus_write_quorum(self, cluster322):
+        suite = cluster322.suite
+        cluster322.network.stats.reset()
+        suite.insert("k", 1)
+        by_method = cluster322.network.stats.by_method
+        inserts = sum(
+            count for m, count in by_method.items() if "rep_insert" in m
+        )
+        assert inserts == 2  # W = 2
+
+    def test_clock_advances_with_traffic(self, cluster322):
+        before = cluster322.network.clock.now()
+        cluster322.suite.insert("k", 1)
+        assert cluster322.network.clock.now() > before

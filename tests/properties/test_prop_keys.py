@@ -1,0 +1,89 @@
+"""Property-based tests for the key model and range algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import HIGH, LOW, BoundedKey, KeyRange, wrap
+
+payloads = st.integers(min_value=-1000, max_value=1000)
+keys = st.one_of(
+    st.just(LOW),
+    st.just(HIGH),
+    payloads.map(wrap),
+)
+
+
+def ordered_pair(a: BoundedKey, b: BoundedKey) -> tuple[BoundedKey, BoundedKey]:
+    return (a, b) if a <= b else (b, a)
+
+
+ranges = st.tuples(keys, keys).map(lambda ab: KeyRange(*ordered_pair(*ab)))
+
+
+class TestKeyOrderProperties:
+    @given(payloads, payloads)
+    def test_order_agrees_with_payload_order(self, a, b):
+        assert (wrap(a) < wrap(b)) == (a < b)
+
+    @given(keys)
+    def test_sentinels_bound_everything(self, k):
+        assert LOW <= k <= HIGH
+
+    @given(keys, keys)
+    def test_total_order_trichotomy(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(keys, keys, keys)
+    def test_transitivity(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(payloads)
+    def test_wrap_unwrap_roundtrip(self, p):
+        from repro.core.keys import unwrap
+
+        assert unwrap(wrap(p)) == p
+
+
+class TestRangeProperties:
+    @given(ranges, ranges)
+    def test_intersects_symmetric(self, r1, r2):
+        assert r1.intersects(r2) == r2.intersects(r1)
+
+    @given(ranges)
+    def test_range_intersects_itself(self, r):
+        assert r.intersects(r)
+
+    @given(ranges, ranges)
+    def test_intersection_witness(self, r1, r2):
+        """If two ranges intersect, a common key exists (and vice versa)."""
+        lo = max(r1.low, r2.low)
+        hi = min(r1.high, r2.high)
+        assert r1.intersects(r2) == (lo <= hi)
+        if r1.intersects(r2):
+            assert r1.contains(lo) and r2.contains(lo)
+
+    @given(ranges, ranges)
+    def test_covers_implies_intersects(self, r1, r2):
+        if r1.covers(r2):
+            assert r1.intersects(r2)
+
+    @given(ranges, ranges)
+    def test_hull_covers_both(self, r1, r2):
+        h = r1.union_hull(r2)
+        assert h.covers(r1) and h.covers(r2)
+
+    @given(ranges, keys)
+    def test_contains_strictly_implies_contains(self, r, k):
+        if r.contains_strictly(k):
+            assert r.contains(k)
+
+    @given(keys)
+    def test_point_range_contains_only_its_key(self, k):
+        r = KeyRange.point(k)
+        assert r.contains(k)
+        assert not r.contains_strictly(k)
+
+    @given(ranges)
+    def test_full_range_covers_all(self, r):
+        assert KeyRange.full().covers(r)

@@ -1,0 +1,91 @@
+"""Property tests for the lock table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import KeyRange, wrap
+from repro.txn.locks import LockMode, LockTable, conflicts
+
+modes = st.sampled_from([LockMode.REP_LOOKUP, LockMode.REP_MODIFY])
+bounds = st.integers(min_value=0, max_value=30)
+ranges = st.tuples(bounds, bounds).map(
+    lambda ab: KeyRange(wrap(min(ab)), wrap(max(ab)))
+)
+
+
+class TestConflictRelation:
+    @given(modes, ranges, modes, ranges)
+    def test_symmetric(self, ma, ra, mb, rb):
+        assert conflicts(ma, ra, mb, rb) == conflicts(mb, rb, ma, ra)
+
+    @given(ranges, ranges)
+    def test_lookup_never_conflicts_with_lookup(self, ra, rb):
+        assert not conflicts(LockMode.REP_LOOKUP, ra, LockMode.REP_LOOKUP, rb)
+
+    @given(modes, ranges, modes, ranges)
+    def test_disjoint_never_conflicts(self, ma, ra, mb, rb):
+        if not ra.intersects(rb):
+            assert not conflicts(ma, ra, mb, rb)
+
+    @given(ranges, ranges)
+    def test_modify_conflicts_iff_intersecting(self, ra, rb):
+        assert conflicts(LockMode.REP_MODIFY, ra, LockMode.REP_MODIFY, rb) == (
+            ra.intersects(rb)
+        )
+
+
+# One random lock-request trace; the table must uphold its invariants.
+request_traces = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5), modes, ranges),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestTableInvariants:
+    @given(request_traces)
+    @settings(max_examples=100, deadline=None)
+    def test_held_locks_never_mutually_conflict(self, trace):
+        table = LockTable()
+        for txn_id, mode, key_range in trace:
+            table.acquire(txn_id, mode, key_range)
+        held = table.all_held()
+        for i, a in enumerate(held):
+            for b in held[i + 1 :]:
+                if a.txn_id != b.txn_id:
+                    assert not conflicts(a.mode, a.key_range, b.mode, b.key_range)
+
+    @given(request_traces)
+    @settings(max_examples=100, deadline=None)
+    def test_release_everything_leaves_table_idle(self, trace):
+        table = LockTable()
+        for txn_id, mode, key_range in trace:
+            table.acquire(txn_id, mode, key_range)
+        for txn_id in {t for t, _, _ in trace}:
+            table.release_all(txn_id)
+        assert table.is_idle()
+
+    @given(request_traces)
+    @settings(max_examples=100, deadline=None)
+    def test_waiters_conflict_with_someone(self, trace):
+        table = LockTable()
+        for txn_id, mode, key_range in trace:
+            table.acquire(txn_id, mode, key_range)
+        # Every queued request must have at least one blocker edge.
+        waiting = {r.txn_id for r in table.waiting_requests()}
+        edge_waiters = {w for w, _ in table.waits_for_edges()}
+        assert waiting == edge_waiters
+
+    @given(request_traces)
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_release_eventually_grants_everyone(self, trace):
+        table = LockTable()
+        pending = {}
+        for txn_id, mode, key_range in trace:
+            result = table.acquire(txn_id, mode, key_range)
+            pending.setdefault(txn_id, 0)
+        # Release transactions one at a time (in id order); everything
+        # queued must eventually be granted or dropped with its owner.
+        for txn_id in sorted(pending):
+            table.release_all(txn_id)
+        assert table.is_idle()

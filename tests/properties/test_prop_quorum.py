@@ -1,0 +1,99 @@
+"""Property tests: quorum intersection for arbitrary vote assignments.
+
+The algorithm's obligation (Q): any read quorum shares a voting
+representative with any write quorum, and any two write quorums share
+one.  Tested for arbitrary generated vote assignments and quorum sizes
+that pass configuration validation, with quorums selected by the actual
+policies.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SuiteConfig
+from repro.core.errors import ConfigurationError
+from repro.core.quorum import RandomQuorumPolicy, StickyQuorumPolicy
+
+
+@st.composite
+def configs(draw):
+    """Arbitrary valid SuiteConfig (weighted votes allowed)."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    votes = {
+        f"R{i}": draw(st.integers(min_value=0, max_value=3)) for i in range(n)
+    }
+    total = sum(votes.values())
+    assume(total > 0)
+    r = draw(st.integers(min_value=1, max_value=total))
+    w = draw(st.integers(min_value=1, max_value=total))
+    try:
+        return SuiteConfig(votes=votes, read_quorum=r, write_quorum=w)
+    except ConfigurationError:
+        assume(False)
+
+
+@st.composite
+def configs_and_seed(draw):
+    return draw(configs()), draw(st.integers(min_value=0, max_value=2**16))
+
+
+class TestQuorumIntersection:
+    @given(configs_and_seed())
+    @settings(max_examples=200, deadline=None)
+    def test_read_intersects_write(self, config_seed):
+        config, seed = config_seed
+        policy = RandomQuorumPolicy()
+        rng = random.Random(seed)
+        available = list(config.names)
+        read = policy.select("read", available, config, rng)
+        write = policy.select("write", available, config, rng)
+        shared = set(read) & set(write)
+        assert any(config.votes[n] > 0 for n in shared)
+
+    @given(configs_and_seed())
+    @settings(max_examples=200, deadline=None)
+    def test_two_writes_intersect(self, config_seed):
+        config, seed = config_seed
+        policy = RandomQuorumPolicy()
+        rng = random.Random(seed)
+        available = list(config.names)
+        w1 = policy.select("write", available, config, rng)
+        w2 = policy.select("write", available, config, rng)
+        shared = set(w1) & set(w2)
+        assert any(config.votes[n] > 0 for n in shared)
+
+    @given(configs_and_seed())
+    @settings(max_examples=100, deadline=None)
+    def test_quorums_carry_enough_votes(self, config_seed):
+        config, seed = config_seed
+        policy = StickyQuorumPolicy(switch_prob=0.5)
+        rng = random.Random(seed)
+        available = list(config.names)
+        for _ in range(4):
+            read = policy.select("read", available, config, rng)
+            write = policy.select("write", available, config, rng)
+            assert sum(config.votes[n] for n in read) >= config.read_quorum
+            assert sum(config.votes[n] for n in write) >= config.write_quorum
+
+    @given(configs_and_seed())
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_even_with_subset_available(self, config_seed):
+        # Whatever subset of representatives is reachable, quorums the
+        # policy manages to form still intersect (they carry full votes).
+        from repro.core.errors import QuorumUnavailableError
+
+        config, seed = config_seed
+        rng = random.Random(seed)
+        names = list(config.names)
+        rng.shuffle(names)
+        available = names[: max(1, len(names) - 1)]
+        policy = RandomQuorumPolicy()
+        try:
+            read = policy.select("read", available, config, rng)
+            write = policy.select("write", available, config, rng)
+        except QuorumUnavailableError:
+            return  # legitimately unavailable; nothing to check
+        shared = set(read) & set(write)
+        assert any(config.votes[n] > 0 for n in shared)

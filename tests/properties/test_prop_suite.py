@@ -1,0 +1,128 @@
+"""Stateful property test: the replicated directory vs a plain dict.
+
+The central correctness claim of the paper — the replicated directory has
+"semantics ... typical of directories that are stored on a single site" —
+as a hypothesis state machine: arbitrary interleavings of insert, update,
+delete, lookup, crash, and recover must behave exactly like a dict as long
+as quorums remain available (the machine keeps at most one node down, so
+a 3-2-2 suite never loses quorum).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.cluster import DirectoryCluster
+from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
+
+key_payloads = st.integers(min_value=0, max_value=25)
+
+
+class SuiteVsDict(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = DirectoryCluster.create("3-2-2", seed=77)
+        self.suite = self.cluster.suite
+        self.model: dict[int, int] = {}
+        self.counter = 0
+        self.down: str | None = None
+
+    @rule(k=key_payloads)
+    def insert(self, k):
+        self.counter += 1
+        if k in self.model:
+            try:
+                self.suite.insert(k, self.counter)
+                raise AssertionError("expected KeyAlreadyPresentError")
+            except KeyAlreadyPresentError:
+                pass
+        else:
+            self.suite.insert(k, self.counter)
+            self.model[k] = self.counter
+
+    @rule(k=key_payloads)
+    def update(self, k):
+        self.counter += 1
+        if k in self.model:
+            self.suite.update(k, self.counter)
+            self.model[k] = self.counter
+        else:
+            try:
+                self.suite.update(k, self.counter)
+                raise AssertionError("expected KeyNotPresentError")
+            except KeyNotPresentError:
+                pass
+
+    @rule(k=key_payloads)
+    def delete(self, k):
+        if k in self.model:
+            self.suite.delete(k)
+            del self.model[k]
+        else:
+            try:
+                self.suite.delete(k)
+                raise AssertionError("expected KeyNotPresentError")
+            except KeyNotPresentError:
+                pass
+
+    @rule(k=key_payloads)
+    def lookup(self, k):
+        present, value = self.suite.lookup(k)
+        assert present == (k in self.model)
+        if present:
+            assert value == self.model[k]
+
+    @precondition(lambda self: self.down is None)
+    @rule(which=st.sampled_from(["A", "B", "C"]))
+    def crash_one(self, which):
+        self.cluster.crash(which)
+        self.down = which
+
+    @precondition(lambda self: self.down is not None)
+    @rule()
+    def recover(self):
+        self.cluster.recover(self.down)
+        self.down = None
+
+    @invariant()
+    def replica_structures_valid(self):
+        for name, rep in self.cluster.representatives.items():
+            if name != self.down:
+                rep.store.check_invariants()
+
+    def teardown(self):
+        if self.down is not None:
+            self.cluster.recover(self.down)
+        assert self.suite.authoritative_state() == self.model
+
+
+SuiteVsDictTest = SuiteVsDict.TestCase
+SuiteVsDictTest.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+class SuiteVsDictExtensions(SuiteVsDict):
+    """The same machine with every optional feature switched on.
+
+    Read repair, batched neighbor searches, and the B-tree store must all
+    be behavior-preserving; running the dict-equivalence machine over the
+    feature-complete configuration pins that.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.cluster = DirectoryCluster.create(
+            "3-2-2",
+            seed=78,
+            store="btree",
+            read_repair=True,
+            neighbor_batch_size=3,
+        )
+        self.suite = self.cluster.suite
+
+
+SuiteVsDictExtensionsTest = SuiteVsDictExtensions.TestCase
+SuiteVsDictExtensionsTest.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,58 @@
+"""Unit tests for the analytic delete-overhead model."""
+
+import pytest
+
+from repro.core.config import SuiteConfig
+from repro.sim.analytic import predict, predict_xyz
+
+
+class TestModelShape:
+    def test_322_prediction_near_paper(self):
+        p = predict_xyz("3-2-2", directory_size=100)
+        # Paper simulation: 1.33 / 0.88 / 0.44.  "Similar results."
+        assert p.entries_in_ranges_coalesced == pytest.approx(1.33, abs=0.25)
+        assert p.deletions_while_coalescing == pytest.approx(0.88, abs=0.25)
+        assert p.insertions_while_coalescing == pytest.approx(0.44, abs=0.15)
+
+    def test_statistics_independent_of_directory_size(self):
+        # Figure 15's observation: the statistics "do not vary
+        # significantly with directory size" — the model predicts exact
+        # independence.
+        small = predict_xyz("3-2-2", directory_size=100)
+        large = predict_xyz("3-2-2", directory_size=10_000)
+        assert small.entries_in_ranges_coalesced == pytest.approx(
+            large.entries_in_ranges_coalesced
+        )
+        assert small.deletions_while_coalescing == pytest.approx(
+            large.deletions_while_coalescing
+        )
+
+    def test_ghost_count_scales_with_size(self):
+        small = predict_xyz("3-2-2", directory_size=100)
+        large = predict_xyz("3-2-2", directory_size=1000)
+        assert large.ghosts_per_replica == pytest.approx(
+            10 * small.ghosts_per_replica
+        )
+
+    def test_write_all_has_no_ghosts(self):
+        p = predict(SuiteConfig.uniform(3, 1, 3))
+        assert p.ghosts_per_replica == 0.0
+        assert p.deletions_while_coalescing == 0.0
+
+    def test_single_replica_trivial(self):
+        p = predict_xyz("1-1-1")
+        assert p.copy_density == pytest.approx(1.0)
+        assert p.ghosts_per_replica == 0.0
+        assert p.insertions_while_coalescing == pytest.approx(0.0)
+
+    def test_more_replicas_more_overhead(self):
+        small = predict_xyz("3-2-2")
+        large = predict_xyz("5-3-3")
+        assert (
+            large.deletions_while_coalescing > small.deletions_while_coalescing
+        )
+
+    def test_copy_density_bounded(self):
+        for spec in ("1-1-1", "3-2-2", "5-3-3", "4-2-3", "7-4-4"):
+            p = predict_xyz(spec)
+            assert 0.0 < p.copy_density <= 1.0

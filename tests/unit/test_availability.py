@@ -1,0 +1,103 @@
+"""Unit tests for exact quorum-availability analysis.
+
+Expected values are computed independently (binomial closed forms) so the
+subset-enumeration code is checked against a second method.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import SuiteConfig
+from repro.sim.availability import (
+    analyze,
+    best_tradeoff_example,
+    quorum_availability,
+    sweep,
+)
+
+
+def binomial_at_least(n, k, p):
+    """P(at least k of n independent p-up nodes are up)."""
+    return sum(
+        math.comb(n, i) * p**i * (1 - p) ** (n - i) for i in range(k, n + 1)
+    )
+
+
+class TestQuorumAvailability:
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.99])
+    def test_uniform_votes_match_binomial(self, p):
+        config = SuiteConfig.from_xyz("5-3-3")
+        got = quorum_availability(config, p, 3)
+        assert got == pytest.approx(binomial_at_least(5, 3, p))
+
+    def test_single_replica(self):
+        config = SuiteConfig.from_xyz("1-1-1")
+        assert quorum_availability(config, 0.9, 1) == pytest.approx(0.9)
+
+    def test_write_all_needs_everyone(self):
+        config = SuiteConfig.unanimous(4)
+        assert quorum_availability(config, 0.9, 4) == pytest.approx(0.9**4)
+
+    def test_perfect_nodes(self):
+        config = SuiteConfig.from_xyz("3-2-2")
+        assert quorum_availability(config, 1.0, 2) == pytest.approx(1.0)
+
+    def test_dead_nodes(self):
+        config = SuiteConfig.from_xyz("3-2-2")
+        assert quorum_availability(config, 0.0, 2) == pytest.approx(0.0)
+
+    def test_per_node_probabilities(self):
+        config = SuiteConfig.from_xyz("2-1-2")
+        # A up w.p. 1.0, B w.p. 0.5: write quorum (both) available 0.5.
+        got = quorum_availability(config, {"A": 1.0, "B": 0.5}, 2)
+        assert got == pytest.approx(0.5)
+
+    def test_weighted_votes(self):
+        config = SuiteConfig(
+            votes={"big": 2, "small": 1}, read_quorum=2, write_quorum=2
+        )
+        # Quorum of 2 votes needs the big replica up (small alone has 1).
+        got = quorum_availability(config, 0.9, 2)
+        assert got == pytest.approx(0.9)
+
+
+class TestAnalyze:
+    def test_majority_beats_unanimous_writes(self):
+        p = 0.9
+        unanimous = analyze(SuiteConfig.unanimous(5), p)
+        majority = analyze(SuiteConfig.uniform(5, 3, 3), p)
+        assert majority.write_availability > unanimous.write_availability
+        # And unanimous reads are the easiest possible.
+        assert unanimous.read_availability > majority.read_availability
+
+    def test_naive_delete_availability_strictly_worse(self):
+        # Needing R+1 live votes is strictly harder than R for p < 1.
+        point = analyze(SuiteConfig.from_xyz("3-2-2"), 0.9)
+        assert point.naive_delete_availability < point.write_availability
+
+    def test_known_322_values(self):
+        point = analyze(SuiteConfig.from_xyz("3-2-2"), 0.9)
+        expected_rw = binomial_at_least(3, 2, 0.9)
+        assert point.read_availability == pytest.approx(expected_rw)
+        assert point.write_availability == pytest.approx(expected_rw)
+        assert point.naive_delete_availability == pytest.approx(0.9**3)
+
+    def test_sweep_size(self):
+        configs = [SuiteConfig.from_xyz("3-2-2"), SuiteConfig.unanimous(3)]
+        points = sweep(configs, [0.5, 0.9])
+        assert len(points) == 4
+
+    def test_best_tradeoff_example_shapes(self):
+        table = best_tradeoff_example()
+        assert len(table) == 4
+        for points in table.values():
+            assert len(points) == 5
+
+    def test_paper_motivating_gap(self):
+        # Five replicas at 90% node availability: unanimous writes vs
+        # majority writes differ by ~40 percentage points.
+        unanimous = analyze(SuiteConfig.unanimous(5), 0.9)
+        majority = analyze(SuiteConfig.uniform(5, 3, 3), 0.9)
+        assert unanimous.write_availability == pytest.approx(0.59049)
+        assert majority.write_availability > 0.99

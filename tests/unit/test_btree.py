@@ -1,0 +1,187 @@
+"""Structural tests specific to the B-tree store.
+
+Semantics shared with SortedStore are covered by test_sorted_store.py's
+parameterized fixture; these tests exercise the tree mechanics — splits,
+borrows, merges, root shrink, bulk restore — and verify structure after
+every phase via ``check_invariants``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.keys import wrap
+from repro.storage.btree import BTreeStore, _Internal, _Leaf
+from repro.storage.sorted_store import SortedStore
+
+
+def tree_height(store: BTreeStore) -> int:
+    node = store._root
+    height = 0
+    while isinstance(node, _Internal):
+        node = node.children[0]
+        height += 1
+    return height
+
+
+class TestConstruction:
+    def test_minimum_order_enforced(self):
+        with pytest.raises(ValueError):
+            BTreeStore(order=3)
+
+    def test_small_order_accepted(self):
+        BTreeStore(order=4).check_invariants()
+
+    def test_initial_gap_version(self):
+        store = BTreeStore(initial_gap_version=7)
+        assert store.lookup(wrap("x")).version == 7
+
+
+class TestGrowth:
+    def test_splits_increase_height(self):
+        store = BTreeStore(order=4)
+        assert tree_height(store) == 0
+        for i in range(50):
+            store.insert(wrap(i), 1, i)
+            store.check_invariants()
+        assert tree_height(store) >= 2
+        assert store.entry_count() == 50
+
+    def test_ascending_and_descending_inserts(self):
+        for keys in (range(100), range(100, 0, -1)):
+            store = BTreeStore(order=4)
+            for k in keys:
+                store.insert(wrap(k), 1, k)
+            store.check_invariants()
+            payloads = [e.key.payload for e in store.user_entries()]
+            assert payloads == sorted(payloads)
+
+    def test_iteration_order_after_splits(self):
+        store = BTreeStore(order=4)
+        keys = list(range(200))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            store.insert(wrap(k), 1, k)
+        assert [e.key.payload for e in store.user_entries()] == list(range(200))
+
+
+class TestShrink:
+    def test_coalesce_everything_shrinks_to_leaf_root(self):
+        store = BTreeStore(order=4)
+        for i in range(100):
+            store.insert(wrap(i), 1, i)
+        from repro.core.keys import HIGH, LOW
+
+        store.coalesce(LOW, HIGH, 5)
+        store.check_invariants()
+        assert store.entry_count() == 0
+        assert tree_height(store) == 0
+
+    def test_interleaved_insert_delete_rebalances(self):
+        store = BTreeStore(order=4)
+        rng = random.Random(11)
+        present = set()
+        for i in range(2000):
+            k = rng.randint(0, 300)
+            if k in present and rng.random() < 0.5:
+                store.remove_entry(wrap(k), i)
+                present.remove(k)
+            elif k not in present:
+                store.insert(wrap(k), i, k)
+                present.add(k)
+            if i % 50 == 0:
+                store.check_invariants()
+        store.check_invariants()
+        assert store.entry_count() == len(present)
+
+    def test_height_decreases_after_mass_removal(self):
+        store = BTreeStore(order=4)
+        for i in range(300):
+            store.insert(wrap(i), 1, i)
+        tall = tree_height(store)
+        for i in range(1, 300):
+            store.remove_entry(wrap(i), 2)
+        store.check_invariants()
+        assert tree_height(store) < tall
+
+
+class TestBulkRestore:
+    @pytest.mark.parametrize("n", [0, 1, 15, 16, 17, 100, 257])
+    def test_restore_sizes(self, n):
+        source = SortedStore()
+        for i in range(n):
+            source.insert(wrap(i), 1, i)
+        store = BTreeStore(order=16)
+        store.restore(source.snapshot())
+        store.check_invariants()
+        assert store.snapshot() == source.snapshot()
+
+    def test_restore_preserves_gap_versions(self):
+        source = SortedStore()
+        for i in range(20):
+            source.insert(wrap(i), 1, i)
+        source.coalesce(wrap(3), wrap(9), 42)
+        store = BTreeStore(order=4)
+        store.restore(source.snapshot())
+        assert store.lookup(wrap(5)).version == 42
+
+    def test_restore_then_mutate(self):
+        source = SortedStore()
+        for i in range(64):
+            source.insert(wrap(i), 1, i)
+        store = BTreeStore(order=8)
+        store.restore(source.snapshot())
+        for i in range(64, 128):
+            store.insert(wrap(i), 1, i)
+        store.check_invariants()
+        assert store.entry_count() == 128
+
+
+class TestGapFieldPlacement:
+    def test_gap_stored_with_bounding_entry(self):
+        # Section 5: "Version numbers for gaps could be stored in fields
+        # in their bounding entries" — verify the leaf layout does that.
+        store = BTreeStore(order=4)
+        store.insert(wrap("a"), 1, "A")
+        store.insert(wrap("c"), 1, "C")
+        store.coalesce(wrap("a"), wrap("c"), 9)
+        leaf, idx = store._floor_position(wrap("a"))
+        assert isinstance(leaf, _Leaf)
+        assert leaf.gaps[idx] == 9
+
+    def test_gap_travels_with_entry_across_splits(self):
+        store = BTreeStore(order=4)
+        for i in range(0, 40, 2):
+            store.insert(wrap(i), 1, i)
+        store.coalesce(wrap(10), wrap(12), 77)
+        for i in range(40, 120, 2):  # force many splits
+            store.insert(wrap(i), 1, i)
+        assert store.lookup(wrap(11)).version == 77
+
+
+class TestDifferential:
+    def test_random_ops_match_sorted_store(self):
+        rng = random.Random(99)
+        a, b = SortedStore(), BTreeStore(order=4)
+        for i in range(4000):
+            op = rng.random()
+            k = wrap(rng.randint(0, 150))
+            if op < 0.55:
+                assert a.insert(k, i, i) == b.insert(k, i, i)
+            elif op < 0.75:
+                entries = [e.key for e in a.iter_entries()]
+                ia = rng.randrange(len(entries) - 1)
+                ib = rng.randrange(ia + 1, len(entries))
+                ra = a.coalesce(entries[ia], entries[ib], i)
+                rb = b.coalesce(entries[ia], entries[ib], i)
+                assert ra == rb
+            elif op < 0.9:
+                assert a.lookup(k) == b.lookup(k)
+                if not k.is_low:
+                    assert a.predecessor(k) == b.predecessor(k)
+                if not k.is_high:
+                    assert a.successor(k) == b.successor(k)
+            elif a.contains(k) and not k.is_sentinel:
+                assert a.remove_entry(k, i) == b.remove_entry(k, i)
+            assert a.snapshot() == b.snapshot()
+        b.check_invariants()

@@ -1,0 +1,92 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        code, out = run_cli(capsys, "demo", "--seed", "3")
+        assert code == 0
+        assert "lookup(alice)" in out
+        assert "recovered" in out
+
+    def test_simulate_small(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "simulate", "--config", "3-2-2", "--size", "30",
+            "--ops", "300", "--seed", "1",
+        )
+        assert code == 0
+        assert "entries_in_ranges_coalesced" in out
+        assert "RPC rounds" in out
+
+    def test_simulate_with_btree_and_repair(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "20", "--ops", "200",
+            "--store", "btree", "--read-repair", "--batch", "3",
+        )
+        assert code == 0
+
+    def test_figure14_reduced(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "figure14", "--configs", "1-1-1,3-2-2",
+            "--size", "30", "--ops", "300",
+        )
+        assert code == 0
+        assert "3-2-2" in out
+        assert "Entries in ranges coalesced" in out
+
+    def test_figure15_reduced(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "figure15", "--sizes", "30,60", "--ops", "400",
+        )
+        assert code == 0
+        assert "30 entries" in out and "60 entries" in out
+        assert "Std Dev" in out
+
+    def test_availability(self, capsys):
+        code, out = run_cli(capsys, "availability", "--p", "0.9")
+        assert code == 0
+        assert "5 unanimous" in out
+        assert "0.5905" in out  # 0.9^5
+
+    def test_concurrency(self, capsys):
+        code, out = run_cli(
+            capsys, "concurrency", "--txns", "100", "--clients", "4"
+        )
+        assert code == 0
+        assert "whole" in out and "range" in out
+
+    def test_analytic(self, capsys):
+        code, out = run_cli(capsys, "analytic", "--configs", "3-2-2")
+        assert code == 0
+        assert "1.200" in out
+
+    def test_plan(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "--replicas", "5", "--p", "0.9"
+        )
+        assert code == 0
+        assert "most available: 5-3-3" in out
+        assert "accesses/op" in out

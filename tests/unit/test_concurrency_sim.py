@@ -1,0 +1,107 @@
+"""Unit tests for the closed-loop lock-contention simulator."""
+
+import pytest
+
+from repro.sim.concurrency import (
+    ConcurrencySpec,
+    LockContentionSimulator,
+    compare_granularities,
+)
+
+
+def run(granularity, **overrides):
+    spec = ConcurrencySpec(granularity=granularity, **overrides)
+    return LockContentionSimulator(spec).run()
+
+
+class TestBasics:
+    def test_all_transactions_commit(self):
+        for granularity in ("range", "static", "whole"):
+            result = run(
+                granularity, n_transactions=100, concurrency_level=4, seed=1
+            )
+            assert result.committed == 100
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            LockContentionSimulator(ConcurrencySpec(granularity="nonsense"))
+
+    def test_bad_concurrency_level_rejected(self):
+        with pytest.raises(ValueError):
+            LockContentionSimulator(ConcurrencySpec(concurrency_level=0))
+
+    def test_deterministic_given_seed(self):
+        a = run("range", n_transactions=80, concurrency_level=6, seed=3)
+        b = run("range", n_transactions=80, concurrency_level=6, seed=3)
+        assert a.makespan == b.makespan
+        assert a.total_latency == b.total_latency
+        assert a.aborted_restarts == b.aborted_restarts
+
+    def test_metrics_sane(self):
+        result = run("range", n_transactions=50, concurrency_level=4, seed=4)
+        assert result.makespan > 0
+        assert result.throughput > 0
+        assert result.mean_latency > 0
+
+    def test_lock_table_empty_at_end(self):
+        spec = ConcurrencySpec(
+            granularity="static", n_transactions=60, concurrency_level=6, seed=5
+        )
+        sim = LockContentionSimulator(spec)
+        sim.run()
+        assert sim.table.is_idle()
+
+
+class TestGranularityOrdering:
+    """The paper's claim: finer version/lock granularity → more concurrency."""
+
+    def _results(self, seed=6):
+        return compare_granularities(
+            ConcurrencySpec(
+                n_transactions=300, concurrency_level=8, seed=seed
+            ),
+            static_partitions=4,
+        )
+
+    def test_range_beats_whole_throughput(self):
+        results = self._results()
+        assert (
+            results["range"].throughput > results["whole"].throughput * 2
+        )
+
+    def test_range_latency_best(self):
+        results = self._results()
+        assert results["range"].mean_latency < results["static"].mean_latency
+        assert results["range"].mean_latency < results["whole"].mean_latency
+
+    def test_whole_granularity_deadlock_storms(self):
+        # Read-point then write-whole upgrades deadlock under contention;
+        # fine-grained locks on the same workload essentially never do.
+        results = self._results()
+        assert results["whole"].aborted_restarts > 100
+        assert results["range"].aborted_restarts < 20
+
+    def test_more_partitions_help_static(self):
+        coarse = run(
+            "static", static_partitions=2, n_transactions=200,
+            concurrency_level=8, seed=7,
+        )
+        fine = run(
+            "static", static_partitions=64, n_transactions=200,
+            concurrency_level=8, seed=7,
+        )
+        assert fine.throughput > coarse.throughput
+
+
+class TestSerialExecution:
+    def test_level_one_equalizes_granularities(self):
+        # One client at a time: no contention, so the granularities are
+        # literally identical (same seed → same plans → same timings).
+        results = compare_granularities(
+            ConcurrencySpec(
+                n_transactions=100, concurrency_level=1, seed=9
+            )
+        )
+        latencies = {round(r.mean_latency, 9) for r in results.values()}
+        assert len(latencies) == 1
+        assert all(r.aborted_restarts == 0 for r in results.values())

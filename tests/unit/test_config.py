@@ -1,0 +1,111 @@
+"""Unit tests for suite configuration and quorum constraints."""
+
+import pytest
+
+from repro.core.config import SuiteConfig, _rep_name
+from repro.core.errors import ConfigurationError
+
+
+class TestQuorumConstraints:
+    def test_valid_322(self):
+        config = SuiteConfig.from_xyz("3-2-2")
+        assert config.total_votes == 3
+        assert config.read_quorum == 2 and config.write_quorum == 2
+
+    def test_read_write_must_intersect(self):
+        # R + W <= total violates quorum intersection.
+        with pytest.raises(ConfigurationError):
+            SuiteConfig.uniform(3, read_quorum=1, write_quorum=2)
+
+    def test_write_quorums_must_mutually_intersect(self):
+        # 2W <= total lets two writers miss each other.
+        with pytest.raises(ConfigurationError):
+            SuiteConfig.uniform(4, read_quorum=3, write_quorum=2)
+
+    def test_zero_quorum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SuiteConfig(votes={"A": 1}, read_quorum=0, write_quorum=1)
+
+    def test_oversized_quorum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SuiteConfig(votes={"A": 1}, read_quorum=2, write_quorum=1)
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SuiteConfig(votes={"A": -1, "B": 3}, read_quorum=1, write_quorum=2)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SuiteConfig(votes={}, read_quorum=1, write_quorum=1)
+
+    def test_zero_vote_hint_replica_allowed(self):
+        config = SuiteConfig(
+            votes={"A": 1, "B": 1, "C": 1, "HINT": 0},
+            read_quorum=2,
+            write_quorum=2,
+        )
+        assert config.total_votes == 3
+        assert "HINT" in config.names
+        assert "HINT" not in config.voting_names()
+
+
+class TestConstructors:
+    def test_from_xyz(self):
+        config = SuiteConfig.from_xyz("5-3-3")
+        assert config.names == ("A", "B", "C", "D", "E")
+        assert all(v == 1 for v in config.votes.values())
+
+    def test_from_xyz_bad_spec(self):
+        for bad in ("3-2", "a-b-c", "3-2-2-2", ""):
+            with pytest.raises(ConfigurationError):
+                SuiteConfig.from_xyz(bad)
+
+    def test_unanimous(self):
+        config = SuiteConfig.unanimous(4)
+        assert config.read_quorum == 1
+        assert config.write_quorum == 4
+
+    def test_weighted_votes(self):
+        config = SuiteConfig(
+            votes={"big": 3, "small1": 1, "small2": 1},
+            read_quorum=3,
+            write_quorum=3,
+        )
+        assert config.total_votes == 5
+        # A single big replica can carry a whole quorum.
+        assert config.min_reps_for(3) == 1
+
+    def test_min_reps_for_uniform(self):
+        config = SuiteConfig.from_xyz("5-3-3")
+        assert config.min_reps_for(3) == 3
+
+    def test_min_reps_for_unreachable(self):
+        config = SuiteConfig.from_xyz("3-2-2")
+        with pytest.raises(ConfigurationError):
+            config.min_reps_for(4)
+
+
+class TestSpecRendering:
+    def test_uniform_spec_roundtrip(self):
+        assert SuiteConfig.from_xyz("4-2-3").spec() == "4-2-3"
+
+    def test_weighted_spec_long_form(self):
+        config = SuiteConfig(
+            votes={"A": 2, "B": 1}, read_quorum=2, write_quorum=2
+        )
+        assert "A:2" in config.spec()
+        assert "R=2" in config.spec()
+
+
+class TestRepNames:
+    def test_first_names(self):
+        assert [_rep_name(i) for i in range(4)] == ["A", "B", "C", "D"]
+
+    def test_names_past_z(self):
+        assert _rep_name(25) == "Z"
+        assert _rep_name(26) == "AA"
+        assert _rep_name(27) == "AB"
+
+    def test_large_suite_names_unique(self):
+        names = [_rep_name(i) for i in range(100)]
+        assert len(set(names)) == 100

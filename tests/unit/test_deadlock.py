@@ -1,0 +1,73 @@
+"""Unit tests for waits-for-graph deadlock detection."""
+
+import pytest
+
+from repro.core.keys import KeyRange
+from repro.txn.deadlock import WaitsForGraph, detect_deadlock
+from repro.txn.locks import LockMode, LockTable
+
+
+class TestWaitsForGraph:
+    def test_no_cycle(self):
+        g = WaitsForGraph([(1, 2), (2, 3)])
+        assert g.find_cycle() is None
+
+    def test_two_cycle(self):
+        g = WaitsForGraph([(1, 2), (2, 1)])
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_three_cycle(self):
+        g = WaitsForGraph([(1, 2), (2, 3), (3, 1)])
+        assert set(g.find_cycle()) == {1, 2, 3}
+
+    def test_cycle_in_larger_graph(self):
+        g = WaitsForGraph([(1, 2), (2, 3), (5, 6), (3, 2), (6, 7)])
+        cycle = g.find_cycle()
+        assert set(cycle) == {2, 3}
+
+    def test_self_edges_ignored(self):
+        g = WaitsForGraph([(1, 1)])
+        assert g.find_cycle() is None
+
+    def test_victim_is_youngest(self):
+        g = WaitsForGraph()
+        assert g.pick_victim((3, 9, 5)) == 9
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            WaitsForGraph().pick_victim(())
+
+    def test_disconnected_components(self):
+        g = WaitsForGraph([(1, 2), (3, 4), (4, 3)])
+        assert set(g.find_cycle()) == {3, 4}
+
+
+class TestDetectDeadlock:
+    def test_no_deadlock_returns_none(self):
+        assert detect_deadlock([[(1, 2)], [(2, 3)]]) is None
+
+    def test_cross_table_cycle_found(self):
+        # T1 waits for T2 at one representative, T2 for T1 at another —
+        # only the union of the tables reveals the cycle.
+        found = detect_deadlock([[(1, 2)], [(2, 1)]])
+        assert found is not None
+        cycle, victim = found
+        assert set(cycle) == {1, 2}
+        assert victim == 2
+
+    def test_real_lock_tables_produce_cycle(self):
+        r_a, r_b = KeyRange.of(1, 2), KeyRange.of(5, 6)
+        table1, table2 = LockTable(), LockTable()
+        table1.acquire(1, LockMode.REP_MODIFY, r_a)
+        table2.acquire(2, LockMode.REP_MODIFY, r_b)
+        table1.acquire(2, LockMode.REP_MODIFY, r_a)  # T2 waits at rep 1
+        table2.acquire(1, LockMode.REP_MODIFY, r_b)  # T1 waits at rep 2
+        found = detect_deadlock(
+            [table1.waits_for_edges(), table2.waits_for_edges()]
+        )
+        assert found is not None
+        cycle, victim = found
+        assert set(cycle) == {1, 2}
+        assert victim == 2

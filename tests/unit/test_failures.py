@@ -1,0 +1,122 @@
+"""Unit tests for failure injection."""
+
+from repro.net.failures import FailureEvent, RandomFailures, ScriptedFailures
+from repro.net.network import Network
+
+
+def three_node_net():
+    net = Network()
+    net.add_nodes(["a", "b", "c"])
+    return net
+
+
+class TestScriptedFailures:
+    def test_crash_and_recover_on_schedule(self):
+        net = three_node_net()
+        injector = ScriptedFailures(
+            net,
+            [
+                FailureEvent(2, "crash", "a"),
+                FailureEvent(5, "recover", "a"),
+            ],
+        )
+        ups = []
+        for _ in range(7):
+            injector.step()
+            ups.append(net.node("a").is_up)
+        assert ups == [True, True, False, False, False, True, True]
+
+    def test_events_fire_in_order_same_step(self):
+        net = three_node_net()
+        injector = ScriptedFailures(
+            net,
+            [FailureEvent(0, "crash", "a"), FailureEvent(0, "crash", "b")],
+        )
+        fired = injector.step()
+        assert len(fired) == 2
+        assert not net.node("a").is_up and not net.node("b").is_up
+
+    def test_heal_event(self):
+        net = three_node_net()
+        net.partition(["a"], ["b", "c"])
+        injector = ScriptedFailures(net, [FailureEvent(0, "heal")])
+        injector.step()
+        assert net.reachable("a", "b")
+
+    def test_partition_event(self):
+        net = three_node_net()
+        injector = ScriptedFailures(
+            net,
+            [FailureEvent(0, "partition", groups=(("a",), ("b", "c")))],
+        )
+        injector.step()
+        assert not net.reachable("a", "b")
+
+    def test_unknown_action_rejected(self):
+        net = three_node_net()
+        injector = ScriptedFailures(net, [FailureEvent(0, "explode", "a")])
+        try:
+            injector.step()
+            raise AssertionError("expected ValueError")
+        except ValueError:
+            pass
+
+
+class TestRandomFailures:
+    def test_steady_state_formula(self):
+        net = three_node_net()
+        injector = RandomFailures(net, crash_prob=0.1, recover_prob=0.4)
+        assert abs(injector.steady_state_availability() - 0.8) < 1e-12
+
+    def test_zero_probabilities_are_stable(self):
+        net = three_node_net()
+        injector = RandomFailures(net, crash_prob=0.0, recover_prob=0.0)
+        for _ in range(100):
+            injector.step()
+        assert all(n.is_up for n in net.nodes())
+        assert injector.steady_state_availability() == 1.0
+
+    def test_empirical_availability_near_steady_state(self):
+        import random
+
+        net = three_node_net()
+        injector = RandomFailures(
+            net, crash_prob=0.05, recover_prob=0.20, rng=random.Random(7)
+        )
+        up_samples = 0
+        total = 0
+        for _ in range(20_000):
+            injector.step()
+            for node in net.nodes():
+                up_samples += node.is_up
+                total += 1
+        empirical = up_samples / total
+        assert abs(empirical - injector.steady_state_availability()) < 0.03
+
+    def test_min_up_floor_respected(self):
+        import random
+
+        net = three_node_net()
+        injector = RandomFailures(
+            net, crash_prob=0.9, recover_prob=0.0, rng=random.Random(1), min_up=2
+        )
+        for _ in range(200):
+            injector.step()
+        assert sum(n.is_up for n in net.nodes()) >= 2
+
+    def test_event_callback(self):
+        import random
+
+        net = three_node_net()
+        events = []
+        injector = RandomFailures(
+            net,
+            crash_prob=0.5,
+            recover_prob=0.5,
+            rng=random.Random(3),
+            on_event=lambda kind, node: events.append((kind, node)),
+        )
+        for _ in range(50):
+            injector.step()
+        assert events  # something happened
+        assert all(kind in ("crash", "recover") for kind, _ in events)

@@ -1,0 +1,64 @@
+"""Unit tests for availability under correlated failures (placement)."""
+
+import pytest
+
+from repro.core.config import SuiteConfig
+from repro.sim.availability import placement_availability, quorum_availability
+
+CFG = SuiteConfig.from_xyz("3-2-2")
+
+
+class TestPlacementAvailability:
+    def test_one_rep_per_node_matches_independent_analysis(self):
+        placement = {"A": "n1", "B": "n2", "C": "n3"}
+        for p in (0.5, 0.9, 0.99):
+            assert placement_availability(CFG, placement, p, 2) == pytest.approx(
+                quorum_availability(CFG, p, 2)
+            )
+
+    def test_full_colocation_is_single_point_of_failure(self):
+        placement = {"A": "one-box", "B": "one-box", "C": "one-box"}
+        assert placement_availability(CFG, placement, 0.9, 2) == pytest.approx(0.9)
+
+    def test_partial_colocation_between_the_extremes(self):
+        spread = {"A": "n1", "B": "n2", "C": "n3"}
+        partial = {"A": "n1", "B": "n1", "C": "n2"}
+        single = {"A": "n1", "B": "n1", "C": "n1"}
+        p = 0.9
+        a_spread = placement_availability(CFG, spread, p, 2)
+        a_partial = placement_availability(CFG, partial, p, 2)
+        a_single = placement_availability(CFG, single, p, 2)
+        assert a_single <= a_partial <= a_spread
+        assert a_partial < a_spread  # strictly worse than full spread
+
+    def test_partial_colocation_exact_value(self):
+        # A,B on n1; C on n2.  Quorum of 2 votes needs n1 up (it carries
+        # 2 of the 3 votes); n2 alone has only 1 vote.
+        placement = {"A": "n1", "B": "n1", "C": "n2"}
+        assert placement_availability(CFG, placement, 0.9, 2) == pytest.approx(0.9)
+
+    def test_per_node_probabilities(self):
+        placement = {"A": "good", "B": "good", "C": "bad"}
+        avail = placement_availability(
+            CFG, placement, {"good": 1.0, "bad": 0.0}, 2
+        )
+        assert avail == pytest.approx(1.0)  # "good" carries 2 votes
+
+    def test_missing_placement_rejected(self):
+        with pytest.raises(ValueError):
+            placement_availability(CFG, {"A": "n1"}, 0.9, 2)
+
+    def test_cluster_level_consequence(self):
+        # The end-to-end version: co-located representatives fail together.
+        from repro.cluster import DirectoryCluster
+        from repro.core.errors import QuorumUnavailableError
+
+        cluster = DirectoryCluster.create(
+            "3-2-2",
+            seed=1,
+            node_for_rep=lambda rep: "shared" if rep in ("A", "B") else "solo",
+        )
+        cluster.suite.insert("k", 1)
+        cluster.network.node("shared").crash()
+        with pytest.raises(QuorumUnavailableError):
+            cluster.suite.lookup("k")

@@ -1,0 +1,79 @@
+"""Unit tests for the quorum-configuration planner."""
+
+import pytest
+
+from repro.sim.planner import cheapest_within, enumerate_plans, most_available
+
+
+class TestEnumeration:
+    def test_all_plans_legal(self):
+        for pt in enumerate_plans(5, 0.9):
+            assert pt.read_quorum + pt.write_quorum > 5
+            assert 2 * pt.write_quorum > 5
+
+    def test_single_replica(self):
+        plans = enumerate_plans(1, 0.9)
+        assert len(plans) == 1
+        assert plans[0].spec == "1-1-1"
+
+    def test_counts_match_constraints(self):
+        # n=3: legal (R,W) with R+W>3 and W>=2: (1,3) (2,2) (2,3) (3,2) (3,3).
+        specs = {pt.spec for pt in enumerate_plans(3, 0.9)}
+        assert specs == {"3-1-3", "3-2-2", "3-2-3", "3-3-2", "3-3-3"}
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_plans(3, 1.5)
+        with pytest.raises(ValueError):
+            enumerate_plans(3, 0.9, read_fraction=-0.1)
+
+    def test_availability_values_consistent(self):
+        plans = {pt.spec: pt for pt in enumerate_plans(3, 0.9)}
+        # Read-one is maximally read-available.
+        assert plans["3-1-3"].read_availability == pytest.approx(1 - 0.1**3)
+        # Write-all is 0.9^3 write-available.
+        assert plans["3-1-3"].write_availability == pytest.approx(0.9**3)
+
+    def test_access_cost_model(self):
+        plans = {pt.spec: pt for pt in enumerate_plans(3, 0.9)}
+        pt = plans["3-2-2"]
+        # read_fraction 0.5: 0.5*2 + 0.5*(2+2) = 3 accesses per op.
+        assert pt.accesses_per_operation == pytest.approx(3.0)
+
+
+class TestSelectors:
+    def test_most_available_balances_quorums(self):
+        # At a 50/50 mix, the balanced majority configuration wins for
+        # odd n at high p (both quorums survive any single failure).
+        best = most_available(5, 0.9, read_fraction=0.5)
+        assert (best.read_quorum, best.write_quorum) == (3, 3)
+
+    def test_read_heavy_mix_prefers_small_read_quorum(self):
+        best = most_available(5, 0.9, read_fraction=0.99)
+        assert best.read_quorum <= 2
+
+    def test_cheapest_within_trades_availability_for_cost(self):
+        cheap = cheapest_within(5, 0.9, read_fraction=0.5, availability_slack=0.05)
+        best = most_available(5, 0.9, read_fraction=0.5)
+        assert cheap.accesses_per_operation <= best.accesses_per_operation
+        assert (
+            cheap.operation_availability
+            >= best.operation_availability - 0.05
+        )
+
+    def test_zero_slack_returns_best(self):
+        cheap = cheapest_within(3, 0.9, availability_slack=0.0)
+        best = most_available(3, 0.9)
+        assert cheap.operation_availability == pytest.approx(
+            best.operation_availability
+        )
+
+    def test_unreliable_nodes_change_the_answer(self):
+        # At p = 0.99 write-all barely hurts; at p = 0.6 it is ruinous,
+        # so the best write quorum shrinks toward the majority.
+        flaky = most_available(5, 0.6, read_fraction=0.0)
+        solid = most_available(5, 0.99, read_fraction=0.0)
+        assert flaky.write_quorum <= solid.write_quorum or (
+            flaky.write_quorum == 3
+        )
+        assert flaky.write_quorum == 3  # majority is optimal for writes

@@ -1,0 +1,71 @@
+"""Unit tests for multi-seed replication and confidence intervals."""
+
+import pytest
+
+from repro.sim.driver import SimulationSpec
+from repro.sim.replication import IntervalEstimate, replicate
+
+
+def small_spec():
+    return SimulationSpec(
+        config="3-2-2", directory_size=50, operations=400, seed=1
+    )
+
+
+class TestReplicate:
+    def test_runs_distinct_seeds(self):
+        result = replicate(small_spec(), n_runs=3)
+        assert len(result.runs) == 3
+        seeds = {run.spec.seed for run in result.runs}
+        assert len(seeds) == 3
+
+    def test_pooled_counts(self):
+        result = replicate(small_spec(), n_runs=3)
+        assert result.pooled.insertions_while_coalescing.n == sum(
+            run.delete_stats.insertions_while_coalescing.n
+            for run in result.runs
+        )
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(small_spec(), n_runs=0)
+
+    def test_estimate_shape(self):
+        result = replicate(small_spec(), n_runs=4)
+        est = result.estimate("deletions_while_coalescing")
+        assert est.n_runs == 4
+        assert est.half_width >= 0
+        assert est.low <= est.mean <= est.high
+
+    def test_single_run_interval_infinite(self):
+        result = replicate(small_spec(), n_runs=1)
+        est = result.estimate("entries_in_ranges_coalesced")
+        assert est.half_width == float("inf")
+
+    def test_unknown_confidence_rejected(self):
+        result = replicate(small_spec(), n_runs=2)
+        with pytest.raises(ValueError):
+            result.estimate("entries_in_ranges_coalesced", confidence=0.5)
+
+    def test_summary_has_all_statistics(self):
+        result = replicate(small_spec(), n_runs=2)
+        summary = result.summary()
+        assert set(summary) == {
+            "entries_in_ranges_coalesced",
+            "deletions_while_coalescing",
+            "insertions_while_coalescing",
+        }
+
+    def test_interval_brackets_paper_values_at_scale(self):
+        # A moderately sized replication should bracket the paper's
+        # 3-2-2 / 100-entry values within its 99% interval.
+        spec = SimulationSpec(
+            config="3-2-2", directory_size=100, operations=3_000, seed=7
+        )
+        result = replicate(spec, n_runs=4)
+        est = result.estimate("deletions_while_coalescing", confidence=0.99)
+        assert est.contains(0.88) or abs(est.mean - 0.88) < 0.15
+
+    def test_str_format(self):
+        est = IntervalEstimate(1.234, 0.056, 5, 0.95)
+        assert str(est) == "1.234 ± 0.056"

@@ -1,0 +1,56 @@
+"""Unit tests for table rendering."""
+
+from repro.core.stats import DeleteOverheadStats
+from repro.sim.report import (
+    comparison_table,
+    figure14_table,
+    figure15_table,
+    format_table,
+)
+
+
+class _FakeResult:
+    """Anything exposing stats_table() works for the renderers."""
+
+    def __init__(self, avg=1.0):
+        stats = DeleteOverheadStats()
+        stats.record_delete([int(avg), int(avg)], 1, 1)
+        self._stats = stats
+
+    def stats_table(self):
+        return self._stats.as_table()
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        # Columns align: separator position consistent.
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_title_included(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+
+class TestFigureTables:
+    def test_figure14_has_row_per_config(self):
+        text = figure14_table({"3-2-2": _FakeResult(), "4-2-3": _FakeResult()})
+        assert "3-2-2" in text and "4-2-3" in text
+        assert "Entries in ranges coalesced" in text
+
+    def test_figure15_has_measures_and_sizes(self):
+        text = figure15_table({100: _FakeResult(), 1000: _FakeResult()})
+        assert "100 entries" in text and "1000 entries" in text
+        for measure in ("Avg", "Max", "Std Dev"):
+            assert measure in text
+
+    def test_comparison_table(self):
+        text = comparison_table(
+            {"ours": {"msgs": 4.0}, "baseline": {"msgs": 9.0}},
+            columns=["msgs"],
+            title="Messages per op",
+        )
+        assert "ours" in text and "9.000" in text

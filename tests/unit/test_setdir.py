@@ -1,0 +1,64 @@
+"""Unit tests for the replicated set abstraction."""
+
+from repro.cluster import DirectoryCluster
+from repro.core.setdir import ReplicatedSet
+
+
+def fresh_set(seed=1):
+    return ReplicatedSet.over(DirectoryCluster.create("3-2-2", seed=seed))
+
+
+class TestSetSemantics:
+    def test_add_and_contains(self):
+        s = fresh_set()
+        assert s.add("x") is True
+        assert s.contains("x")
+        assert "x" in s
+
+    def test_add_idempotent(self):
+        s = fresh_set()
+        assert s.add("x") is True
+        assert s.add("x") is False  # no error, unlike directory insert
+        assert s.elements() == ["x"]
+
+    def test_remove_idempotent(self):
+        s = fresh_set()
+        s.add("x")
+        assert s.remove("x") is True
+        assert s.remove("x") is False
+        assert not s.contains("x")
+
+    def test_add_all_remove_all(self):
+        s = fresh_set()
+        assert s.add_all(["a", "b", "c", "b"]) == 3
+        assert s.elements() == ["a", "b", "c"]
+        assert s.remove_all(["b", "z"]) == 1
+        assert s.elements() == ["a", "c"]
+
+    def test_membership_after_churn(self):
+        import random
+
+        s = fresh_set(seed=2)
+        model = set()
+        rng = random.Random(3)
+        for _ in range(300):
+            e = rng.randint(0, 30)
+            if rng.random() < 0.5:
+                assert s.add(e) == (e not in model)
+                model.add(e)
+            else:
+                assert s.remove(e) == (e in model)
+                model.discard(e)
+        assert s.elements() == sorted(model)
+
+    def test_survives_replica_crash(self):
+        cluster = DirectoryCluster.create("3-2-2", seed=4)
+        s = ReplicatedSet.over(cluster)
+        s.add_all(range(10))
+        cluster.crash("B")
+        assert s.contains(5)
+        s.add(99)
+        s.remove(5)
+        cluster.recover("B")
+        assert not s.contains(5)
+        assert s.contains(99)

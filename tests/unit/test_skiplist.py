@@ -1,0 +1,118 @@
+"""Structural tests specific to the skip-list store.
+
+Shared semantics are covered by the parameterized fixture in
+test_sorted_store.py; these tests exercise tower mechanics and run the
+differential check against SortedStore.
+"""
+
+import random
+
+from repro.core.keys import HIGH, LOW, wrap
+from repro.storage.skiplist import _MAX_LEVEL, SkipListStore
+from repro.storage.sorted_store import SortedStore
+
+
+class TestTowers:
+    def test_heights_bounded(self):
+        store = SkipListStore(seed=1)
+        for i in range(500):
+            store.insert(wrap(i), 1, i)
+        node = store._head.forward[0]
+        while node is not None:
+            assert 1 <= node.height <= _MAX_LEVEL
+            node = node.forward[0]
+        store.check_invariants()
+
+    def test_deterministic_given_seed(self):
+        a, b = SkipListStore(seed=7), SkipListStore(seed=7)
+        for i in range(100):
+            a.insert(wrap(i), 1, i)
+            b.insert(wrap(i), 1, i)
+        # Same seed -> same tower shapes -> identical level chains.
+        na, nb = a._head, b._head
+        while na is not None and nb is not None:
+            assert na.height == nb.height
+            na, nb = na.forward[0], nb.forward[0]
+
+    def test_unlink_cleans_every_level(self):
+        store = SkipListStore(seed=2)
+        for i in range(200):
+            store.insert(wrap(i), 1, i)
+        for i in range(0, 200, 2):
+            store.remove_entry(wrap(i), 9)
+        store.check_invariants()
+        assert store.entry_count() == 100
+
+    def test_coalesce_everything(self):
+        store = SkipListStore(seed=3)
+        for i in range(150):
+            store.insert(wrap(i), 1, i)
+        store.coalesce(LOW, HIGH, 5)
+        store.check_invariants()
+        assert store.entry_count() == 0
+        assert store.lookup(wrap(75)).version == 5
+
+    def test_snapshot_restore_roundtrip(self):
+        store = SkipListStore(seed=4)
+        for i in range(80):
+            store.insert(wrap(i), 1, i)
+        store.coalesce(wrap(10), wrap(20), 7)
+        snap = store.snapshot()
+        fresh = SkipListStore(seed=99)
+        fresh.restore(snap)
+        fresh.check_invariants()
+        assert fresh.snapshot() == snap
+
+
+class TestDifferential:
+    def test_random_ops_match_sorted_store(self):
+        rng = random.Random(44)
+        a, b = SortedStore(), SkipListStore(seed=5)
+        for i in range(4000):
+            op = rng.random()
+            k = wrap(rng.randint(0, 150))
+            if op < 0.55:
+                assert a.insert(k, i, i) == b.insert(k, i, i)
+            elif op < 0.75:
+                entries = [e.key for e in a.iter_entries()]
+                ia = rng.randrange(len(entries) - 1)
+                ib = rng.randrange(ia + 1, len(entries))
+                assert a.coalesce(entries[ia], entries[ib], i) == b.coalesce(
+                    entries[ia], entries[ib], i
+                )
+            elif op < 0.9:
+                assert a.lookup(k) == b.lookup(k)
+                if not k.is_low:
+                    assert a.predecessor(k) == b.predecessor(k)
+                if not k.is_high:
+                    assert a.successor(k) == b.successor(k)
+            elif a.contains(k) and not k.is_sentinel:
+                assert a.remove_entry(k, i) == b.remove_entry(k, i)
+            assert a.snapshot() == b.snapshot()
+        b.check_invariants()
+
+
+class TestClusterIntegration:
+    def test_cluster_with_skiplist_store(self):
+        from repro.cluster import DirectoryCluster
+
+        cluster = DirectoryCluster.create("3-2-2", store="skiplist", seed=6)
+        suite = cluster.suite
+        for i in range(30):
+            suite.insert(i, i)
+        for i in range(0, 30, 3):
+            suite.delete(i)
+        for i in range(30):
+            assert suite.lookup(i) == ((i % 3 != 0), i if i % 3 else None)
+        cluster.check_invariants()
+
+    def test_crash_recovery_with_skiplist(self):
+        from repro.cluster import DirectoryCluster
+
+        cluster = DirectoryCluster.create("3-2-2", store="skiplist", seed=7)
+        for i in range(15):
+            cluster.suite.insert(i, i)
+        before = cluster.representative("A").store.snapshot()
+        cluster.crash("A")
+        cluster.recover("A")
+        assert cluster.representative("A").store.snapshot() == before

@@ -1,0 +1,34 @@
+"""Unit tests for checkpoint policies."""
+
+import pytest
+
+from repro.storage.snapshot import CheckpointPolicy, EveryNCommits, LogSizeBound
+
+
+class TestBasePolicy:
+    def test_never_checkpoints(self):
+        policy = CheckpointPolicy()
+        assert not policy.should_checkpoint(10**6, 10**6)
+
+
+class TestEveryNCommits:
+    def test_triggers_at_n(self):
+        policy = EveryNCommits(3)
+        assert not policy.should_checkpoint(2, 100)
+        assert policy.should_checkpoint(3, 100)
+        assert policy.should_checkpoint(4, 0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            EveryNCommits(0)
+
+
+class TestLogSizeBound:
+    def test_triggers_at_bound(self):
+        policy = LogSizeBound(50)
+        assert not policy.should_checkpoint(100, 49)
+        assert policy.should_checkpoint(0, 50)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            LogSizeBound(0)

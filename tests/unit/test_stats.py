@@ -1,0 +1,123 @@
+"""Unit tests for the statistics collectors (validated against numpy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import DeleteOverheadStats, RunningStat, SuiteOpCounts
+
+
+class TestRunningStat:
+    def test_empty(self):
+        s = RunningStat()
+        assert s.avg == 0.0 and s.std_dev == 0.0 and s.n == 0
+
+    def test_single_sample(self):
+        s = RunningStat()
+        s.add(4.0)
+        assert s.avg == 4.0 and s.max == 4.0 and s.std_dev == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(5, 2, size=500)
+        s = RunningStat()
+        for x in data:
+            s.add(float(x))
+        assert s.avg == pytest.approx(np.mean(data))
+        assert s.std_dev == pytest.approx(np.std(data))  # population std
+        assert s.max == pytest.approx(np.max(data))
+
+    def test_max_tracks_negative_values(self):
+        s = RunningStat()
+        for x in (-5.0, -2.0, -9.0):
+            s.add(x)
+        assert s.max == -2.0
+
+    def test_keep_samples(self):
+        s = RunningStat(keep_samples=True)
+        s.add(1.0)
+        s.add(2.0)
+        assert s.samples == [1.0, 2.0]
+
+    def test_samples_not_kept_by_default(self):
+        s = RunningStat()
+        s.add(1.0)
+        assert s.samples == []
+
+    def test_merge_matches_pooled(self):
+        rng = np.random.default_rng(2)
+        a_data = rng.normal(0, 1, 200)
+        b_data = rng.normal(3, 2, 300)
+        a, b = RunningStat(), RunningStat()
+        for x in a_data:
+            a.add(float(x))
+        for x in b_data:
+            b.add(float(x))
+        a.merge(b)
+        pooled = np.concatenate([a_data, b_data])
+        assert a.n == 500
+        assert a.avg == pytest.approx(np.mean(pooled))
+        assert a.std_dev == pytest.approx(np.std(pooled))
+        assert a.max == pytest.approx(np.max(pooled))
+
+    def test_merge_into_empty(self):
+        a, b = RunningStat(), RunningStat()
+        b.add(2.0)
+        a.merge(b)
+        assert a.n == 1 and a.avg == 2.0
+
+    def test_merge_empty_is_noop(self):
+        a, b = RunningStat(), RunningStat()
+        a.add(1.0)
+        a.merge(b)
+        assert a.n == 1
+
+    def test_as_row(self):
+        s = RunningStat()
+        s.add(2.0)
+        s.add(4.0)
+        row = s.as_row()
+        assert row["avg"] == 3.0 and row["max"] == 4.0
+
+
+class TestDeleteOverheadStats:
+    def test_record_delete_distributes_samples(self):
+        stats = DeleteOverheadStats()
+        stats.record_delete([1, 2], insertions=1, ghost_deletions=1)
+        stats.record_delete([0, 1], insertions=0, ghost_deletions=0)
+        # Entries-coalesced is per representative: 4 samples.
+        assert stats.entries_coalesced.n == 4
+        assert stats.entries_coalesced.avg == 1.0
+        # The other two are per delete: 2 samples each.
+        assert stats.insertions_while_coalescing.n == 2
+        assert stats.deletions_while_coalescing.avg == 0.5
+
+    def test_as_table_shape(self):
+        stats = DeleteOverheadStats()
+        stats.record_delete([1], 0, 0)
+        table = stats.as_table()
+        assert set(table) == {
+            "entries_in_ranges_coalesced",
+            "deletions_while_coalescing",
+            "insertions_while_coalescing",
+        }
+        for row in table.values():
+            assert set(row) == {"avg", "max", "std_dev"}
+
+    def test_merge(self):
+        a, b = DeleteOverheadStats(), DeleteOverheadStats()
+        a.record_delete([1], 1, 0)
+        b.record_delete([3], 0, 2)
+        a.merge(b)
+        assert a.entries_coalesced.n == 2
+        assert a.deletions_while_coalescing.avg == 1.0
+
+    def test_keep_samples_flag_propagates(self):
+        stats = DeleteOverheadStats(keep_samples=True)
+        stats.record_delete([2], 1, 1)
+        assert stats.entries_coalesced.samples == [2]
+
+
+class TestSuiteOpCounts:
+    def test_total(self):
+        counts = SuiteOpCounts(lookups=1, inserts=2, updates=3, deletes=4)
+        assert counts.total == 10

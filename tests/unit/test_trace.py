@@ -1,0 +1,92 @@
+"""Unit tests for operation traces."""
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.sim.trace import Trace, replay
+from repro.sim.workload import Operation, UniformWorkload
+
+
+def sample_trace():
+    trace = Trace(metadata={"seed": 9})
+    workload = UniformWorkload(seed=9)
+    for op in workload.initial_load(10):
+        trace.record(op)
+    for op in trace.record_all(workload.operations(40)):
+        pass
+    return trace
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        trace = sample_trace()
+        restored = Trace.loads(trace.dumps())
+        assert restored.operations == trace.operations
+        assert restored.metadata == {"seed": 9}
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "ops.jsonl"
+        trace.save(path)
+        assert Trace.load(path).operations == trace.operations
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.loads("")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.loads('{"format": 99, "count": 0, "metadata": {}}\n')
+
+    def test_count_mismatch_rejected(self):
+        header = '{"format": 1, "count": 5, "metadata": {}}'
+        with pytest.raises(ValueError):
+            Trace.loads(header + "\n")
+
+    def test_record_all_is_lazy_passthrough(self):
+        trace = Trace()
+        source = iter([Operation("lookup", 0.5)])
+        stream = trace.record_all(source)
+        assert len(trace) == 0  # nothing consumed yet
+        next(stream)
+        assert len(trace) == 1
+
+
+class TestReplay:
+    def test_replay_reproduces_state(self):
+        trace = sample_trace()
+        a = DirectoryCluster.create("3-2-2", seed=1)
+        b = DirectoryCluster.create("3-2-2", seed=999)  # different quorums
+        counts_a = replay(trace, a.suite)
+        counts_b = replay(trace, b.suite)
+        assert counts_a == counts_b
+        # Same trace -> same logical directory, regardless of quorum luck.
+        assert a.suite.authoritative_state() == b.suite.authoritative_state()
+
+    def test_replay_counts(self):
+        trace = Trace()
+        trace.record(Operation("insert", 0.5, "v"))
+        trace.record(Operation("lookup", 0.5))
+        trace.record(Operation("update", 0.5, "w"))
+        trace.record(Operation("delete", 0.5))
+        cluster = DirectoryCluster.create("3-2-2", seed=2)
+        counts = replay(trace, cluster.suite)
+        assert counts == {
+            "insert": 1, "update": 1, "delete": 1, "lookup": 1, "failed": 0,
+        }
+
+    def test_replay_error_modes(self):
+        from repro.core.errors import KeyNotPresentError
+
+        trace = Trace()
+        trace.record(Operation("delete", 0.5))  # key never inserted
+        cluster = DirectoryCluster.create("3-2-2", seed=3)
+        with pytest.raises(KeyNotPresentError):
+            replay(trace, cluster.suite, on_error="raise")
+        cluster = DirectoryCluster.create("3-2-2", seed=3)
+        counts = replay(trace, cluster.suite, on_error="count")
+        assert counts["failed"] == 1
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            replay(Trace(), None, on_error="ignore")

@@ -1,0 +1,70 @@
+"""Unit tests for undo records."""
+
+from repro.core.entries import Entry
+from repro.core.keys import wrap
+from repro.storage.sorted_store import SortedStore
+from repro.txn.undo import UndoCoalesce, UndoInsert, UndoValue
+from tests.conftest import fill_store
+
+
+class TestUndoInsert:
+    def test_undo_new_insert_removes_and_restores_gap(self):
+        store = fill_store(SortedStore(), ["a", "c"])
+        store.coalesce(wrap("a"), wrap("c"), 7)
+        before = store.snapshot()
+        result = store.insert(wrap("b"), 8, "B")
+        undo = UndoInsert(
+            wrap("b"),
+            replaced=result.replaced,
+            split_gap_version=result.split_gap_version,
+        )
+        undo.apply(store)
+        assert store.snapshot() == before
+        assert store.lookup(wrap("b")).version == 7  # merged gap restored
+
+    def test_undo_overwrite_restores_old_entry(self):
+        store = SortedStore()
+        store.insert(wrap("k"), 1, "old")
+        before = store.snapshot()
+        result = store.insert(wrap("k"), 2, "new")
+        UndoInsert(wrap("k"), replaced=result.replaced).apply(store)
+        assert store.snapshot() == before
+        reply = store.lookup(wrap("k"))
+        assert reply.version == 1 and reply.value == "old"
+
+
+class TestUndoCoalesce:
+    def test_undo_restores_entries_and_gap_versions(self):
+        store = fill_store(SortedStore(), ["a", "b", "c", "d"])
+        store.coalesce(wrap("b"), wrap("c"), 5)  # vary interior gaps first
+        before = store.snapshot()
+        result = store.coalesce(wrap("a"), wrap("d"), 9)
+        UndoCoalesce(wrap("a"), wrap("d"), result.removed).apply(store)
+        assert store.snapshot() == before
+        store.check_invariants()
+
+    def test_nested_undo_in_reverse_order(self):
+        # A transaction doing insert + coalesce must undo coalesce first,
+        # then insert — the exact discipline the representative applies.
+        store = fill_store(SortedStore(), ["a", "d"])
+        before = store.snapshot()
+        ins = store.insert(wrap("b"), 5, "B")
+        undo_insert = UndoInsert(
+            wrap("b"), replaced=ins.replaced, split_gap_version=ins.split_gap_version
+        )
+        coal = store.coalesce(wrap("a"), wrap("d"), 9)
+        undo_coalesce = UndoCoalesce(wrap("a"), wrap("d"), coal.removed)
+        undo_coalesce.apply(store)
+        undo_insert.apply(store)
+        assert store.snapshot() == before
+
+
+class TestUndoValue:
+    def test_setter_called_with_previous(self):
+        holder = {"v": "new"}
+
+        def setter(value):
+            holder["v"] = value
+
+        UndoValue(setter, "old").apply(None)
+        assert holder["v"] == "old"

@@ -1,0 +1,76 @@
+"""Unit tests for version-number arithmetic and the overflow guard."""
+
+import pytest
+
+from repro.core.versions import (
+    LOWEST_VERSION,
+    PAPER_48BIT,
+    PAPER_RECOMMENDED_BITS,
+    UNBOUNDED,
+    VersionOverflowError,
+    VersionSpace,
+    max_version,
+)
+
+
+class TestVersionSpace:
+    def test_lowest_is_zero(self):
+        assert UNBOUNDED.lowest == 0
+        assert LOWEST_VERSION == 0
+
+    def test_unbounded_successor(self):
+        assert UNBOUNDED.successor(0) == 1
+        huge = 10**30
+        assert UNBOUNDED.successor(huge) == huge + 1
+
+    def test_unbounded_has_no_highest(self):
+        assert UNBOUNDED.highest is None
+
+    def test_48bit_highest(self):
+        assert PAPER_48BIT.highest == (1 << PAPER_RECOMMENDED_BITS) - 1
+
+    def test_bounded_successor_within_range(self):
+        space = VersionSpace(bits=8)
+        assert space.successor(254) == 255
+
+    def test_bounded_overflow_raises(self):
+        space = VersionSpace(bits=8)
+        with pytest.raises(VersionOverflowError) as exc_info:
+            space.successor(255)
+        assert exc_info.value.bits == 8
+
+    def test_overflow_never_wraps_silently(self):
+        # The failure the paper warns about is a *wrap*; we must raise,
+        # not return a small number.
+        space = VersionSpace(bits=4)
+        v = 0
+        for _ in range(15):
+            v = space.successor(v)
+        assert v == 15
+        with pytest.raises(VersionOverflowError):
+            space.successor(v)
+
+    def test_validate_accepts_good_versions(self):
+        assert PAPER_48BIT.validate(12345) == 12345
+        assert UNBOUNDED.validate(0) == 0
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UNBOUNDED.validate(-1)
+
+    def test_validate_rejects_overflowed(self):
+        space = VersionSpace(bits=8)
+        with pytest.raises(VersionOverflowError):
+            space.validate(256)
+
+
+class TestMaxVersion:
+    def test_single(self):
+        assert max_version(5) == 5
+
+    def test_many(self):
+        assert max_version(1, 9, 3) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_version()

@@ -1,0 +1,152 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.sim.workload import (
+    LocalityWorkload,
+    OpMix,
+    Operation,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+
+class TestOpMix:
+    def test_defaults_balanced(self):
+        mix = OpMix()
+        kinds, weights = mix.kinds_and_weights()
+        assert kinds == ["insert", "update", "delete", "lookup"]
+        assert weights == [1.0, 1.0, 1.0, 0.0]
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            OpMix(insert=0, update=0, delete=0, lookup=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpMix(insert=-1)
+
+
+class TestUniformWorkload:
+    def test_initial_load_count_and_uniqueness(self):
+        w = UniformWorkload(seed=1)
+        ops = w.initial_load(100)
+        assert len(ops) == 100
+        assert all(op.kind == "insert" for op in ops)
+        assert len({op.key for op in ops}) == 100
+        assert w.size == 100
+
+    def test_fresh_keys_never_collide(self):
+        w = UniformWorkload(seed=2)
+        w.initial_load(50)
+        members = set(w.members())
+        for _ in range(200):
+            assert w.fresh_key() not in members
+
+    def test_existing_key_from_membership(self):
+        w = UniformWorkload(seed=3)
+        w.initial_load(20)
+        members = set(w.members())
+        for _ in range(50):
+            assert w.existing_key() in members
+
+    def test_existing_key_empty_directory(self):
+        assert UniformWorkload(seed=4).existing_key() is None
+
+    def test_size_random_walks_around_target(self):
+        w = UniformWorkload(target_size=200, seed=5)
+        w.initial_load(200)
+        for _ in w.operations(5000):
+            pass
+        # Balanced insert/delete: size stays within a few std devs.
+        assert 80 < w.size < 350
+
+    def test_updates_and_deletes_target_members(self):
+        w = UniformWorkload(seed=6)
+        w.initial_load(30)
+        before = set(w.members())
+        for op in w.operations(200):
+            if op.kind in ("update", "delete"):
+                # Key was a member when the op was generated.
+                assert isinstance(op.key, float)
+
+    def test_note_corrections(self):
+        w = UniformWorkload(seed=7)
+        w.note_insert(0.5)
+        assert w.size == 1
+        w.note_delete(0.5)
+        assert w.size == 0
+        w.note_delete(0.5)  # idempotent
+        assert w.size == 0
+
+    def test_ops_respect_mix(self):
+        w = UniformWorkload(mix=OpMix(insert=1, update=0, delete=0, lookup=0), seed=8)
+        assert all(op.kind == "insert" for op in w.operations(50))
+
+    def test_empty_directory_degrades_to_insert(self):
+        w = UniformWorkload(mix=OpMix(insert=0, update=0, delete=1), seed=9)
+        op = w.next_operation()
+        assert op.kind == "insert"
+
+    def test_deterministic_with_seed(self):
+        a = [op.key for op in UniformWorkload(seed=10).operations(20)]
+        b = [op.key for op in UniformWorkload(seed=10).operations(20)]
+        assert a == b
+
+
+class TestZipfWorkload:
+    def test_zero_skew_is_uniform(self):
+        w = ZipfWorkload(seed=11, skew=0.0)
+        w.initial_load(10)
+        assert w.existing_key() in set(w.members())
+
+    def test_skew_concentrates_access(self):
+        from collections import Counter
+
+        w = ZipfWorkload(seed=12, skew=2.0)
+        w.initial_load(50)
+        counts = Counter(w.existing_key() for _ in range(2000))
+        top_share = counts.most_common(1)[0][1] / 2000
+        assert top_share > 0.2  # one key dominates
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfWorkload(skew=-1)
+
+
+class TestLocalityWorkload:
+    def test_clients_map_to_disjoint_halves(self):
+        w = LocalityWorkload(seed=13)
+        for op in w.operations(300):
+            if op.client == "A":
+                assert 0.0 <= op.key < 0.5
+            else:
+                assert 0.5 <= op.key < 1.0
+
+    def test_initial_load_covers_both_halves(self):
+        w = LocalityWorkload(seed=14)
+        ops = w.initial_load(100)
+        clients = {op.client for op in ops}
+        assert clients == {"A", "B"}
+
+    def test_type_a_fraction(self):
+        w = LocalityWorkload(seed=15, type_a_fraction=0.9)
+        ops = list(w.operations(1000))
+        a_share = sum(op.client == "A" for op in ops) / len(ops)
+        assert a_share > 0.8
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            LocalityWorkload(type_a_fraction=0.0)
+        with pytest.raises(ValueError):
+            LocalityWorkload(type_a_fraction=1.5)
+
+    def test_all_type_a_allowed(self):
+        w = LocalityWorkload(seed=16, type_a_fraction=1.0)
+        assert all(op.client == "A" for op in w.operations(50))
+
+
+class TestOperationRecord:
+    def test_defaults(self):
+        op = Operation("lookup", 0.5)
+        assert op.value is None and op.client == "default"
