@@ -40,12 +40,28 @@ from repro.core.hints import HintedDirectory
 from repro.core.setdir import ReplicatedSet
 from repro.core.errors import (
     AmbiguousLookupError,
+    CoalesceBoundsError,
     ConfigurationError,
+    DeadlockError,
     DirectoryError,
+    InvalidTransactionStateError,
     KeyAlreadyPresentError,
     KeyNotPresentError,
+    LockTimeoutError,
+    NetworkError,
+    NodeDownError,
+    OriginDownError,
     QuorumUnavailableError,
+    RecoveryError,
     ReproError,
+    RpcTimeoutError,
+    SentinelKeyError,
+    StorageError,
+    StoreCorruptionError,
+    TransactionAbortedError,
+    TransactionError,
+    TwoPhaseCommitError,
+    WouldBlockError,
 )
 from repro.core.quorum import (
     LocalityQuorumPolicy,
@@ -54,25 +70,66 @@ from repro.core.quorum import (
     StickyQuorumPolicy,
 )
 from repro.core.suite import DirectorySuite
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    RecordingTracer,
+    Span,
+    dump_spans,
+    load_spans,
+    spans_to_trace,
+)
+from repro.sim.driver import SimulationResult, SimulationSpec, run_simulation
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # construction and directory API
     "DirectoryCluster",
     "DirectorySuite",
     "SuiteConfig",
     "ReplicatedSet",
     "HintedDirectory",
+    # quorum policies
     "RandomQuorumPolicy",
     "StickyQuorumPolicy",
     "PreferredQuorumPolicy",
     "LocalityQuorumPolicy",
+    # simulation entry points
+    "SimulationSpec",
+    "SimulationResult",
+    "run_simulation",
+    # observability
+    "MetricsRegistry",
+    "RecordingTracer",
+    "NullTracer",
+    "Span",
+    "dump_spans",
+    "load_spans",
+    "spans_to_trace",
+    # error hierarchy
     "ReproError",
+    "ConfigurationError",
     "DirectoryError",
     "KeyAlreadyPresentError",
     "KeyNotPresentError",
+    "SentinelKeyError",
     "AmbiguousLookupError",
-    "ConfigurationError",
+    "StorageError",
+    "CoalesceBoundsError",
+    "StoreCorruptionError",
+    "RecoveryError",
+    "TransactionError",
+    "TransactionAbortedError",
+    "DeadlockError",
+    "LockTimeoutError",
+    "WouldBlockError",
+    "InvalidTransactionStateError",
+    "TwoPhaseCommitError",
+    "NetworkError",
+    "NodeDownError",
+    "OriginDownError",
+    "RpcTimeoutError",
     "QuorumUnavailableError",
     "__version__",
 ]

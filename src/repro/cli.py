@@ -77,6 +77,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         store=args.store,
         neighbor_batch_size=args.batch,
         read_repair=args.read_repair,
+        trace_spans=args.spans is not None,
     )
     result = run_simulation(spec)
     rows = []
@@ -99,7 +100,37 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"{result.traffic['rpc_rounds']} RPC rounds; "
         f"{result.elapsed_seconds:.1f}s wall clock"
     )
+    if args.spans is not None:
+        _emit_spans(args.spans, result, spec)
     return 0
+
+
+def _emit_spans(destination: str, result, spec: SimulationSpec) -> None:
+    """Write the span dump (JSON lines) to stdout (``-``) or a file."""
+    from repro.obs.export import (
+        dump_spans,
+        total_messages,
+        total_rpc_rounds,
+    )
+    from repro.sim.report import span_summary_table
+
+    print("\n" + span_summary_table(result.spans))
+    print(
+        f"reconciliation: spans carry {total_messages(result.spans)} "
+        f"messages / {total_rpc_rounds(result.spans)} rounds; traffic "
+        f"counted {result.traffic['messages']} / "
+        f"{result.traffic['rpc_rounds']}"
+    )
+    dump = dump_spans(
+        result.spans,
+        metadata={"config": spec.config, "seed": spec.seed},
+    )
+    if destination == "-":
+        print(dump, end="")
+    else:
+        with open(destination, "w") as fh:
+            fh.write(dump)
+        print(f"span dump written to {destination}")
 
 
 def cmd_figure14(args: argparse.Namespace) -> int:
@@ -253,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", choices=["sorted", "btree"], default="sorted")
     p.add_argument("--batch", type=int, default=1, help="neighbor batch size")
     p.add_argument("--read-repair", action="store_true")
+    p.add_argument(
+        "--spans",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="record per-operation span trees and dump them as JSON lines "
+        "to PATH (or stdout when no path is given)",
+    )
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("figure14", help="regenerate Figure 14")

@@ -16,7 +16,7 @@ and tests can reach inside (``cluster.representative("A")``,
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.config import SuiteConfig
 from repro.core.quorum import QuorumPolicy
@@ -25,6 +25,8 @@ from repro.core.suite import DirectorySuite, Placement
 from repro.core.versions import UNBOUNDED, VersionSpace
 from repro.net.network import LatencyModel, Network
 from repro.net.rpc import RpcEndpoint
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_TRACER
 from repro.storage.btree import BTreeStore
 from repro.storage.interface import RepresentativeStore
 from repro.storage.skiplist import SkipListStore
@@ -49,11 +51,18 @@ class DirectoryCluster:
         network: Network,
         suite: DirectorySuite,
         representatives: dict[str, DirectoryRepresentative],
+        tracer: Any = None,
     ) -> None:
         self.config = config
         self.network = network
         self.suite = suite
         self.representatives = representatives
+        self.tracer = tracer if tracer is not None else suite.tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The cluster-wide metrics registry (``metrics.snapshot()``)."""
+        return self.network.metrics
 
     # -- construction ----------------------------------------------------------
 
@@ -71,6 +80,8 @@ class DirectoryCluster:
         read_repair: bool = False,
         checkpoint_policy: CheckpointPolicy | None = None,
         node_for_rep: Callable[[str], str] | None = None,
+        tracer: Any = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "DirectoryCluster":
         """Build a cluster.
 
@@ -89,6 +100,13 @@ class DirectoryCluster:
             Representative name → node id; defaults to one node per
             representative named ``node-<rep>`` (co-locating several
             representatives on one node models correlated failures).
+        tracer:
+            A :class:`~repro.obs.spans.RecordingTracer` to capture
+            per-operation span trees; defaults to the zero-cost no-op
+            tracer.  Its clock is bound to the cluster's simulated clock.
+        metrics:
+            A :class:`~repro.obs.metrics.MetricsRegistry` to publish into;
+            a fresh registry is created by default (``cluster.metrics``).
         """
         config = (
             SuiteConfig.from_xyz(spec) if isinstance(spec, str) else spec
@@ -100,8 +118,10 @@ class DirectoryCluster:
                 f"unknown store {store!r}; choose from {sorted(STORE_FACTORIES)}"
             ) from None
 
-        network = Network(latency=latency)
-        rpc = RpcEndpoint(network, origin="client")
+        tracer = tracer if tracer is not None else NULL_TRACER
+        network = Network(latency=latency, metrics=metrics)
+        tracer.bind_clock(network.clock.now)
+        rpc = RpcEndpoint(network, origin="client", tracer=tracer)
         txn_manager = TransactionManager(rpc, clock_now=network.clock.now)
 
         placements: dict[str, Placement] = {}
@@ -117,6 +137,8 @@ class DirectoryCluster:
                 locking=locking,
                 checkpoint_policy=checkpoint_policy,
                 decision_outcomes=txn_manager.decision_log.committed_ids,
+                tracer=tracer,
+                metrics=network.metrics,
             )
             service_name = f"dir:{rep_name}"
             network.node(node_id).host(service_name, rep)
@@ -134,8 +156,10 @@ class DirectoryCluster:
             version_space=version_space,
             neighbor_batch_size=neighbor_batch_size,
             read_repair=read_repair,
+            tracer=tracer,
+            metrics=network.metrics,
         )
-        return cls(config, network, suite, representatives)
+        return cls(config, network, suite, representatives, tracer=tracer)
 
     # -- conveniences ----------------------------------------------------------
 

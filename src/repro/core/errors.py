@@ -182,6 +182,21 @@ class NodeDownError(NetworkError):
         self.node_id = node_id
 
 
+class OriginDownError(NodeDownError):
+    """An RPC was *issued from* a node that is currently crashed.
+
+    Subclasses :class:`NodeDownError` so generic availability handling
+    (quorum fallback, ``try_call``) treats it as a network failure, while
+    fault-injection tests can still catch it precisely.
+    """
+
+    def __init__(self, node_id: object) -> None:
+        Exception.__init__(
+            self, f"origin node {node_id} is down; cannot issue RPCs"
+        )
+        self.node_id = node_id
+
+
 class RpcTimeoutError(NetworkError):
     """An RPC did not complete within its timeout."""
 

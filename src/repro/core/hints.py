@@ -42,6 +42,16 @@ class HintStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict snapshot for the metrics registry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "refreshes": self.refreshes,
+            "hint_unavailable": self.hint_unavailable,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class HintedDirectory:
     """A directory suite fronted by a zero-vote hint representative.
@@ -76,6 +86,9 @@ class HintedDirectory:
         self.hint = hint
         self.refresh_on_miss = refresh_on_miss
         self.stats = HintStats()
+        # `self.stats` stays the public counter object; the cluster
+        # registry reads it through a provider.
+        suite.metrics.provider(f"hints.{hint}", self.stats.as_dict)
 
     # -- the hinted read protocol ------------------------------------------------
 
@@ -89,7 +102,9 @@ class HintedDirectory:
         """
         bkey = self.suite._user_key(key)
         self.suite.op_counts.lookups += 1
-        with self.suite._transaction() as txn:
+        with self.suite.tracer.span(
+            "op:lookup", key=key, client=self.suite.rpc.origin, hinted=True
+        ), self.suite._transaction() as txn:
             hint_reply = self._read_hint(txn, bkey)
             quorum = self.suite._collect_quorum("read")
             current_version = max(

@@ -31,6 +31,14 @@ from repro.core.errors import QuorumUnavailableError
 class QuorumPolicy(abc.ABC):
     """Strategy deciding which representatives form each quorum."""
 
+    #: Optional metrics registry the owning suite binds; policies with
+    #: interesting internal decisions (e.g. sticky reuse) publish into it.
+    metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach the cluster's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        self.metrics = registry
+
     @abc.abstractmethod
     def select(
         self,
@@ -116,6 +124,8 @@ class StickyQuorumPolicy(QuorumPolicy):
         )
         if reuse:
             assert previous is not None
+            if self.metrics is not None:
+                self.metrics.counter(f"suite.quorum.{kind}.sticky_reuses").inc()
             return list(previous)
         order = list(available)
         rng.shuffle(order)

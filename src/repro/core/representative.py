@@ -29,6 +29,8 @@ from repro.core.entries import Entry, LookupReply, NeighborReply
 from repro.core.errors import WouldBlockError
 from repro.core.keys import BoundedKey, KeyRange
 from repro.core.versions import Version
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_TRACER
 from repro.storage.interface import RepresentativeStore
 from repro.storage.snapshot import CheckpointPolicy
 from repro.storage.sorted_store import SortedStore
@@ -39,14 +41,35 @@ from repro.txn.undo import UndoCoalesce, UndoInsert, UndoRecord
 
 
 def _latched(method):
-    """Run a service method under the representative's physical latch."""
+    """Run a service method under the representative's physical latch.
+
+    The plain wrapper is the only thing untraced representatives ever
+    execute — identical cost to having no tracing support at all.  A
+    traced variant (recording a ``rep:<name>.<method>`` span annotated
+    with how many redo records the call appended) hangs off the wrapper
+    as ``_traced_impl``; representatives built with a recording tracer
+    bind it per instance in ``__init__``.
+    """
+
+    name = method.__name__
 
     def wrapper(self, *args, **kwargs):
         with self._latch:
             return method(self, *args, **kwargs)
 
-    wrapper.__name__ = method.__name__
-    wrapper.__doc__ = method.__doc__
+    def traced(self, *args, **kwargs):
+        with self._latch:
+            with self.tracer.span(f"rep:{self.name}.{name}") as span:
+                lsn_before = self.wal._next_lsn
+                result = method(self, *args, **kwargs)
+                appended = self.wal._next_lsn - lsn_before
+                if appended:
+                    span.set("wal_records", appended)
+                return result
+
+    wrapper.__name__ = traced.__name__ = method.__name__
+    wrapper.__doc__ = traced.__doc__ = method.__doc__
+    wrapper._traced_impl = traced
     return wrapper
 
 
@@ -70,6 +93,13 @@ class DirectoryRepresentative:
     decision_outcomes:
         Callable returning the coordinator's committed transaction ids,
         used to resolve in-doubt transactions at recovery.
+    tracer:
+        Span tracer shared with the cluster; defaults to the no-op
+        tracer.
+    metrics:
+        Cluster metrics registry.  When given, the WAL publishes append
+        counters under ``rep.<name>.wal`` and the lock table's counters
+        appear as the ``rep.<name>.locks`` provider.
     """
 
     def __init__(
@@ -79,13 +109,38 @@ class DirectoryRepresentative:
         locking: bool = True,
         checkpoint_policy: CheckpointPolicy | None = None,
         decision_outcomes: Callable[[], frozenset[int]] | None = None,
+        tracer: Any = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # Swap every latched service method for its traced variant on
+            # this instance; untraced representatives keep the plain
+            # class-level wrappers at zero added cost.
+            for attr in dir(type(self)):
+                traced = getattr(
+                    getattr(type(self), attr, None), "_traced_impl", None
+                )
+                if traced is not None:
+                    setattr(self, attr, traced.__get__(self))
         self._store_factory = store_factory
         self.store: RepresentativeStore = store_factory()
         self.locking = locking
         self.locks = LockTable()
-        self.wal = WriteAheadLog()
+        self.wal = WriteAheadLog(
+            metrics=metrics, metrics_prefix=f"rep.{name}.wal"
+        )
+        if metrics is not None:
+            # Reads self.locks dynamically: the table is replaced on crash.
+            metrics.provider(
+                f"rep.{name}.locks",
+                lambda: {
+                    "acquisitions": self.locks.stats.acquisitions,
+                    "immediate_grants": self.locks.stats.immediate_grants,
+                    "waits": self.locks.stats.waits,
+                },
+            )
         self._undo: dict[TxnId, list[UndoRecord]] = {}
         self._prepared: set[TxnId] = set()
         # Transactions that have performed any operation here since the

@@ -43,10 +43,12 @@ from repro.core.errors import (
 )
 from repro.core.keys import BoundedKey, wrap
 from repro.core.quorum import QuorumPolicy, RandomQuorumPolicy
-from repro.core.stats import DeleteOverheadStats, SuiteOpCounts
+from repro.core.stats import DeleteOverheadStats, RunningStat, SuiteOpCounts
 from repro.core.versions import VersionSpace, UNBOUNDED
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.txn.manager import TransactionManager
 from repro.txn.transaction import Transaction
 
@@ -91,6 +93,15 @@ class DirectorySuite:
         copy density, which shrinks the delete operation's
         insertions-while-coalescing overhead (see
         benchmarks/bench_read_repair.py).
+    tracer:
+        Span tracer shared with the cluster (defaults to the no-op
+        tracer).  With a recording tracer every public operation records
+        an ``op:<kind>`` root span, with ``quorum:`` and ``rpc:`` spans
+        nested below it.
+    metrics:
+        Cluster metrics registry; defaults to the network's.  The suite
+        publishes its operation counts, delete-overhead statistics, and
+        quorum-selection counters/size histograms into it.
     """
 
     def __init__(
@@ -105,6 +116,8 @@ class DirectorySuite:
         version_space: VersionSpace = UNBOUNDED,
         neighbor_batch_size: int = 1,
         read_repair: bool = False,
+        tracer: Any = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         missing = set(config.names) - set(placements)
         if missing:
@@ -124,6 +137,47 @@ class DirectorySuite:
         self.repairs_performed = 0
         self.delete_stats = DeleteOverheadStats()
         self.op_counts = SuiteOpCounts()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else network.metrics
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Publish the suite's stat surfaces into the registry.
+
+        Providers read the *current* attribute each snapshot, so code
+        that swaps in fresh collectors (the simulation driver resets
+        ``delete_stats`` between phases) stays readable.
+        """
+        metrics = self.metrics
+        metrics.provider(
+            "suite.ops",
+            lambda: {
+                "lookups": self.op_counts.lookups,
+                "inserts": self.op_counts.inserts,
+                "updates": self.op_counts.updates,
+                "deletes": self.op_counts.deletes,
+                "failed": self.op_counts.failed,
+                "total": self.op_counts.total,
+            },
+        )
+        metrics.provider(
+            "suite.delete_overhead", lambda: self.delete_stats.as_table()
+        )
+        metrics.gauge("suite.read_repairs", lambda: self.repairs_performed)
+        # Quorum-size distributions are plain RunningStats updated without
+        # locking on the (very hot) collection path — the same convention
+        # as op_counts and delete_stats — and *adopted* by the registry's
+        # histograms, so snapshots see them live.  Selections per kind is
+        # the histogram's sample count, exposed as a gauge.
+        self._quorum_members = {}
+        for kind in ("read", "write"):
+            stat = RunningStat()
+            self._quorum_members[kind] = stat
+            metrics.histogram(f"suite.quorum.{kind}.members", stat=stat)
+            metrics.gauge(
+                f"suite.quorum.{kind}.selections", lambda s=stat: s.n
+            )
+        self.quorum_policy.bind_metrics(metrics)
 
     # ------------------------------------------------------------------
     # public API (user payload keys)
@@ -137,30 +191,46 @@ class DirectorySuite:
         """
         bkey = self._user_key(key)
         self.op_counts.lookups += 1
-        with self._transaction() as txn:
-            reply = self._suite_lookup(txn, bkey)
+        tracer = self.tracer
+        with tracer.span(
+            "op:lookup", key=key, client=self.rpc.origin
+        ) if tracer.enabled else NULL_SPAN:
+            with self._transaction() as txn:
+                reply = self._suite_lookup(txn, bkey)
         return reply.present, reply.value
 
     def insert(self, key: Any, value: Any) -> None:
         """DirSuiteInsert: add a new entry; error if the key is present."""
         bkey = self._user_key(key)
         self.op_counts.inserts += 1
-        with self._transaction() as txn:
-            self._suite_insert(txn, bkey, value, expect_present=False)
+        tracer = self.tracer
+        with tracer.span(
+            "op:insert", key=key, value=value, client=self.rpc.origin
+        ) if tracer.enabled else NULL_SPAN:
+            with self._transaction() as txn:
+                self._suite_insert(txn, bkey, value, expect_present=False)
 
     def update(self, key: Any, value: Any) -> None:
         """DirSuiteUpdate: overwrite an entry; error if the key is absent."""
         bkey = self._user_key(key)
         self.op_counts.updates += 1
-        with self._transaction() as txn:
-            self._suite_insert(txn, bkey, value, expect_present=True)
+        tracer = self.tracer
+        with tracer.span(
+            "op:update", key=key, value=value, client=self.rpc.origin
+        ) if tracer.enabled else NULL_SPAN:
+            with self._transaction() as txn:
+                self._suite_insert(txn, bkey, value, expect_present=True)
 
     def delete(self, key: Any) -> None:
         """DirSuiteDelete: remove an entry; error if the key is absent."""
         bkey = self._user_key(key)
         self.op_counts.deletes += 1
-        with self._transaction() as txn:
-            self._suite_delete(txn, bkey)
+        tracer = self.tracer
+        with tracer.span(
+            "op:delete", key=key, client=self.rpc.origin
+        ) if tracer.enabled else NULL_SPAN:
+            with self._transaction() as txn:
+                self._suite_delete(txn, bkey)
 
     # ------------------------------------------------------------------
     # transaction plumbing
@@ -186,9 +256,19 @@ class DirectorySuite:
 
     def _collect_quorum(self, kind: str) -> list[str]:
         """CollectReadQuorum / CollectWriteQuorum."""
-        return self.quorum_policy.select(
-            kind, self._available(), self.config, self.rng
-        )
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(f"quorum:{kind}") as span:
+                members = self.quorum_policy.select(
+                    kind, self._available(), self.config, self.rng
+                )
+                span.set("members", list(members))
+        else:
+            members = self.quorum_policy.select(
+                kind, self._available(), self.config, self.rng
+            )
+        self._quorum_members[kind].add(len(members))
+        return members
 
     def _call(self, txn: Transaction, rep: str, method: str, *args: Any, **kw: Any) -> Any:
         """RPC to one representative, enlisting it in the transaction."""

@@ -15,6 +15,7 @@ from repro.core.errors import NodeDownError
 from repro.net.clock import SimClock
 from repro.net.message import TrafficStats
 from repro.net.node import Node
+from repro.obs.metrics import MetricsRegistry
 
 #: Latency models map (src, dst) node ids to one-way latency in ticks.
 LatencyModel = Callable[[str, str], float]
@@ -56,10 +57,17 @@ class Network:
         self,
         clock: SimClock | None = None,
         latency: LatencyModel | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.latency = latency if latency is not None else uniform_latency()
         self.stats = TrafficStats()
+        # The cluster-wide registry.  `self.stats` stays the source of
+        # truth for traffic (and the public attribute benchmarks read);
+        # the registry reads it lazily, so the hot path pays nothing.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.provider("net.traffic", self.stats.snapshot)
+        self.metrics.gauge("net.clock", self.clock.now)
         self._nodes: dict[str, Node] = {}
         # Partition groups: nodes can only reach nodes in their own group.
         # None means fully connected.

@@ -3,28 +3,45 @@
 The paper writes remote invocations as ``Send(<procedure>) to(<object>)``
 with ARGUS-like semantics, deliberately eliding error responses.  This
 layer supplies the elided part: a call to a crashed or partitioned node
-raises :class:`~repro.core.errors.NodeDownError`, and callers (the suite's
-quorum machinery) must cope.
+raises :class:`~repro.core.errors.NodeDownError`, a call *from* a crashed
+node raises :class:`~repro.core.errors.OriginDownError`, and callers (the
+suite's quorum machinery) must cope.
 
 An :class:`RpcEndpoint` is the client stub owned by one origin (a suite
 front-end running on some node, or an external client with origin
 ``"client"``).  It resolves a (node, service) pair, accounts the traffic,
 advances the simulated clock, and invokes the service method in-process.
+When a :class:`~repro.obs.spans.RecordingTracer` is attached, every call
+records an ``rpc:<service>.<method>`` span carrying its destination,
+message count, and payload size; the default
+:class:`~repro.obs.spans.NullTracer` reduces instrumentation to one
+attribute check.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.core.errors import OriginDownError
 from repro.net.network import Network
+from repro.obs.spans import NULL_TRACER
 
 
 class RpcEndpoint:
     """Client-side stub for issuing RPCs from a fixed origin."""
 
-    def __init__(self, network: Network, origin: str = "client") -> None:
+    def __init__(
+        self, network: Network, origin: str = "client", tracer: Any = None
+    ) -> None:
         self.network = network
         self.origin = origin
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # The tracer is fixed for the endpoint's lifetime, so the traced
+        # implementation is bound once here instead of branching on every
+        # call — RPC issue is the hottest path in the simulator and the
+        # untraced default must stay at seed cost.
+        if self.tracer.enabled:
+            self.call = self._traced_call
 
     def call(
         self,
@@ -37,7 +54,8 @@ class RpcEndpoint:
     ) -> Any:
         """Invoke ``service.method(*args, **kwargs)`` on ``node_id``.
 
-        Raises NodeDownError if the target is crashed or unreachable.
+        Raises OriginDownError if this endpoint's own node is crashed and
+        NodeDownError if the target is crashed or unreachable.
         Application exceptions raised by the service propagate to the
         caller unchanged (the reply message is still accounted: the
         remote node did the work and answered).
@@ -45,9 +63,7 @@ class RpcEndpoint:
         if self.origin in self.network._nodes:  # origin may be external
             origin_node = self.network.node(self.origin)
             if not origin_node.is_up:
-                raise RuntimeError(
-                    f"origin node {self.origin} is down; cannot issue RPCs"
-                )
+                raise OriginDownError(self.origin)
         self.network.check_path(self.origin, node_id)
         service = self.network.node(node_id).service(service_name)
         bound = getattr(service, method)
@@ -55,6 +71,38 @@ class RpcEndpoint:
             self.origin, node_id, f"{service_name}.{method}", payload_items
         )
         return bound(*args, **kwargs)
+
+    def _traced_call(
+        self,
+        node_id: str,
+        service_name: str,
+        method: str,
+        *args: Any,
+        payload_items: int = 1,
+        **kwargs: Any,
+    ) -> Any:
+        """:meth:`call` wrapped in an ``rpc:`` span (see ``__init__``)."""
+        with self.tracer.span(
+            f"rpc:{service_name}.{method}",
+            dst=node_id,
+            origin=self.origin,
+            payload_items=payload_items,
+        ) as span:
+            if self.origin in self.network._nodes:
+                origin_node = self.network.node(self.origin)
+                if not origin_node.is_up:
+                    raise OriginDownError(self.origin)
+            self.network.check_path(self.origin, node_id)
+            service = self.network.node(node_id).service(service_name)
+            bound = getattr(service, method)
+            self.network.transmit_round(
+                self.origin, node_id, f"{service_name}.{method}", payload_items
+            )
+            # Set only after transmit_round: a span's message count must
+            # reconcile exactly with the network's traffic accounting,
+            # and a call rejected before transmission sent nothing.
+            span.set("messages", 2)
+            return bound(*args, **kwargs)
 
     def try_call(
         self,
@@ -67,9 +115,9 @@ class RpcEndpoint:
     ) -> Any:
         """Like :meth:`call` but returns ``default`` on network failure.
 
-        Application exceptions still propagate; only NodeDownError is
-        absorbed.  Used by best-effort paths such as background ghost
-        cleanup.
+        Application exceptions still propagate; only NodeDownError (which
+        includes OriginDownError) is absorbed.  Used by best-effort paths
+        such as background ghost cleanup.
         """
         from repro.core.errors import NodeDownError
 

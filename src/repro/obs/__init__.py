@@ -1,0 +1,44 @@
+"""Observability: per-transaction span tracing and a unified metrics
+registry.
+
+* :mod:`repro.obs.spans` — span trees per directory operation (suite op
+  → quorum collection → RPC → representative store/WAL/lock work), with
+  a zero-cost :class:`NullTracer` default and a thread-safe
+  :class:`RecordingTracer`;
+* :mod:`repro.obs.metrics` — named counters, histograms (built on
+  :class:`~repro.core.stats.RunningStat`), gauges, and providers, one
+  registry per cluster (``cluster.metrics.snapshot()``);
+* :mod:`repro.obs.export` — JSON-lines span dumps, loadable and
+  convertible to a replayable :class:`~repro.sim.trace.Trace`.
+
+See docs/OBSERVABILITY.md for the span and metric catalogs.
+"""
+
+from repro.obs.export import (
+    dump_spans,
+    load_spans,
+    load_spans_file,
+    save_spans,
+    spans_to_trace,
+    total_messages,
+    total_rpc_rounds,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, NullTracer, RecordingTracer, Span
+
+__all__ = [
+    "Span",
+    "NullTracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "dump_spans",
+    "load_spans",
+    "save_spans",
+    "load_spans_file",
+    "spans_to_trace",
+    "total_messages",
+    "total_rpc_rounds",
+]

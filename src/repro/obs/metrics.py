@@ -1,0 +1,214 @@
+"""A unified registry of named counters, histograms, gauges, providers.
+
+Before this module existed, every subsystem kept its own ad-hoc stat
+surface: traffic counters on :class:`~repro.net.network.Network`,
+delete-overhead moments in :mod:`repro.core.stats`, hint hit rates on
+:class:`~repro.core.hints.HintedDirectory`.  The registry gives them all
+one namespace and one export call (:meth:`MetricsRegistry.snapshot`)
+without taking over their storage: cheap monotonic values become
+:class:`Counter`\\ s or :class:`Histogram`\\ s (a thin thread-safe shell
+around :class:`~repro.core.stats.RunningStat`), while existing stat
+objects register lazily as *gauges* (a callable returning a value) or
+*providers* (a callable returning a whole mapping), so reading the
+registry never costs anything on the hot path.
+
+Metric names are dotted lowercase paths, e.g. ``net.traffic`` (provider),
+``suite.quorum.read.selections`` (gauge), ``rep.A.wal.appends``
+(provider); see docs/OBSERVABILITY.md for the full catalog.
+
+All mutation is thread-safe: counters and histograms carry their own
+locks so concurrent client threads (:mod:`repro.sim.threads`) can
+publish without coordination.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping
+
+from repro.core.stats import RunningStat
+
+
+class Counter:
+    """A named, monotonically increasing integer."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1)."""
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """A named distribution: Welford moments plus max, via RunningStat."""
+
+    __slots__ = ("name", "stat", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        stat: RunningStat | None = None,
+        keep_samples: bool = False,
+    ) -> None:
+        self.name = name
+        self.stat = stat if stat is not None else RunningStat(keep_samples)
+        self._lock = threading.Lock()
+
+    def observe(self, x: float) -> None:
+        """Record one sample."""
+        with self._lock:
+            self.stat.add(x)
+
+    def snapshot(self) -> dict[str, float]:
+        """``{"n", "avg", "max", "std_dev"}`` for this distribution."""
+        with self._lock:
+            return {
+                "n": self.stat.n,
+                "avg": self.stat.avg,
+                "max": self.stat.max,
+                "std_dev": self.stat.std_dev,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.stat = RunningStat(self.stat.keep_samples)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.stat.n})"
+
+
+class MetricsRegistry:
+    """One namespace for every metric a cluster publishes.
+
+    ``counter`` and ``histogram`` are get-or-create (the same name always
+    yields the same object, so call sites need no registration phase);
+    ``gauge`` and ``provider`` attach read-on-demand callables and may be
+    re-registered (last one wins — components that are rebuilt, like a
+    suite whose ``delete_stats`` is swapped for a fresh collector, simply
+    read the current attribute from inside their closure).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Callable[[], Any]] = {}
+        self._providers: dict[str, Callable[[], Mapping[str, Any]]] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        with self._lock:
+            self._check_free(name, allow="counter")
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    def histogram(
+        self,
+        name: str,
+        stat: RunningStat | None = None,
+        keep_samples: bool = False,
+    ) -> Histogram:
+        """Get or create a histogram; ``stat`` adopts an existing
+        :class:`RunningStat` as its storage (so legacy collectors become
+        registry-readable without copying)."""
+        with self._lock:
+            self._check_free(name, allow="histogram")
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(
+                    name, stat=stat, keep_samples=keep_samples
+                )
+            return hist
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a single read-on-demand value."""
+        with self._lock:
+            self._check_free(name, allow="gauge")
+            self._gauges[name] = fn
+
+    def provider(self, name: str, fn: Callable[[], Mapping[str, Any]]) -> None:
+        """Register a mapping-valued snapshot source under one name."""
+        with self._lock:
+            self._check_free(name, allow="provider")
+            self._providers[name] = fn
+
+    def _check_free(self, name: str, allow: str) -> None:
+        kinds = {
+            "counter": self._counters,
+            "histogram": self._histograms,
+            "gauge": self._gauges,
+            "provider": self._providers,
+        }
+        for kind, table in kinds.items():
+            if kind != allow and name in table:
+                raise ValueError(
+                    f"metric name {name!r} is already a {kind}"
+                )
+
+    # -- reading ---------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Every registered metric name, sorted."""
+        with self._lock:
+            return sorted(
+                [
+                    *self._counters,
+                    *self._histograms,
+                    *self._gauges,
+                    *self._providers,
+                ]
+            )
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as one plain dict.
+
+        Counters flatten to ints, histograms to their
+        ``{"n","avg","max","std_dev"}`` rows, gauges and providers to
+        whatever their callables return right now.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
+            providers = dict(self._providers)
+        out: dict[str, Any] = {}
+        for name, counter in counters.items():
+            out[name] = counter.value
+        for name, hist in histograms.items():
+            out[name] = hist.snapshot()
+        for name, fn in gauges.items():
+            out[name] = fn()
+        for name, fn in providers.items():
+            out[name] = dict(fn())
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter and histogram (gauges/providers are live)."""
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+        for counter in counters:
+            counter.reset()
+        for hist in histograms:
+            hist.reset()

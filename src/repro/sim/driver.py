@@ -18,6 +18,7 @@ from repro.cluster import DirectoryCluster
 from repro.core.errors import NetworkError, TransactionError
 from repro.core.quorum import QuorumPolicy
 from repro.core.stats import DeleteOverheadStats, SuiteOpCounts
+from repro.obs.spans import RecordingTracer, Span
 from repro.sim.workload import OpMix, Operation, UniformWorkload
 
 
@@ -41,6 +42,9 @@ class SimulationSpec:
     #: measured operations (a ghost is a stored entry whose key is no
     #: longer in the directory).  Costs a full cluster scan per sample.
     ghost_sample_interval: int = 0
+    #: Record a span tree per measured operation (see :mod:`repro.obs`).
+    #: Off by default: the no-op tracer keeps instrumentation free.
+    trace_spans: bool = False
 
 
 @dataclass
@@ -58,6 +62,10 @@ class SimulationResult:
     #: (operation index, total ghosts across replicas) samples, when
     #: ``spec.ghost_sample_interval`` > 0.
     ghost_timeline: list[tuple[int, int]] = field(default_factory=list)
+    #: One span tree per measured operation, when ``spec.trace_spans``.
+    spans: list[Span] = field(default_factory=list)
+    #: ``cluster.metrics.snapshot()`` taken at the end of the run.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def stats_table(self) -> dict[str, dict[str, float]]:
         """The Figure 14/15 row block for this run."""
@@ -93,6 +101,7 @@ def run_simulation(
             quorum_policy=spec.quorum_policy,
             neighbor_batch_size=spec.neighbor_batch_size,
             read_repair=spec.read_repair,
+            tracer=RecordingTracer() if spec.trace_spans else None,
         )
     suite = cluster.suite
     workload = UniformWorkload(
@@ -107,10 +116,13 @@ def run_simulation(
     for op in workload.operations(spec.warmup_operations):
         _apply(suite, op)
 
-    # Measurement phase starts from clean statistics.
+    # Measurement phase starts from clean statistics.  The tracer resets
+    # with the traffic counters so span message counts reconcile exactly
+    # against ``result.traffic``.
     suite.delete_stats = DeleteOverheadStats(keep_samples=spec.keep_samples)
     suite.op_counts = SuiteOpCounts()
     cluster.network.stats.reset()
+    cluster.tracer.reset()
 
     failed = 0
     ghost_timeline: list[tuple[int, int]] = []
@@ -145,6 +157,8 @@ def run_simulation(
         elapsed_seconds=time.perf_counter() - started,
         failed_operations=failed,
         ghost_timeline=ghost_timeline,
+        spans=cluster.tracer.finished_roots(),
+        metrics=cluster.metrics.snapshot(),
     )
 
 

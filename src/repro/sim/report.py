@@ -84,6 +84,39 @@ def figure15_table(
     return format_table(headers, rows, title=title)
 
 
+def span_summary_table(
+    spans: Sequence[Any],
+    title: str = "Per-operation span summary",
+) -> str:
+    """Aggregate a span dump by operation kind.
+
+    One row per ``op:<kind>`` root: how many ran, how many failed, and
+    the average RPC rounds, messages, and simulated duration per
+    operation — the quickest answer to "where do my operations spend
+    their messages?".
+    """
+    groups: dict[str, list[Any]] = {}
+    for span in spans:
+        if span.name.startswith("op:"):
+            groups.setdefault(span.name[3:], []).append(span)
+    headers = ["operation", "count", "failed", "rounds/op", "msgs/op", "sim time/op"]
+    rows = []
+    for kind in sorted(groups):
+        ops = groups[kind]
+        n = len(ops)
+        rows.append(
+            [
+                kind,
+                str(n),
+                str(sum(1 for s in ops if s.status != "ok")),
+                f"{sum(s.rpc_rounds() for s in ops) / n:.2f}",
+                f"{sum(s.message_count() for s in ops) / n:.2f}",
+                f"{sum(s.duration for s in ops) / n:.2f}",
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
 def comparison_table(
     rows: Mapping[str, Mapping[str, Any]],
     columns: Sequence[str],

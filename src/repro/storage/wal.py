@@ -25,6 +25,7 @@ from typing import Any, Iterator
 from repro.core.errors import RecoveryError
 from repro.core.keys import BoundedKey
 from repro.core.versions import Version
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.interface import RepresentativeStore, StoreSnapshot
 
 # Record kinds.
@@ -56,10 +57,39 @@ class WalRecord:
 
 @dataclass
 class WriteAheadLog:
-    """An append-only redo log for one representative."""
+    """An append-only redo log for one representative.
+
+    When constructed with a :class:`~repro.obs.metrics.MetricsRegistry`,
+    the log publishes its per-kind append counts as the
+    ``<metrics_prefix>.appends`` provider — monotonic even across
+    checkpoint truncation, unlike ``len(log)``.  The counts themselves
+    are plain ints bumped on the append path without locking: appends
+    already run under the owning representative's latch.
+    """
 
     records: list[WalRecord] = field(default_factory=list)
     _next_lsn: int = 1
+    metrics: MetricsRegistry | None = None
+    metrics_prefix: str = "wal"
+    append_counts: dict[str, int] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        self.append_counts = {
+            kind: 0
+            for kind in (
+                OP_INSERT,
+                OP_COALESCE,
+                OP_PREPARE,
+                OP_COMMIT,
+                OP_ABORT,
+                OP_CHECKPOINT,
+            )
+        }
+        if self.metrics is not None:
+            self.metrics.provider(
+                f"{self.metrics_prefix}.appends",
+                lambda: self.append_counts,
+            )
 
     # -- appends -------------------------------------------------------------
 
@@ -67,6 +97,7 @@ class WriteAheadLog:
         record = WalRecord(self._next_lsn, txn_id, kind, payload)
         self.records.append(record)
         self._next_lsn += 1
+        self.append_counts[kind] += 1
         return record
 
     def log_insert(

@@ -38,6 +38,47 @@ class TestCommands:
         assert "entries_in_ranges_coalesced" in out
         assert "RPC rounds" in out
 
+    def test_simulate_spans_to_stdout(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "20", "--ops", "150", "--spans",
+        )
+        assert code == 0
+        assert "Per-operation span summary" in out
+        # the JSON-lines dump starts at the header line
+        lines = out.splitlines()
+        start = next(
+            i for i, line in enumerate(lines) if line.startswith('{"format"')
+        )
+        header = json.loads(lines[start])
+        trees = [json.loads(line) for line in lines[start + 1:]]
+        assert header["count"] == len(trees) == 150
+        # per-op message counts reconcile exactly with the traffic counters
+        def messages(tree):
+            return tree["attrs"].get("messages", 0) + sum(
+                messages(c) for c in tree["children"]
+            )
+
+        reported = next(l for l in lines if l.startswith("reconciliation:"))
+        total = sum(messages(t) for t in trees)
+        assert f"spans carry {total} messages" in reported
+        assert f"traffic counted {total}" in reported
+
+    def test_simulate_spans_to_file(self, capsys, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "10", "--ops", "50", "--spans", str(path),
+        )
+        assert code == 0
+        assert f"span dump written to {path}" in out
+        from repro.obs.export import load_spans_file
+
+        spans = load_spans_file(path)
+        assert len(spans) == 50
+
     def test_simulate_with_btree_and_repair(self, capsys):
         code, out = run_cli(
             capsys,
