@@ -33,6 +33,7 @@ def scale() -> dict:
             "figure15_sizes": [100, 1_000, 10_000],
             "generic_ops": 10_000,
             "concurrency_txns": 2_000,
+            "chaos_ops": 10_000,
         }
     return {
         "figure14_ops": 2_000,
@@ -40,6 +41,7 @@ def scale() -> dict:
         "figure15_sizes": [100, 1_000],
         "generic_ops": 2_000,
         "concurrency_txns": 500,
+        "chaos_ops": 2_000,
     }
 
 

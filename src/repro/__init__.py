@@ -69,7 +69,10 @@ from repro.core.quorum import (
     RandomQuorumPolicy,
     StickyQuorumPolicy,
 )
+from repro.core.resilient import ResilientSuite, RetryPolicy
 from repro.core.suite import DirectorySuite
+from repro.net.detector import FailureDetector
+from repro.net.failures import LossEvent, LossyLinks, ScriptedLoss
 from repro.obs import (
     MetricsRegistry,
     NullTracer,
@@ -95,6 +98,13 @@ __all__ = [
     "StickyQuorumPolicy",
     "PreferredQuorumPolicy",
     "LocalityQuorumPolicy",
+    # fault masking
+    "ResilientSuite",
+    "RetryPolicy",
+    "FailureDetector",
+    "LossyLinks",
+    "ScriptedLoss",
+    "LossEvent",
     # simulation entry points
     "SimulationSpec",
     "SimulationResult",

@@ -4,6 +4,7 @@
 
     python -m repro demo
     python -m repro simulate --config 3-2-2 --size 100 --ops 10000
+    python -m repro simulate --loss 0.05 --retries 4
     python -m repro figure14 [--ops 10000]
     python -m repro figure15 [--ops 100000 --sizes 100,1000,10000]
     python -m repro availability [--p 0.8,0.9,0.95,0.99]
@@ -78,6 +79,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         neighbor_batch_size=args.batch,
         read_repair=args.read_repair,
         trace_spans=args.spans is not None,
+        loss=args.loss,
+        retries=args.retries,
+        verify_model=args.loss > 0.0,
     )
     result = run_simulation(spec)
     rows = []
@@ -100,6 +104,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"{result.traffic['rpc_rounds']} RPC rounds; "
         f"{result.elapsed_seconds:.1f}s wall clock"
     )
+    if args.loss > 0.0:
+        metrics = result.metrics
+        retries = metrics.get("suite.retry.attempts", 0)
+        masked = metrics.get("suite.retry.masked", 0)
+        exactly_once = metrics.get("suite.retry.exactly_once", 0)
+        dropped = metrics.get("net.loss.requests_dropped", 0) + metrics.get(
+            "net.loss.replies_dropped", 0
+        )
+        print(
+            f"chaos: loss={args.loss:.0%} dropped {dropped} messages; "
+            f"{result.failed_operations} client-visible failures; "
+            f"{retries} retries ({masked} masked, {exactly_once} resolved "
+            f"exactly-once); {result.model_mismatches} model mismatches; "
+            f"{result.sim_ticks:.0f} simulated ticks"
+        )
     if args.spans is not None:
         _emit_spans(args.spans, result, spec)
     return 0
@@ -284,6 +303,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", choices=["sorted", "btree"], default="sorted")
     p.add_argument("--batch", type=int, default=1, help="neighbor batch size")
     p.add_argument("--read-repair", action="store_true")
+    p.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-message loss probability during the measured phase "
+        "(enables the fault model, failure detector, and model check)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="client retries per operation (0 = errors surface raw)",
+    )
     p.add_argument(
         "--spans",
         nargs="?",

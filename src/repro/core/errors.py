@@ -198,7 +198,27 @@ class OriginDownError(NodeDownError):
 
 
 class RpcTimeoutError(NetworkError):
-    """An RPC did not complete within its timeout."""
+    """An RPC did not complete within its timeout.
+
+    Raised by the lossy-network fault injection (see
+    :mod:`repro.net.failures`): a *request-lost* timeout means the call
+    had no effect at the target, while a *reply-lost* timeout means the
+    effect was applied and only the answer was dropped — the caller
+    cannot tell the two apart, which is exactly the ambiguity the
+    retrying front-end (:class:`~repro.core.resilient.ResilientSuite`)
+    must resolve before re-executing a write.
+    """
+
+    def __init__(
+        self, node_id: object, method: str = "", lost: str = "request"
+    ) -> None:
+        detail = f" ({method})" if method else ""
+        super().__init__(f"rpc to {node_id}{detail} timed out")
+        self.node_id = node_id
+        self.method = method
+        #: Which message was dropped: ``"request"`` or ``"reply"``.  Only
+        #: the fault injector knows; real callers must not branch on it.
+        self.lost = lost
 
 
 class QuorumUnavailableError(NetworkError):

@@ -16,6 +16,10 @@ with large performance consequences that section 5 of the paper discusses:
 A policy receives the currently *available* representatives (up and
 reachable) with their votes, and must return members carrying enough
 votes, or raise :class:`~repro.core.errors.QuorumUnavailableError`.
+Suites call :meth:`QuorumPolicy.choose`, which first consults a bound
+failure detector (see :mod:`repro.net.detector`) so that retries under
+fault injection avoid representatives recently seen dead, instead of
+re-rolling the same doomed quorum.
 """
 
 from __future__ import annotations
@@ -34,10 +38,58 @@ class QuorumPolicy(abc.ABC):
     #: Optional metrics registry the owning suite binds; policies with
     #: interesting internal decisions (e.g. sticky reuse) publish into it.
     metrics = None
+    #: Optional failure detector (see :mod:`repro.net.detector`): when
+    #: bound, :meth:`choose` screens suspected representatives out of the
+    #: candidate list so retries stop re-rolling known-bad quorums.
+    detector = None
+    _node_of = None
 
     def bind_metrics(self, registry) -> None:
         """Attach the cluster's :class:`~repro.obs.metrics.MetricsRegistry`."""
         self.metrics = registry
+
+    def bind_detector(self, detector, node_of=None) -> None:
+        """Attach a failure detector.
+
+        ``node_of`` maps a representative name to the node id the
+        detector tracks (a suite passes its placement map); identity by
+        default.
+        """
+        self.detector = detector
+        self._node_of = node_of or (lambda name: name)
+
+    def choose(
+        self,
+        kind: str,
+        available: list[str],
+        config: SuiteConfig,
+        rng: random.Random,
+    ) -> list[str]:
+        """Screen suspects out of ``available``, then :meth:`select`.
+
+        Screening is advisory: if the trusted survivors cannot carry a
+        quorum, the full candidate list is used unchanged (and a
+        ``suite.quorum.<kind>.suspect_fallbacks`` counter ticks), so a
+        stale suspicion can never make an operation less available.
+        """
+        if self.detector is not None:
+            trusted = [
+                n for n in available
+                if not self.detector.is_suspect(self._node_of(n))
+            ]
+            if len(trusted) < len(available):
+                needed = self.quorum_size(kind, config)
+                if sum(config.votes[n] for n in trusted) >= needed:
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            f"suite.quorum.{kind}.suspects_screened"
+                        ).inc(len(available) - len(trusted))
+                    available = trusted
+                elif self.metrics is not None:
+                    self.metrics.counter(
+                        f"suite.quorum.{kind}.suspect_fallbacks"
+                    ).inc()
+        return self.select(kind, available, config, rng)
 
     @abc.abstractmethod
     def select(

@@ -1,0 +1,184 @@
+"""A retrying suite front-end that masks transient network faults.
+
+The paper assumes "a flexible underlying transaction mechanism" and does
+not say what a client does when an operation aborts because a message was
+lost or a representative looked dead.  :class:`ResilientSuite` supplies
+the standard answer — bounded abort-and-retry with exponential backoff —
+while preserving the directory's exactly-once semantics for writes:
+
+* every attempt is a fresh transaction, so a failed attempt leaves no
+  partial effects to compensate for (strict 2PL + 2PC already guarantee
+  that);
+* each retry re-selects quorums, and because the suite's failure detector
+  (:mod:`repro.net.detector`) has by then absorbed the previous attempt's
+  down/timeout evidence, the re-selection steers around representatives
+  recently seen dead;
+* backoff advances the *simulated* clock, so suspicion probations expire
+  and scripted failure schedules progress while the client waits;
+* an attempt that failed *ambiguously* — the error says nothing about
+  whether the commit happened, as when the coordinator's final reply was
+  lost — is resolved against the 2PC decision log using the attempt's
+  transaction id (:attr:`DirectorySuite.last_txn_id`): if the log says
+  the transaction committed, the write is reported successful instead of
+  re-executed.  A retried Insert whose first attempt actually committed
+  therefore returns success, not ``KeyAlreadyPresentError``.
+
+Lookups skip the decision-log probe: they are idempotent, and a committed
+lookup whose reply was lost still has to be re-run to recover the value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.errors import NetworkError, TwoPhaseCommitError
+from repro.core.suite import DirectorySuite
+from repro.obs.spans import NULL_SPAN
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter, in simulated ticks.
+
+    ``max_attempts`` counts total tries (1 = no retries).  The delay
+    before retry *n* (n = 1, 2, ...) is
+    ``min(base_backoff * multiplier**(n-1), max_backoff)`` stretched by a
+    uniformly random factor in ``[1, 1 + jitter]`` so concurrent clients
+    don't retry in lockstep.
+    """
+
+    max_attempts: int = 5
+    base_backoff: float = 10.0
+    multiplier: float = 2.0
+    max_backoff: float = 500.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter}")
+
+    def backoff(self, retry_index: int, rng: random.Random) -> float:
+        """Delay in ticks before the ``retry_index``-th retry (0-based)."""
+        raw = min(
+            self.base_backoff * self.multiplier**retry_index, self.max_backoff
+        )
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+class ResilientSuite:
+    """Retrying wrapper around a :class:`DirectorySuite`.
+
+    Exposes the same ``lookup`` / ``insert`` / ``update`` / ``delete``
+    surface; any other attribute access is delegated to the wrapped
+    suite, so existing code (benchmarks, ``authoritative_state``) works
+    on either.  Retryable errors are the transient ones — every
+    :class:`NetworkError` and the 2PC forced abort
+    (:class:`TwoPhaseCommitError`); application errors such as
+    ``KeyAlreadyPresentError`` propagate immediately.
+
+    Publishes ``suite.retry.attempts`` / ``.masked`` / ``.exhausted`` /
+    ``.exactly_once`` counters and a ``suite.retry.backoff`` histogram,
+    and records a ``retry:<op>`` span per operation when the suite's
+    tracer is recording.
+    """
+
+    RETRYABLE = (NetworkError, TwoPhaseCommitError)
+
+    def __init__(
+        self,
+        suite: DirectorySuite,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.suite = suite
+        self.policy = policy or RetryPolicy()
+        self.rng = rng or random.Random()
+        self._clock = suite.network.clock
+        metrics = suite.metrics
+        self._retries = metrics.counter("suite.retry.attempts")
+        self._masked = metrics.counter("suite.retry.masked")
+        self._exhausted = metrics.counter("suite.retry.exhausted")
+        self._exactly_once = metrics.counter("suite.retry.exactly_once")
+        self._backoff_hist = metrics.histogram("suite.retry.backoff")
+
+    # -- the retried surface ------------------------------------------------
+
+    def lookup(self, key: Any) -> tuple[bool, Any]:
+        return self._run("lookup", lambda: self.suite.lookup(key), write=False)
+
+    def insert(self, key: Any, value: Any) -> None:
+        return self._run(
+            "insert", lambda: self.suite.insert(key, value), write=True
+        )
+
+    def update(self, key: Any, value: Any) -> None:
+        return self._run(
+            "update", lambda: self.suite.update(key, value), write=True
+        )
+
+    def delete(self, key: Any) -> None:
+        return self._run("delete", lambda: self.suite.delete(key), write=True)
+
+    # -- machinery ----------------------------------------------------------
+
+    def _run(self, kind: str, attempt_fn: Callable[[], Any], write: bool) -> Any:
+        tracer = self.suite.tracer
+        with tracer.span(
+            f"retry:{kind}", client=self.suite.rpc.origin
+        ) if tracer.enabled else NULL_SPAN as span:
+            for attempt in range(1, self.policy.max_attempts + 1):
+                try:
+                    result = attempt_fn()
+                except self.RETRYABLE as exc:
+                    if write and self._attempt_committed():
+                        # Ambiguous failure, resolved: the attempt's
+                        # transaction is in the decision log as committed,
+                        # so the write took effect exactly once.
+                        self._exactly_once.inc()
+                        span.set("attempts", attempt)
+                        span.set("outcome", "exactly_once")
+                        return None
+                    if attempt >= self.policy.max_attempts:
+                        self._exhausted.inc()
+                        span.set("attempts", attempt)
+                        span.set("outcome", "exhausted")
+                        raise
+                    self._retries.inc()
+                    self._sleep(attempt - 1)
+                    # Re-deliver any stuck commit/abort decisions before
+                    # trying again: a participant still holding locks for
+                    # a decided-but-undelivered transaction would block
+                    # the retry too.
+                    self.suite.txn_manager.resolve_pending()
+                else:
+                    if attempt > 1:
+                        self._masked.inc()
+                    span.set("attempts", attempt)
+                    span.set("outcome", "ok")
+                    return result
+
+    def _attempt_committed(self) -> bool:
+        """Probe the 2PC decision log for the failed attempt's outcome."""
+        txn_id = self.suite.last_txn_id
+        if txn_id is None:
+            return False
+        return self.suite.txn_manager.decision_log.outcome(txn_id) == "commit"
+
+    def _sleep(self, retry_index: int) -> None:
+        delay = self.policy.backoff(retry_index, self.rng)
+        self._backoff_hist.observe(delay)
+        self._clock.advance(delay)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.suite, name)
+
+    def __repr__(self) -> str:
+        return f"ResilientSuite({self.suite!r}, policy={self.policy!r})"

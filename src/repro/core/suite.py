@@ -38,7 +38,9 @@ from repro.core.errors import (
     KeyAlreadyPresentError,
     KeyNotPresentError,
     NetworkError,
+    NodeDownError,
     ReproError,
+    RpcTimeoutError,
     SentinelKeyError,
 )
 from repro.core.keys import BoundedKey, wrap
@@ -102,6 +104,18 @@ class DirectorySuite:
         Cluster metrics registry; defaults to the network's.  The suite
         publishes its operation counts, delete-overhead statistics, and
         quorum-selection counters/size histograms into it.
+    detector:
+        Optional :class:`~repro.net.detector.FailureDetector` (also
+        attachable later via :meth:`attach_detector`).  Every
+        representative RPC feeds it up/down/timeout evidence and quorum
+        selection screens its suspects, so retries avoid known-bad
+        representatives.
+    rpc_retries:
+        How many times a representative RPC that timed out is re-issued
+        within the same transaction before the timeout aborts it (safe —
+        the Figure 6 operations are idempotent within a transaction; see
+        :meth:`_call`).  0, the default, keeps the perfect-network fast
+        path.
     """
 
     def __init__(
@@ -118,6 +132,8 @@ class DirectorySuite:
         read_repair: bool = False,
         tracer: Any = None,
         metrics: MetricsRegistry | None = None,
+        detector: Any = None,
+        rpc_retries: int = 0,
     ) -> None:
         missing = set(config.names) - set(placements)
         if missing:
@@ -139,7 +155,30 @@ class DirectorySuite:
         self.op_counts = SuiteOpCounts()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else network.metrics
+        #: In-transaction retries for a representative RPC that times out
+        #: on a lossy network (see :meth:`_call` for why re-issue is
+        #: safe).  0 keeps the perfect-network fast path.
+        self.rpc_retries = rpc_retries
+        #: Transaction id of the most recently begun suite transaction.
+        #: A retrying front-end reads it after a failed attempt to probe
+        #: the 2PC decision log for the attempt's true outcome.
+        self.last_txn_id = None
+        self._detector = None
         self._register_metrics()
+        if detector is not None:
+            self.attach_detector(detector)
+
+    def attach_detector(self, detector: Any) -> None:
+        """Wire a :class:`~repro.net.detector.FailureDetector` in.
+
+        The suite feeds it evidence from every representative RPC
+        (down / timeout / success) and the quorum policy screens its
+        suspects during selection.
+        """
+        self._detector = detector
+        self.quorum_policy.bind_detector(
+            detector, node_of=lambda rep: self.placements[rep].node_id
+        )
 
     def _register_metrics(self) -> None:
         """Publish the suite's stat surfaces into the registry.
@@ -259,22 +298,58 @@ class DirectorySuite:
         tracer = self.tracer
         if tracer.enabled:
             with tracer.span(f"quorum:{kind}") as span:
-                members = self.quorum_policy.select(
+                members = self.quorum_policy.choose(
                     kind, self._available(), self.config, self.rng
                 )
                 span.set("members", list(members))
         else:
-            members = self.quorum_policy.select(
+            members = self.quorum_policy.choose(
                 kind, self._available(), self.config, self.rng
             )
         self._quorum_members[kind].add(len(members))
         return members
 
     def _call(self, txn: Transaction, rep: str, method: str, *args: Any, **kw: Any) -> Any:
-        """RPC to one representative, enlisting it in the transaction."""
+        """RPC to one representative, enlisting it in the transaction.
+
+        A timed-out call is re-issued up to ``rpc_retries`` times before
+        the timeout surfaces (and aborts the transaction).  Re-issue is
+        safe because every Figure 6 operation is *idempotent within its
+        transaction*: a second ``rep_insert`` overwrites with identical
+        content (and its undo records cancel pairwise on abort), a second
+        ``rep_coalesce`` finds the range already merged, and reads under
+        held locks are stable — so a reply lost after the effect applied
+        cannot double-apply anything.
+
+        With a failure detector attached, the call's outcome doubles as
+        liveness evidence: NodeDownError marks the host suspect at once,
+        timeouts accumulate strikes, success clears both.
+        """
         place = self.placements[rep]
         txn.enlist(rep, place.node_id, place.service_name)
-        return self.rpc.call(place.node_id, place.service_name, method, *args, **kw)
+        detector = self._detector
+        if detector is None and not self.rpc_retries:
+            return self.rpc.call(
+                place.node_id, place.service_name, method, *args, **kw
+            )
+        for attempt in range(1 + self.rpc_retries):
+            try:
+                result = self.rpc.call(
+                    place.node_id, place.service_name, method, *args, **kw
+                )
+            except RpcTimeoutError:
+                if detector is not None:
+                    detector.record_timeout(place.node_id)
+                if attempt >= self.rpc_retries:
+                    raise
+            except NodeDownError:
+                if detector is not None:
+                    detector.record_down(place.node_id)
+                raise
+            else:
+                if detector is not None:
+                    detector.record_ok(place.node_id)
+                return result
 
     # ------------------------------------------------------------------
     # Figure 8: DirSuiteLookup
@@ -580,6 +655,7 @@ class _SuiteTransaction:
 
     def __enter__(self) -> Transaction:
         self.txn = self.suite.txn_manager.begin()
+        self.suite.last_txn_id = self.txn.txn_id
         return self.txn
 
     def __exit__(self, exc_type, exc, tb) -> bool:

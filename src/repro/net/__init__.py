@@ -4,11 +4,21 @@
 * :mod:`repro.net.node` — crash-aware nodes hosting services;
 * :mod:`repro.net.network` — latency models, partitions, traffic stats;
 * :mod:`repro.net.rpc` — synchronous RPC with failure surfacing;
-* :mod:`repro.net.failures` — scripted and random failure injection.
+* :mod:`repro.net.failures` — scripted and random failure injection,
+  plus per-link message loss;
+* :mod:`repro.net.detector` — a suspicion-cache failure detector.
 """
 
 from repro.net.clock import SimClock
-from repro.net.failures import FailureEvent, RandomFailures, ScriptedFailures
+from repro.net.detector import FailureDetector
+from repro.net.failures import (
+    FailureEvent,
+    LossEvent,
+    LossyLinks,
+    RandomFailures,
+    ScriptedFailures,
+    ScriptedLoss,
+)
 from repro.net.network import Network, site_latency, uniform_latency
 from repro.net.node import Node
 from repro.net.rpc import RpcEndpoint
@@ -23,4 +33,8 @@ __all__ = [
     "ScriptedFailures",
     "RandomFailures",
     "FailureEvent",
+    "LossyLinks",
+    "ScriptedLoss",
+    "LossEvent",
+    "FailureDetector",
 ]

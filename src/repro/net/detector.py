@@ -1,0 +1,121 @@
+"""A suspicion-cache failure detector on the simulated clock.
+
+Quorum selection re-rolls members on every attempt; without memory, a
+retry after ``NodeDownError`` happily re-selects the same dead
+representative and burns another timeout.  The detector gives the client
+side a small, local notion of *suspicion*:
+
+* a node that raised :class:`~repro.core.errors.NodeDownError` is marked
+  down immediately (*hard* evidence — the substrate knows it is crashed
+  or partitioned);
+* a node whose calls time out (:class:`~repro.core.errors.RpcTimeoutError`)
+  collects *strikes*; ``timeout_threshold`` consecutive strikes mark it
+  suspect (*soft* evidence — on a lossy link a single timeout means
+  nothing);
+* a suspect node stays out of quorum consideration until its probation
+  (``probation`` simulated ticks) expires, after which it may be tried
+  again; a successful call clears both strikes and suspicion at once.
+
+Suspicion is advisory: :meth:`~repro.core.quorum.QuorumPolicy.choose`
+falls back to suspected members whenever screening them would leave too
+few votes, so the detector can make retries smarter but never make an
+operation less available than it was without one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class FailureDetector:
+    """Per-client suspicion cache keyed by node id.
+
+    Parameters
+    ----------
+    now:
+        Time source (a cluster's ``network.clock.now``).
+    probation:
+        Simulated ticks a suspect node is avoided before being retried.
+    timeout_threshold:
+        Consecutive timeouts that escalate soft evidence to suspicion.
+    metrics:
+        Optional registry; publishes ``detector.suspicions``,
+        ``detector.recoveries`` counters and a ``detector.suspected``
+        gauge.
+    """
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        probation: float = 200.0,
+        timeout_threshold: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if probation < 0:
+            raise ValueError(f"probation must be >= 0: {probation}")
+        if timeout_threshold < 1:
+            raise ValueError(
+                f"timeout_threshold must be >= 1: {timeout_threshold}"
+            )
+        self._now = now
+        self.probation = probation
+        self.timeout_threshold = timeout_threshold
+        self._suspect_until: dict[str, float] = {}
+        self._strikes: dict[str, int] = {}
+        if metrics is not None:
+            self._suspicions = metrics.counter("detector.suspicions")
+            self._recoveries = metrics.counter("detector.recoveries")
+            metrics.gauge("detector.suspected", lambda: sorted(self.suspects()))
+        else:
+            self._suspicions = None
+            self._recoveries = None
+
+    # -- evidence ----------------------------------------------------------
+
+    def record_down(self, node_id: str) -> None:
+        """Hard evidence: the node is crashed or unreachable right now."""
+        self._mark(node_id)
+
+    def record_timeout(self, node_id: str) -> None:
+        """Soft evidence: one timeout; suspicion needs a streak of them."""
+        strikes = self._strikes.get(node_id, 0) + 1
+        if strikes >= self.timeout_threshold:
+            self._mark(node_id)
+        else:
+            self._strikes[node_id] = strikes
+
+    def record_ok(self, node_id: str) -> None:
+        """A call succeeded: the node is provably alive; forgive it."""
+        self._strikes.pop(node_id, None)
+        if self._suspect_until.pop(node_id, None) is not None:
+            if self._recoveries is not None:
+                self._recoveries.inc()
+
+    def _mark(self, node_id: str) -> None:
+        self._strikes.pop(node_id, None)
+        already = self.is_suspect(node_id)
+        self._suspect_until[node_id] = self._now() + self.probation
+        if not already and self._suspicions is not None:
+            self._suspicions.inc()
+
+    # -- queries -----------------------------------------------------------
+
+    def is_suspect(self, node_id: str) -> bool:
+        """True while the node is inside its probation window."""
+        until = self._suspect_until.get(node_id)
+        if until is None:
+            return False
+        if self._now() >= until:
+            # Probation over: eligible again (strikes start from zero).
+            del self._suspect_until[node_id]
+            return False
+        return True
+
+    def suspects(self) -> set[str]:
+        """All currently suspected node ids."""
+        return {n for n in list(self._suspect_until) if self.is_suspect(n)}
+
+    def __repr__(self) -> str:
+        return f"FailureDetector(suspects={sorted(self.suspects())})"

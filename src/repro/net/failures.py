@@ -1,15 +1,32 @@
 """Failure injection for simulated clusters.
 
-Two injectors are provided:
+Crash-level injectors (driven by calling :meth:`step` once per simulated
+operation, which matches how the paper-style operation-count simulations
+advance):
 
-* :class:`ScriptedFailures` — deterministic crash/recover/partition events
-  at fixed operation counts, for reproducible integration tests.
+* :class:`ScriptedFailures` — deterministic crash/recover/partition/heal
+  events at fixed operation counts, for reproducible integration tests.
 * :class:`RandomFailures` — a memoryless crash/recover process (per-step
   crash probability and recovery probability), for availability and
   fault-tolerance sweeps.
 
-Both are driven by calling :meth:`step` once per simulated operation, which
-matches how the paper-style operation-count simulations advance.
+Message-level injectors (installed on a :class:`~repro.net.network.Network`
+via :meth:`~repro.net.network.Network.install_faults` and consulted by the
+RPC layer on every call):
+
+* :class:`LossyLinks` — random per-message loss and flaky extra latency,
+  optionally overridden per link.
+* :class:`ScriptedLoss` — deterministic drops of specific calls, for
+  reproducing one exact ambiguous-outcome scenario in a test.
+
+Both distinguish the two ways a synchronous call can time out:
+
+* **request lost** — the call never reached the target, so it had *no
+  effect*; the caller sees :class:`~repro.core.errors.RpcTimeoutError`.
+* **reply lost** — the target executed the call (*effect applied*) and
+  only the answer was dropped; the caller sees the same timeout.  This is
+  the classic ambiguous-outcome case that retry layers must resolve
+  before re-executing a non-idempotent operation.
 """
 
 from __future__ import annotations
@@ -20,13 +37,26 @@ from typing import Callable
 
 from repro.net.network import Network
 
+#: What a fault model can decide about one message exchange.
+OK = "ok"
+DROP_REQUEST = "drop_request"
+DROP_REPLY = "drop_reply"
+
 
 @dataclass(frozen=True, slots=True)
 class FailureEvent:
-    """One scripted event: at operation ``at_step`` apply ``action``."""
+    """One scripted event: at operation ``at_step`` apply ``action``.
+
+    ``action`` is one of:
+
+    * ``"crash"`` — crash the node named by ``node_id``;
+    * ``"recover"`` — recover the node named by ``node_id``;
+    * ``"partition"`` — split the network into the endpoint ``groups``;
+    * ``"heal"`` — remove any partition (``node_id``/``groups`` unused).
+    """
 
     at_step: int
-    action: str  # "crash" | "recover" | "heal"
+    action: str  # "crash" | "recover" | "partition" | "heal"
     node_id: str | None = None
     groups: tuple[tuple[str, ...], ...] = ()
 
@@ -55,12 +85,14 @@ class ScriptedFailures:
         return fired
 
     def _apply(self, event: FailureEvent) -> None:
-        if event.action == "crash":
-            assert event.node_id is not None
-            self.network.node(event.node_id).crash()
-        elif event.action == "recover":
-            assert event.node_id is not None
-            self.network.node(event.node_id).recover()
+        if event.action in ("crash", "recover"):
+            if event.node_id is None:
+                raise ValueError(
+                    f"{event.action!r} event at step {event.at_step} "
+                    "names no node_id"
+                )
+            node = self.network.node(event.node_id)
+            node.crash() if event.action == "crash" else node.recover()
         elif event.action == "partition":
             self.network.partition(*event.groups)
         elif event.action == "heal":
@@ -78,6 +110,10 @@ class RandomFailures:
     ``recover_prob``.  The steady-state availability of a node is
     ``recover_prob / (crash_prob + recover_prob)``, which benchmarks use
     to position quorum-availability sweeps.
+
+    ``min_up`` is enforced against the network's *actual* up-count at
+    every crash decision, so it holds even when a scripted injector (or
+    a test poking nodes directly) crashes nodes in the same run.
     """
 
     network: Network
@@ -92,19 +128,126 @@ class RandomFailures:
         denom = self.crash_prob + self.recover_prob
         return 1.0 if denom == 0 else self.recover_prob / denom
 
+    def _up_count(self) -> int:
+        return sum(1 for n in self.network.nodes() if n.is_up)
+
     def step(self) -> None:
         """Advance the crash/recover process by one operation."""
-        nodes = self.network.nodes()
-        up_count = sum(1 for n in nodes if n.is_up)
-        for node in nodes:
+        for node in self.network.nodes():
             if node.is_up:
-                if up_count > self.min_up and self.rng.random() < self.crash_prob:
+                if (
+                    self.rng.random() < self.crash_prob
+                    and self._up_count() > self.min_up
+                ):
                     node.crash()
-                    up_count -= 1
                     if self.on_event:
                         self.on_event("crash", node.node_id)
             elif self.rng.random() < self.recover_prob:
                 node.recover()
-                up_count += 1
                 if self.on_event:
                     self.on_event("recover", node.node_id)
+
+
+# ---------------------------------------------------------------------------
+# Message-level fault models
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LossyLinks:
+    """Random per-message loss and flaky latency.
+
+    Every RPC round independently loses its request with probability
+    ``request_loss`` and, if the request arrived, loses its reply with
+    probability ``reply_loss``.  ``per_link`` overrides both
+    probabilities for specific ``(src, dst)`` pairs, so a test can make
+    exactly one path flaky.  Surviving rounds additionally suffer
+    ``flaky_extra`` ticks of extra round latency with probability
+    ``flaky_prob``.
+
+    The random stream is drawn from ``rng`` only, so a seeded injector
+    makes every chaos run reproducible.
+    """
+
+    request_loss: float = 0.0
+    reply_loss: float = 0.0
+    flaky_prob: float = 0.0
+    flaky_extra: float = 0.0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    #: (src, dst) → (request_loss, reply_loss) overrides.
+    per_link: dict[tuple[str, str], tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for name in ("request_loss", "reply_loss", "flaky_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} out of [0,1]: {p}")
+
+    def disposition(self, src: str, dst: str, method: str) -> str:
+        """Fate of one request/reply exchange on the (src, dst) link."""
+        req_p, rep_p = self.per_link.get(
+            (src, dst), (self.request_loss, self.reply_loss)
+        )
+        if req_p and self.rng.random() < req_p:
+            return DROP_REQUEST
+        if rep_p and self.rng.random() < rep_p:
+            return DROP_REPLY
+        return OK
+
+    def delay(self, src: str, dst: str) -> float:
+        """Extra round latency (ticks) for a surviving exchange."""
+        if self.flaky_prob and self.rng.random() < self.flaky_prob:
+            return self.flaky_extra
+        return 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class LossEvent:
+    """Drop the ``nth`` (0-based) call matching the given filters.
+
+    ``dst`` and ``method`` are optional exact-match filters against the
+    target node id and the ``service.method`` name; ``None`` matches
+    anything.  ``phase`` chooses which message of the matched round is
+    lost: ``"request"`` (call has no effect) or ``"reply"`` (effect
+    applied, answer dropped).
+    """
+
+    phase: str  # "request" | "reply"
+    dst: str | None = None
+    method: str | None = None
+    nth: int = 0
+
+
+class ScriptedLoss:
+    """Deterministic message loss: each event drops one matched call."""
+
+    def __init__(self, events: list[LossEvent]) -> None:
+        for event in events:
+            if event.phase not in ("request", "reply"):
+                raise ValueError(f"bad loss phase {event.phase!r}")
+        self._pending = [[event, 0] for event in events]  # [event, seen]
+        self.fired: list[LossEvent] = []
+
+    def disposition(self, src: str, dst: str, method: str) -> str:
+        for slot in self._pending:
+            event, seen = slot
+            if event.dst is not None and event.dst != dst:
+                continue
+            if event.method is not None and event.method != method:
+                continue
+            slot[1] = seen + 1
+            if seen == event.nth:
+                self._pending.remove(slot)
+                self.fired.append(event)
+                return DROP_REQUEST if event.phase == "request" else DROP_REPLY
+        return OK
+
+    def delay(self, src: str, dst: str) -> float:
+        return 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted drop has fired."""
+        return not self._pending

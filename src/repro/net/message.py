@@ -56,6 +56,16 @@ class TrafficStats:
         """Account one message lost in transit."""
         self.dropped += 1
 
+    def record_lost_round(self, phase: str) -> None:
+        """Account an exchange that timed out.
+
+        ``phase`` names the lost message: a dropped request traveled
+        alone; a dropped reply implies the request was also sent.  No
+        RPC round is counted — rounds are completed exchanges.
+        """
+        self.messages += 1 if phase == "request" else 2
+        self.dropped += 1
+
     def reset(self) -> None:
         """Zero all counters."""
         self.messages = 0

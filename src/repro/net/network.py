@@ -1,9 +1,10 @@
 """Simulated network connecting nodes: latency, partitions, traffic stats.
 
 The network is deliberately simple — synchronous request/reply with a
-pluggable latency model, optional network partitions, and full traffic
-accounting — because the replication algorithm's behaviour depends only on
-*which* nodes are reachable and *how many* messages are exchanged, not on
+pluggable latency model, optional network partitions, optional message
+loss (see :meth:`Network.install_faults`), and full traffic accounting —
+because the replication algorithm's behaviour depends only on *which*
+nodes are reachable and *how many* messages are exchanged, not on
 wire-level detail.
 """
 
@@ -58,9 +59,19 @@ class Network:
         clock: SimClock | None = None,
         latency: LatencyModel | None = None,
         metrics: MetricsRegistry | None = None,
+        rpc_timeout: float = 20.0,
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.latency = latency if latency is not None else uniform_latency()
+        #: How long a caller waits (in ticks) before declaring a lost
+        #: message timed out.  Only consulted when a fault model is
+        #: installed; a timeout is deliberately much more expensive than
+        #: a round trip, as in any sanely configured RPC stack.
+        self.rpc_timeout = rpc_timeout
+        #: Message-level fault model (see :mod:`repro.net.failures`);
+        #: ``None`` means a perfect network — the RPC hot path pays one
+        #: attribute check for the feature.
+        self.faults = None
         self.stats = TrafficStats()
         # The cluster-wide registry.  `self.stats` stays the source of
         # truth for traffic (and the public attribute benchmarks read);
@@ -151,3 +162,31 @@ class Network:
         """Account one request/reply exchange and advance the clock."""
         self.stats.record_round(method, payload_items)
         self.clock.advance(2 * self.latency(src, dst))
+
+    # -- message loss ----------------------------------------------------------
+
+    def install_faults(self, faults) -> None:
+        """Attach a message-level fault model (``None`` to remove it).
+
+        The model must provide ``disposition(src, dst, method)`` returning
+        ``"ok"``/``"drop_request"``/``"drop_reply"`` and
+        ``delay(src, dst)`` returning extra round latency in ticks; see
+        :class:`~repro.net.failures.LossyLinks` and
+        :class:`~repro.net.failures.ScriptedLoss`.
+        """
+        self.faults = faults
+        self._lost_counters = {
+            "request": self.metrics.counter("net.loss.requests_dropped"),
+            "reply": self.metrics.counter("net.loss.replies_dropped"),
+        }
+
+    def transmit_lost(self, src: str, dst: str, method: str, phase: str) -> None:
+        """Account a lost exchange and advance the clock by the timeout.
+
+        A lost *request* put one message on the wire; a lost *reply* put
+        two (the request was delivered and executed).  Either way the
+        caller sits out the full ``rpc_timeout`` instead of a round trip.
+        """
+        self.stats.record_lost_round(phase)
+        self._lost_counters[phase].inc()
+        self.clock.advance(self.rpc_timeout)

@@ -4,8 +4,11 @@ The paper writes remote invocations as ``Send(<procedure>) to(<object>)``
 with ARGUS-like semantics, deliberately eliding error responses.  This
 layer supplies the elided part: a call to a crashed or partitioned node
 raises :class:`~repro.core.errors.NodeDownError`, a call *from* a crashed
-node raises :class:`~repro.core.errors.OriginDownError`, and callers (the
-suite's quorum machinery) must cope.
+node raises :class:`~repro.core.errors.OriginDownError`, a call whose
+request or reply a lossy network drops (see
+:meth:`~repro.net.network.Network.install_faults`) raises
+:class:`~repro.core.errors.RpcTimeoutError`, and callers (the suite's
+quorum machinery) must cope.
 
 An :class:`RpcEndpoint` is the client stub owned by one origin (a suite
 front-end running on some node, or an external client with origin
@@ -22,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.errors import OriginDownError
+from repro.core.errors import OriginDownError, RpcTimeoutError
 from repro.net.network import Network
 from repro.obs.spans import NULL_TRACER
 
@@ -67,10 +70,40 @@ class RpcEndpoint:
         self.network.check_path(self.origin, node_id)
         service = self.network.node(node_id).service(service_name)
         bound = getattr(service, method)
+        wire_name = f"{service_name}.{method}"
+        if self.network.faults is not None:
+            self._roll_faults(node_id, wire_name, bound, args, kwargs)
         self.network.transmit_round(
-            self.origin, node_id, f"{service_name}.{method}", payload_items
+            self.origin, node_id, wire_name, payload_items
         )
         return bound(*args, **kwargs)
+
+    def _roll_faults(
+        self, node_id: str, wire_name: str, bound: Any, args: tuple, kwargs: dict
+    ) -> None:
+        """Consult the installed fault model for one exchange.
+
+        Returns normally if the round survives (after any flaky extra
+        latency); raises :class:`RpcTimeoutError` for a lost message.  A
+        lost *reply* still executes the remote method — the effect is
+        applied, only the answer (even an error answer) is dropped, so
+        the caller cannot distinguish this from a lost request.
+        """
+        faults = self.network.faults
+        verdict = faults.disposition(self.origin, node_id, wire_name)
+        if verdict == "ok":
+            extra = faults.delay(self.origin, node_id)
+            if extra:
+                self.network.clock.advance(extra)
+            return
+        phase = "request" if verdict == "drop_request" else "reply"
+        self.network.transmit_lost(self.origin, node_id, wire_name, phase)
+        if phase == "reply":
+            try:
+                bound(*args, **kwargs)
+            except Exception:
+                pass  # the error reply was lost along with the data reply
+        raise RpcTimeoutError(node_id, method=wire_name, lost=phase)
 
     def _traced_call(
         self,
@@ -95,8 +128,18 @@ class RpcEndpoint:
             self.network.check_path(self.origin, node_id)
             service = self.network.node(node_id).service(service_name)
             bound = getattr(service, method)
+            wire_name = f"{service_name}.{method}"
+            if self.network.faults is not None:
+                try:
+                    self._roll_faults(node_id, wire_name, bound, args, kwargs)
+                except RpcTimeoutError as exc:
+                    # Reconcile with transmit_lost: a lost request put one
+                    # message on the wire, a lost reply two.
+                    span.set("messages", 1 if exc.lost == "request" else 2)
+                    span.set("lost", exc.lost)
+                    raise
             self.network.transmit_round(
-                self.origin, node_id, f"{service_name}.{method}", payload_items
+                self.origin, node_id, wire_name, payload_items
             )
             # Set only after transmit_round: a span's message count must
             # reconcile exactly with the network's traffic accounting,
@@ -115,13 +158,14 @@ class RpcEndpoint:
     ) -> Any:
         """Like :meth:`call` but returns ``default`` on network failure.
 
-        Application exceptions still propagate; only NodeDownError (which
-        includes OriginDownError) is absorbed.  Used by best-effort paths
-        such as background ghost cleanup.
+        Application exceptions still propagate; every NetworkError —
+        NodeDownError (which includes OriginDownError), RpcTimeoutError,
+        a partitioned path — is absorbed.  Used by best-effort paths
+        such as background ghost cleanup and decision re-delivery.
         """
-        from repro.core.errors import NodeDownError
+        from repro.core.errors import NetworkError
 
         try:
             return self.call(node_id, service_name, method, *args, **kwargs)
-        except NodeDownError:
+        except NetworkError:
             return default

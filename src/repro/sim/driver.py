@@ -10,16 +10,29 @@ in :mod:`repro.sim.concurrency`.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cluster import DirectoryCluster
-from repro.core.errors import NetworkError, TransactionError
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    NetworkError,
+    TransactionError,
+)
 from repro.core.quorum import QuorumPolicy
+from repro.core.resilient import ResilientSuite, RetryPolicy
 from repro.core.stats import DeleteOverheadStats, SuiteOpCounts
+from repro.net.detector import FailureDetector
+from repro.net.failures import LossyLinks
 from repro.obs.spans import RecordingTracer, Span
 from repro.sim.workload import OpMix, Operation, UniformWorkload
+
+#: Distinguishes "key absent" from "key present with value None" when
+#: diffing the client model against the cluster's authoritative state.
+_ABSENT = object()
 
 
 @dataclass
@@ -45,6 +58,29 @@ class SimulationSpec:
     #: Record a span tree per measured operation (see :mod:`repro.obs`).
     #: Off by default: the no-op tracer keeps instrumentation free.
     trace_spans: bool = False
+    #: Per-message request-loss probability on every link during the
+    #: *measured* phase (loading and warmup run on a clean network).
+    #: > 0 installs a :class:`~repro.net.failures.LossyLinks` model and a
+    #: :class:`~repro.net.detector.FailureDetector`.
+    loss: float = 0.0
+    #: Reply-loss probability; defaults to ``loss`` when None.
+    reply_loss: float | None = None
+    #: Client-side retries per operation (0 = errors surface raw; n > 0
+    #: wraps the suite in a :class:`~repro.core.resilient.ResilientSuite`
+    #: allowing n retries after the first attempt).
+    retries: int = 0
+    #: Failure-detector probation window in simulated ticks.
+    detector_probation: float = 200.0
+    #: In-transaction re-issues of a timed-out representative RPC (see
+    #: :meth:`~repro.core.suite.DirectorySuite._call`); applied whenever
+    #: messages can be lost.  Without this level of masking, a ~25-RPC
+    #: delete almost never survives a lossy network in one piece and
+    #: whole-operation retries alone cannot reach a usable success rate.
+    rpc_retries: int = 2
+    #: Check every client-visible outcome against a model directory and
+    #: diff the model against the authoritative state at the end — the
+    #: exactly-once / no-duplicate-apply oracle for chaos runs.
+    verify_model: bool = False
 
 
 @dataclass
@@ -59,6 +95,14 @@ class SimulationResult:
     final_size: int
     elapsed_seconds: float
     failed_operations: int = 0
+    #: Client-visible consistency violations under ``spec.verify_model``:
+    #: lookups returning the wrong answer, writes failing when the model
+    #: says they must succeed, plus end-of-run model/state diffs.  Must be
+    #: zero — any other value is a correctness bug, not a statistic.
+    model_mismatches: int = 0
+    #: Simulated ticks the measured phase consumed (timeouts and retry
+    #: backoffs included) — the denominator for goodput.
+    sim_ticks: float = 0.0
     #: (operation index, total ghosts across replicas) samples, when
     #: ``spec.ghost_sample_interval`` > 0.
     ghost_timeline: list[tuple[int, int]] = field(default_factory=list)
@@ -107,14 +151,49 @@ def run_simulation(
     workload = UniformWorkload(
         target_size=spec.directory_size, mix=spec.mix, seed=spec.seed + 1
     )
+    model: dict[Any, Any] | None = {} if spec.verify_model else None
 
     # Load phase: bring the directory to its target size.
     for op in workload.initial_load(spec.directory_size):
         suite.insert(op.key, op.value)
+        if model is not None:
+            model[op.key] = op.value
 
-    # Optional unmeasured warmup churn.
+    # Optional unmeasured warmup churn (still on a clean network).
     for op in workload.operations(spec.warmup_operations):
         _apply(suite, op)
+        if model is not None:
+            _apply_model(model, op)
+
+    # Fault injection covers only the measured phase: loading through a
+    # lossy network would merely slow the setup down without measuring
+    # anything.  The detector rides along whenever messages can be lost,
+    # so retried quorum selection avoids recently-timed-out hosts.
+    front: Any = suite
+    reply_loss = spec.loss if spec.reply_loss is None else spec.reply_loss
+    lossy = spec.loss > 0.0 or reply_loss > 0.0
+    if lossy:
+        cluster.network.install_faults(
+            LossyLinks(
+                request_loss=spec.loss,
+                reply_loss=reply_loss,
+                rng=random.Random(spec.seed + 2),
+            )
+        )
+        suite.attach_detector(
+            FailureDetector(
+                cluster.network.clock.now,
+                probation=spec.detector_probation,
+                metrics=cluster.metrics,
+            )
+        )
+        suite.rpc_retries = spec.rpc_retries
+    if spec.retries > 0:
+        front = ResilientSuite(
+            suite,
+            policy=RetryPolicy(max_attempts=spec.retries + 1),
+            rng=random.Random(spec.seed + 3),
+        )
 
     # Measurement phase starts from clean statistics.  The tracer resets
     # with the traffic counters so span message counts reconcile exactly
@@ -123,26 +202,60 @@ def run_simulation(
     suite.op_counts = SuiteOpCounts()
     cluster.network.stats.reset()
     cluster.tracer.reset()
+    ticks_at_start = cluster.network.clock.now()
 
     failed = 0
+    mismatches = 0
     ghost_timeline: list[tuple[int, int]] = []
     for index, op in enumerate(workload.operations(spec.operations)):
         if failure_stepper is not None:
             failure_stepper.step()
         try:
-            _apply(suite, op)
+            outcome = _apply(front, op)
+        except (KeyAlreadyPresentError, KeyNotPresentError):
+            if model is None:
+                raise
+            # The workload only issues valid operations (fresh keys for
+            # inserts, members for updates/deletes), so an application
+            # error here means an effect was applied twice or lost.
+            failed += 1
+            mismatches += 1
+            _correct_workload(workload, op)
         except (NetworkError, TransactionError):
             failed += 1
             # The optimistic workload model assumed success; correct it.
-            if op.kind == "insert":
-                workload.note_delete(op.key)
-            elif op.kind == "delete":
-                workload.note_insert(op.key)
+            _correct_workload(workload, op)
+        else:
+            if model is not None:
+                if op.kind == "lookup":
+                    present, value = outcome
+                    wanted = model.get(op.key, _ABSENT)
+                    if present != (wanted is not _ABSENT) or (
+                        present and value != wanted
+                    ):
+                        mismatches += 1
+                else:
+                    _apply_model(model, op)
         if (
             spec.ghost_sample_interval
             and (index + 1) % spec.ghost_sample_interval == 0
         ):
             ghost_timeline.append((index + 1, count_ghosts(cluster)))
+    sim_ticks = cluster.network.clock.now() - ticks_at_start
+
+    if lossy:
+        # Quiesce: stop dropping messages and flush any commit/abort
+        # decisions that never reached a participant, so the final state
+        # below reflects only decided outcomes.
+        cluster.network.install_faults(None)
+        suite.txn_manager.resolve_pending()
+    if model is not None:
+        truth = suite.authoritative_state()
+        mismatches += sum(
+            1
+            for key in set(truth) | set(model)
+            if truth.get(key, _ABSENT) != model.get(key, _ABSENT)
+        )
 
     return SimulationResult(
         spec=spec,
@@ -156,6 +269,8 @@ def run_simulation(
         final_size=workload.size,
         elapsed_seconds=time.perf_counter() - started,
         failed_operations=failed,
+        model_mismatches=mismatches,
+        sim_ticks=sim_ticks,
         ghost_timeline=ghost_timeline,
         spans=cluster.tracer.finished_roots(),
         metrics=cluster.metrics.snapshot(),
@@ -176,18 +291,34 @@ def count_ghosts(cluster: DirectoryCluster) -> int:
     return total
 
 
-def _apply(suite: Any, op: Operation) -> None:
+def _apply(suite: Any, op: Operation) -> Any:
     """Dispatch one generated operation to the suite."""
     if op.kind == "insert":
-        suite.insert(op.key, op.value)
+        return suite.insert(op.key, op.value)
     elif op.kind == "update":
-        suite.update(op.key, op.value)
+        return suite.update(op.key, op.value)
     elif op.kind == "delete":
-        suite.delete(op.key)
+        return suite.delete(op.key)
     elif op.kind == "lookup":
-        suite.lookup(op.key)
+        return suite.lookup(op.key)
     else:  # pragma: no cover - workloads only emit the four kinds
         raise ValueError(f"unknown operation kind {op.kind!r}")
+
+
+def _apply_model(model: dict[Any, Any], op: Operation) -> None:
+    """Mirror one *successful* write into the client's model directory."""
+    if op.kind == "delete":
+        model.pop(op.key, None)
+    elif op.kind != "lookup":
+        model[op.key] = op.value
+
+
+def _correct_workload(workload: UniformWorkload, op: Operation) -> None:
+    """Undo the workload's optimistic membership update for a failed op."""
+    if op.kind == "insert":
+        workload.note_delete(op.key)
+    elif op.kind == "delete":
+        workload.note_insert(op.key)
 
 
 def run_figure14_grid(

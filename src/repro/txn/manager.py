@@ -23,8 +23,12 @@ from repro.net.rpc import RpcEndpoint
 from repro.txn.deadlock import detect_deadlock
 from repro.txn.ids import TxnId, TxnIdGenerator
 from repro.txn.locks import LockTable
-from repro.txn.transaction import Transaction, TxnState
+from repro.txn.transaction import Participant, Transaction, TxnState
 from repro.txn.twopc import DecisionLog, TwoPhaseCoordinator
+
+#: try_call's ``default`` must be distinguishable from a successful
+#: completion call, which returns None.
+_MISSING = object()
 
 
 class TransactionManager:
@@ -39,6 +43,13 @@ class TransactionManager:
         self._now = clock_now or (lambda: 0.0)
         self.commits = 0
         self.aborts = 0
+        #: Decided transactions whose decision could not be delivered to
+        #: every participant (crash/partition outlasted the completion
+        #: retries).  Maps txn id to (decision, undelivered participants);
+        #: :meth:`resolve_pending` re-attempts delivery.
+        self.pending_completions: dict[
+            TxnId, tuple[str, dict[str, Participant]]
+        ] = {}
 
     # -- life cycle -----------------------------------------------------------
 
@@ -53,6 +64,11 @@ class TransactionManager:
         txn.require_active()
         txn.state = TxnState.PREPARING
         outcome = self._coordinator.commit(txn.txn_id, txn.participants)
+        if outcome.unreachable_at_completion:
+            self._note_pending(
+                txn, "commit" if outcome.committed else "abort",
+                outcome.unreachable_at_completion,
+            )
         if outcome.committed:
             txn.state = TxnState.COMMITTED
             self.commits += 1
@@ -75,7 +91,9 @@ class TransactionManager:
             raise InvalidTransactionStateError(
                 f"cannot abort committed transaction {txn.txn_id}"
             )
-        self._coordinator.abort(txn.txn_id, txn.participants)
+        unreachable = self._coordinator.abort(txn.txn_id, txn.participants)
+        if unreachable:
+            self._note_pending(txn, "abort", unreachable)
         txn.state = TxnState.ABORTED
         self.aborts += 1
         self._live.pop(txn.txn_id, None)
@@ -84,6 +102,55 @@ class TransactionManager:
         """Abort, then surface the failure to the caller."""
         self.abort(txn, reason)
         raise TransactionAbortedError(txn.txn_id, reason)
+
+    # -- decision re-delivery ---------------------------------------------------
+
+    def _note_pending(
+        self,
+        txn: Transaction,
+        decision: str,
+        undelivered: Iterable[str],
+    ) -> None:
+        participants = {
+            name: txn.participants[name]
+            for name in undelivered
+            if name in txn.participants
+        }
+        if participants:
+            self.pending_completions[txn.txn_id] = (decision, participants)
+
+    def resolve_pending(self) -> int:
+        """Re-deliver decisions to participants missed at completion time.
+
+        Best effort: each undelivered (txn, participant) pair gets one
+        ``try_call``; pairs that go through are dropped from the backlog,
+        the rest stay for the next attempt.  Returns the number of
+        deliveries that succeeded.  Callers invoke this after a recovery
+        or heal event (e.g. the simulation driver between workload steps)
+        so participants stuck holding locks and in-doubt effects are
+        released without waiting for their own recovery scan.
+        """
+        delivered = 0
+        for txn_id in list(self.pending_completions):
+            decision, participants = self.pending_completions[txn_id]
+            remaining: dict[str, Participant] = {}
+            for name, part in participants.items():
+                result = self.rpc.try_call(
+                    part.node_id,
+                    part.service_name,
+                    decision,
+                    txn_id,
+                    default=_MISSING,
+                )
+                if result is _MISSING:
+                    remaining[name] = part
+                else:
+                    delivered += 1
+            if remaining:
+                self.pending_completions[txn_id] = (decision, remaining)
+            else:
+                del self.pending_completions[txn_id]
+        return delivered
 
     # -- introspection -----------------------------------------------------------
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import NodeDownError
+from repro.core.errors import NodeDownError, RpcTimeoutError
 from repro.net.rpc import RpcEndpoint
 from repro.txn.ids import TxnId
 from repro.txn.transaction import Participant
@@ -68,45 +68,49 @@ class CommitOutcome:
 
 
 class TwoPhaseCoordinator:
-    """Runs the commit protocol for one transaction at a time."""
+    """Runs the commit protocol for one transaction at a time.
 
-    def __init__(self, rpc: RpcEndpoint, decision_log: DecisionLog) -> None:
+    ``completion_retries`` bounds how many times a phase-two decision
+    message is re-sent to a participant whose acknowledgement timed out
+    on a lossy link.  Completion is idempotent, so re-delivery is always
+    safe, and delivering decisions eagerly matters: a participant that
+    never learns an abort keeps the transaction's (rolled-back-nowhere)
+    effects and locks until recovery.
+    """
+
+    def __init__(
+        self,
+        rpc: RpcEndpoint,
+        decision_log: DecisionLog,
+        completion_retries: int = 8,
+    ) -> None:
         self.rpc = rpc
         self.decision_log = decision_log
+        self.completion_retries = completion_retries
 
     def commit(
         self, txn_id: TxnId, participants: dict[str, Participant]
     ) -> CommitOutcome:
         """Run 2PC; returns the outcome (never raises for participant loss).
 
-        An unreachable or no-voting participant in phase one forces abort.
-        Participant loss in phase two is tolerated: the decision log
-        resolves the in-doubt transaction when the participant recovers.
+        An unreachable, timed-out, or no-voting participant in phase one
+        forces abort.  (A timed-out prepare is ambiguous — the vote may
+        have been cast and its reply lost — but aborting is always safe:
+        the participant learns the abort in phase two, or resolves it
+        against the decision log at recovery.)  Participant loss in
+        phase two is tolerated the same way.
         """
         votes: dict[str, bool] = {}
         for name, part in participants.items():
-            try:
-                votes[name] = bool(
-                    self.rpc.call(
-                        part.node_id, part.service_name, "prepare", txn_id
-                    )
-                )
-            except NodeDownError:
-                votes[name] = False
+            votes[name] = self._prepare_vote(txn_id, part)
         all_yes = bool(votes) and all(votes.values())
         decision = "commit" if all_yes else "abort"
         self.decision_log.decide(txn_id, decision)
-        unreachable: list[str] = []
-        method = "commit" if decision == "commit" else "abort"
-        for name, part in participants.items():
-            try:
-                self.rpc.call(part.node_id, part.service_name, method, txn_id)
-            except NodeDownError:
-                unreachable.append(name)
+        unreachable = self._complete(decision, txn_id, participants)
         return CommitOutcome(
             committed=decision == "commit",
             votes=votes,
-            unreachable_at_completion=tuple(unreachable),
+            unreachable_at_completion=unreachable,
         )
 
     def abort(
@@ -114,10 +118,54 @@ class TwoPhaseCoordinator:
     ) -> tuple[str, ...]:
         """Abort everywhere reachable; returns unreachable participant names."""
         self.decision_log.decide(txn_id, "abort")
+        return self._complete("abort", txn_id, participants)
+
+    def _prepare_vote(self, txn_id: TxnId, part: Participant) -> bool:
+        """One participant's phase-one vote; timeouts are re-asked.
+
+        Prepare is idempotent (it re-logs the prepare record and returns
+        the same vote), so a timed-out ask — the vote may be cast with
+        its reply lost — is simply repeated.  Only after the retries are
+        exhausted, or on a crashed participant, does the ambiguity force
+        a no vote (and therefore an abort, which is always safe).
+        """
+        for _ in range(1 + self.completion_retries):
+            try:
+                return bool(
+                    self.rpc.call(
+                        part.node_id, part.service_name, "prepare", txn_id
+                    )
+                )
+            except RpcTimeoutError:
+                continue
+            except NodeDownError:
+                return False
+        return False
+
+    def _complete(
+        self, decision: str, txn_id: TxnId, participants: dict[str, Participant]
+    ) -> tuple[str, ...]:
+        """Phase two: deliver the decision, retrying through message loss.
+
+        Timeouts are retried (the participant is up; only messages are
+        being dropped); a crashed or partitioned participant is left for
+        later — its in-doubt transaction resolves against the decision
+        log at recovery, or via
+        :meth:`~repro.txn.manager.TransactionManager.resolve_pending`.
+        """
         unreachable: list[str] = []
         for name, part in participants.items():
-            try:
-                self.rpc.call(part.node_id, part.service_name, "abort", txn_id)
-            except NodeDownError:
+            for _ in range(1 + self.completion_retries):
+                try:
+                    self.rpc.call(
+                        part.node_id, part.service_name, decision, txn_id
+                    )
+                    break
+                except RpcTimeoutError:
+                    continue
+                except NodeDownError:
+                    unreachable.append(name)
+                    break
+            else:
                 unreachable.append(name)
         return tuple(unreachable)

@@ -1,0 +1,121 @@
+"""Integration tests for fault masking under message loss.
+
+These exercise the full stack — lossy network, idempotent in-transaction
+RPC re-issue, 2PC completion retries, pending-decision re-delivery, and
+the retrying front-end — against a real cluster, where the unit tests
+use fakes.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.resilient import ResilientSuite, RetryPolicy
+from repro.net.failures import LossEvent, LossyLinks, ScriptedLoss
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.workload import OpMix
+
+
+class TestCompletionRetries:
+    """Lost commit/abort deliveries and the decision re-delivery path."""
+
+    def _single_rep_cluster(self):
+        # One representative with one vote: every transaction touches A,
+        # so scripted loss on dir:A.commit hits deterministically.
+        cluster = DirectoryCluster.create("1-1-1", seed=3)
+        cluster.suite.insert("k", 1)
+        return cluster
+
+    def test_lost_commit_reply_is_redelivered_inline(self):
+        cluster = self._single_rep_cluster()
+        faults = ScriptedLoss([LossEvent("reply", method="dir:A.commit")])
+        cluster.network.install_faults(faults)
+        cluster.suite.update("k", 2)  # commit applied, reply lost, re-sent
+        assert faults.exhausted
+        assert cluster.suite.txn_manager.pending_completions == {}
+        cluster.network.install_faults(None)
+        assert cluster.suite.lookup("k") == (True, 2)
+        cluster.check_invariants()
+
+    def test_undeliverable_commit_parks_then_resolves(self):
+        cluster = self._single_rep_cluster()
+        # Drop every commit request the coordinator will try (1 initial
+        # + 8 completion retries): the decision is durable in the log
+        # but cannot reach the participant.
+        faults = ScriptedLoss(
+            [LossEvent("request", method="dir:A.commit") for _ in range(9)]
+        )
+        cluster.network.install_faults(faults)
+        cluster.suite.update("k", 2)  # still reports success: decided
+        assert faults.exhausted
+        pending = cluster.suite.txn_manager.pending_completions
+        assert len(pending) == 1
+        (decision, participants) = next(iter(pending.values()))
+        assert decision == "commit"
+        assert set(participants) == {"A"}
+        # Heal the network and re-deliver: the participant learns the
+        # outcome, releases its locks, and the directory reads cleanly.
+        cluster.network.install_faults(None)
+        assert cluster.suite.txn_manager.resolve_pending() == 1
+        assert cluster.suite.txn_manager.pending_completions == {}
+        assert cluster.suite.lookup("k") == (True, 2)
+        cluster.check_invariants()
+
+    def test_resolve_pending_is_safe_when_nothing_pending(self):
+        cluster = self._single_rep_cluster()
+        assert cluster.suite.txn_manager.resolve_pending() == 0
+
+
+class TestRetryingFrontEndEndToEnd:
+    def test_masks_random_loss_on_a_real_cluster(self):
+        cluster = DirectoryCluster.create("3-2-2", seed=11)
+        for i in range(20):
+            cluster.suite.insert(f"k{i:02d}", i)
+        cluster.network.install_faults(
+            LossyLinks(request_loss=0.05, reply_loss=0.05, rng=random.Random(4))
+        )
+        cluster.suite.rpc_retries = 2
+        front = ResilientSuite(
+            cluster.suite,
+            policy=RetryPolicy(max_attempts=5),
+            rng=random.Random(5),
+        )
+        for i in range(20):
+            front.update(f"k{i:02d}", i * 10)
+            present, value = front.lookup(f"k{i:02d}")
+            assert (present, value) == (True, i * 10)
+        cluster.network.install_faults(None)
+        cluster.suite.txn_manager.resolve_pending()
+        state = cluster.suite.authoritative_state()
+        assert state == {f"k{i:02d}": i * 10 for i in range(20)}
+        cluster.check_invariants()
+
+
+class TestChaosSimulation:
+    """The driver's chaos path end to end, with the model oracle on."""
+
+    def _spec(self, retries: int) -> SimulationSpec:
+        return SimulationSpec(
+            config="3-2-2",
+            directory_size=50,
+            operations=400,
+            seed=9,
+            mix=OpMix(insert=1, update=1, delete=1, lookup=3),
+            loss=0.05,
+            retries=retries,
+            verify_model=True,
+        )
+
+    def test_retries_mask_all_faults(self):
+        result = run_simulation(self._spec(retries=4))
+        assert result.failed_operations == 0
+        assert result.model_mismatches == 0
+        assert result.metrics.get("net.loss.requests_dropped", 0) > 0
+
+    def test_no_retries_still_no_duplicates(self):
+        # Without the retrying front-end clients see errors, but the
+        # exactly-once oracle must still hold: an aborted attempt leaves
+        # no effects and a committed one is never double-applied.
+        result = run_simulation(self._spec(retries=0))
+        assert result.model_mismatches == 0

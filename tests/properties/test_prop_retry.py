@@ -1,0 +1,53 @@
+"""Property: retried writes under reply loss are applied exactly once.
+
+A reply-lost RPC is the dangerous one — the effect happened and the
+caller cannot tell.  For any seed and any loss rate the retrying
+front-end must never double-apply a write (a retried committed Insert
+must not raise ``KeyAlreadyPresentError`` or leave a stale value) and
+never lose one (a write reported successful must be visible).  The
+driver's model oracle checks both online and against the cluster's
+authoritative state, so ``model_mismatches == 0`` is the whole property.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.workload import OpMix
+
+WRITE_HEAVY = OpMix(insert=2, update=2, delete=1, lookup=1)
+
+
+def _spec(seed: int, loss: float, reply_loss: float, retries: int):
+    return SimulationSpec(
+        config="3-2-2",
+        directory_size=30,
+        operations=120,
+        seed=seed,
+        mix=WRITE_HEAVY,
+        loss=loss,
+        reply_loss=reply_loss,
+        retries=retries,
+        verify_model=True,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    loss=st.floats(min_value=0.0, max_value=0.10),
+    reply_loss=st.floats(min_value=0.01, max_value=0.15),
+)
+def test_no_duplicate_apply_under_reply_loss_retries(seed, loss, reply_loss):
+    result = run_simulation(_spec(seed, loss, reply_loss, retries=4))
+    assert result.model_mismatches == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_exactly_once_holds_even_without_retries(seed):
+    # Aborted attempts must leave no partial effects regardless of the
+    # front-end: the oracle may count client-visible errors, but never a
+    # duplicate apply or lost write.
+    result = run_simulation(_spec(seed, loss=0.08, reply_loss=0.08, retries=0))
+    assert result.model_mismatches == 0

@@ -1,0 +1,109 @@
+"""Unit tests for the suspicion-cache failure detector."""
+
+import pytest
+
+from repro.net.clock import SimClock
+from repro.net.detector import FailureDetector
+from repro.obs.metrics import MetricsRegistry
+
+
+def make(probation=100.0, threshold=2, metrics=None):
+    clock = SimClock()
+    det = FailureDetector(
+        clock.now,
+        probation=probation,
+        timeout_threshold=threshold,
+        metrics=metrics,
+    )
+    return clock, det
+
+
+class TestEvidence:
+    def test_down_marks_immediately(self):
+        _, det = make()
+        det.record_down("n1")
+        assert det.is_suspect("n1")
+        assert det.suspects() == {"n1"}
+
+    def test_single_timeout_is_not_enough(self):
+        _, det = make(threshold=2)
+        det.record_timeout("n1")
+        assert not det.is_suspect("n1")
+
+    def test_timeout_streak_escalates(self):
+        _, det = make(threshold=2)
+        det.record_timeout("n1")
+        det.record_timeout("n1")
+        assert det.is_suspect("n1")
+
+    def test_success_clears_strikes(self):
+        _, det = make(threshold=2)
+        det.record_timeout("n1")
+        det.record_ok("n1")
+        det.record_timeout("n1")
+        assert not det.is_suspect("n1")  # streak was broken
+
+    def test_success_clears_suspicion(self):
+        _, det = make()
+        det.record_down("n1")
+        det.record_ok("n1")
+        assert not det.is_suspect("n1")
+
+    def test_nodes_are_independent(self):
+        _, det = make()
+        det.record_down("n1")
+        assert not det.is_suspect("n2")
+
+
+class TestProbation:
+    def test_expires_on_the_simulated_clock(self):
+        clock, det = make(probation=50.0)
+        det.record_down("n1")
+        clock.advance(49.9)
+        assert det.is_suspect("n1")
+        clock.advance(0.1)
+        assert not det.is_suspect("n1")
+        assert det.suspects() == set()
+
+    def test_re_marking_extends_probation(self):
+        clock, det = make(probation=50.0)
+        det.record_down("n1")
+        clock.advance(40.0)
+        det.record_down("n1")
+        clock.advance(40.0)  # 80 past the first mark, 40 past the second
+        assert det.is_suspect("n1")
+
+    def test_strikes_restart_after_probation(self):
+        clock, det = make(probation=10.0, threshold=2)
+        det.record_timeout("n1")
+        det.record_timeout("n1")
+        clock.advance(11.0)
+        assert not det.is_suspect("n1")
+        det.record_timeout("n1")  # a single fresh strike must not re-mark
+        assert not det.is_suspect("n1")
+
+
+class TestMetricsAndValidation:
+    def test_metrics_published(self):
+        registry = MetricsRegistry()
+        clock, det = make(probation=10.0, metrics=registry)
+        det.record_down("n1")
+        det.record_down("n1")  # still one distinct suspicion
+        det.record_ok("n1")
+        det.record_down("n2")
+        snap = registry.snapshot()
+        assert snap["detector.suspicions"] == 2
+        assert snap["detector.recoveries"] == 1
+        assert snap["detector.suspected"] == ["n2"]
+
+    def test_bad_parameters_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            FailureDetector(clock.now, probation=-1.0)
+        with pytest.raises(ValueError):
+            FailureDetector(clock.now, timeout_threshold=0)
+
+    def test_repr_names_suspects(self):
+        _, det = make()
+        det.record_down("n1")
+        assert "n1" in repr(det)

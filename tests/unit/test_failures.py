@@ -1,6 +1,20 @@
 """Unit tests for failure injection."""
 
-from repro.net.failures import FailureEvent, RandomFailures, ScriptedFailures
+import random
+
+import pytest
+
+from repro.net.failures import (
+    DROP_REPLY,
+    DROP_REQUEST,
+    OK,
+    FailureEvent,
+    LossEvent,
+    LossyLinks,
+    RandomFailures,
+    ScriptedFailures,
+    ScriptedLoss,
+)
 from repro.net.network import Network
 
 
@@ -61,6 +75,19 @@ class TestScriptedFailures:
         except ValueError:
             pass
 
+    def test_crash_without_node_id_rejected(self):
+        net = three_node_net()
+        injector = ScriptedFailures(net, [FailureEvent(0, "crash")])
+        with pytest.raises(ValueError, match="names no node_id"):
+            injector.step()
+
+    def test_recover_without_node_id_rejected(self):
+        net = three_node_net()
+        injector = ScriptedFailures(net, [FailureEvent(1, "recover")])
+        injector.step()  # step 0: nothing due yet
+        with pytest.raises(ValueError, match="names no node_id"):
+            injector.step()
+
 
 class TestRandomFailures:
     def test_steady_state_formula(self):
@@ -120,3 +147,92 @@ class TestRandomFailures:
             injector.step()
         assert events  # something happened
         assert all(kind in ("crash", "recover") for kind, _ in events)
+
+    def test_min_up_holds_against_scripted_crashes(self):
+        # Another injector (or test) crashes a node directly; the random
+        # process must count it against min_up rather than crash a second
+        # node based on a stale view.
+        import random
+
+        net = three_node_net()
+        injector = RandomFailures(
+            net, crash_prob=1.0, recover_prob=0.0, rng=random.Random(5), min_up=2
+        )
+        net.node("a").crash()  # scripted, outside the injector's control
+        for _ in range(50):
+            injector.step()
+            assert sum(n.is_up for n in net.nodes()) >= 2
+
+
+class TestLossyLinks:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            LossyLinks(request_loss=1.5)
+        with pytest.raises(ValueError):
+            LossyLinks(reply_loss=-0.1)
+        with pytest.raises(ValueError):
+            LossyLinks(flaky_prob=2.0)
+
+    def test_zero_loss_never_drops(self):
+        faults = LossyLinks()
+        assert all(
+            faults.disposition("c", "s", "m") == OK for _ in range(100)
+        )
+        assert faults.delay("c", "s") == 0.0
+
+    def test_total_loss_drops_every_request(self):
+        faults = LossyLinks(request_loss=1.0)
+        assert faults.disposition("c", "s", "m") == DROP_REQUEST
+
+    def test_reply_loss_only(self):
+        faults = LossyLinks(reply_loss=1.0)
+        assert faults.disposition("c", "s", "m") == DROP_REPLY
+
+    def test_seeded_stream_is_reproducible(self):
+        a = LossyLinks(request_loss=0.3, reply_loss=0.3, rng=random.Random(9))
+        b = LossyLinks(request_loss=0.3, reply_loss=0.3, rng=random.Random(9))
+        seq_a = [a.disposition("c", "s", "m") for _ in range(200)]
+        seq_b = [b.disposition("c", "s", "m") for _ in range(200)]
+        assert seq_a == seq_b
+        assert DROP_REQUEST in seq_a and DROP_REPLY in seq_a
+
+    def test_per_link_override(self):
+        faults = LossyLinks(
+            request_loss=0.0,
+            per_link={("c", "bad"): (1.0, 0.0)},
+        )
+        assert faults.disposition("c", "good", "m") == OK
+        assert faults.disposition("c", "bad", "m") == DROP_REQUEST
+
+    def test_flaky_delay(self):
+        faults = LossyLinks(flaky_prob=1.0, flaky_extra=7.5)
+        assert faults.delay("c", "s") == 7.5
+
+
+class TestScriptedLoss:
+    def test_drops_nth_matching_call(self):
+        faults = ScriptedLoss(
+            [LossEvent("request", dst="s", method="svc.put", nth=1)]
+        )
+        assert faults.disposition("c", "s", "svc.put") == OK  # 0th survives
+        assert faults.disposition("c", "s", "svc.put") == DROP_REQUEST
+        assert faults.disposition("c", "s", "svc.put") == OK
+        assert faults.exhausted
+        assert [e.phase for e in faults.fired] == ["request"]
+
+    def test_filters_by_dst_and_method(self):
+        faults = ScriptedLoss([LossEvent("reply", dst="s2")])
+        assert faults.disposition("c", "s1", "svc.put") == OK
+        assert faults.disposition("c", "s2", "other.get") == DROP_REPLY
+
+    def test_wildcard_event_matches_first_call(self):
+        faults = ScriptedLoss([LossEvent("reply")])
+        assert faults.disposition("c", "anything", "any.method") == DROP_REPLY
+        assert faults.exhausted
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedLoss([LossEvent("sideways")])
+
+    def test_no_delay(self):
+        assert ScriptedLoss([]).delay("c", "s") == 0.0

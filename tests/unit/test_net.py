@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.core.errors import NodeDownError
+from repro.core.errors import NodeDownError, OriginDownError, RpcTimeoutError
 from repro.net.clock import SimClock
+from repro.net.failures import (
+    FailureEvent,
+    LossEvent,
+    LossyLinks,
+    ScriptedFailures,
+    ScriptedLoss,
+)
 from repro.net.network import Network, site_latency, uniform_latency
 from repro.net.node import Node
 from repro.net.rpc import RpcEndpoint
@@ -256,3 +263,125 @@ class TestRpc:
         net.stats.reset()
         assert net.stats.messages == 0
         assert net.stats.by_method == {}
+
+    def test_try_call_absorbs_origin_down(self):
+        net = self._net()
+        client = net.add_node("client")
+        rpc = RpcEndpoint(net, origin="client")
+        client.crash()
+        with pytest.raises(OriginDownError):
+            rpc.call("server", "svc", "echo", 1)
+        assert rpc.try_call("server", "svc", "echo", 1, default="dflt") == "dflt"
+
+    def test_try_call_absorbs_timeout(self):
+        net = self._net()
+        net.install_faults(LossyLinks(request_loss=1.0))
+        rpc = RpcEndpoint(net, origin="client")
+        assert rpc.try_call("server", "svc", "echo", 1, default="dflt") == "dflt"
+
+
+class _Tally:
+    """Service that counts how many times it was invoked."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def put(self, x):
+        self.calls += 1
+        return ("stored", x)
+
+
+class TestLossyRpc:
+    def _net(self, faults):
+        net = Network()
+        tally = _Tally()
+        net.add_node("server").host("svc", tally)
+        net.install_faults(faults)
+        return net, tally
+
+    def test_lost_request_has_no_effect(self):
+        net, tally = self._net(
+            ScriptedLoss([LossEvent("request", method="svc.put")])
+        )
+        rpc = RpcEndpoint(net, origin="client")
+        with pytest.raises(RpcTimeoutError) as exc:
+            rpc.call("server", "svc", "put", 1)
+        assert exc.value.lost == "request"
+        assert exc.value.node_id == "server"
+        assert tally.calls == 0  # the request never arrived
+
+    def test_lost_reply_applies_the_effect(self):
+        net, tally = self._net(
+            ScriptedLoss([LossEvent("reply", method="svc.put")])
+        )
+        rpc = RpcEndpoint(net, origin="client")
+        with pytest.raises(RpcTimeoutError) as exc:
+            rpc.call("server", "svc", "put", 1)
+        assert exc.value.lost == "reply"
+        assert tally.calls == 1  # executed; only the answer was dropped
+
+    def test_timeout_advances_clock_and_accounts_traffic(self):
+        net, _ = self._net(
+            ScriptedLoss(
+                [LossEvent("request", nth=0), LossEvent("reply", nth=0)]
+            )
+        )
+        rpc = RpcEndpoint(net, origin="client")
+        with pytest.raises(RpcTimeoutError):
+            rpc.call("server", "svc", "put", 1)  # request lost: 1 message
+        with pytest.raises(RpcTimeoutError):
+            rpc.call("server", "svc", "put", 2)  # reply lost: 2 messages
+        assert net.clock.now() == 2 * net.rpc_timeout
+        assert net.stats.dropped == 2
+        assert net.stats.messages == 3
+        assert net.stats.rpc_rounds == 0  # rounds are completed exchanges
+
+    def test_surviving_call_unaffected(self):
+        net, tally = self._net(ScriptedLoss([]))
+        rpc = RpcEndpoint(net, origin="client")
+        assert rpc.call("server", "svc", "put", 3) == ("stored", 3)
+        assert net.stats.rpc_rounds == 1
+        assert net.stats.dropped == 0
+
+    def test_flaky_latency_added_to_surviving_rounds(self):
+        net, _ = self._net(LossyLinks(flaky_prob=1.0, flaky_extra=5.0))
+        rpc = RpcEndpoint(net, origin="client")
+        rpc.call("server", "svc", "put", 1)
+        # one round trip (2 * 1.0 default latency) plus the flaky extra
+        assert net.clock.now() == 2.0 + 5.0
+
+    def test_loss_counters_published(self):
+        net, _ = self._net(
+            ScriptedLoss(
+                [LossEvent("request", nth=0), LossEvent("reply", nth=0)]
+            )
+        )
+        rpc = RpcEndpoint(net, origin="client")
+        for x in (1, 2):
+            with pytest.raises(RpcTimeoutError):
+                rpc.call("server", "svc", "put", x)
+        snap = net.metrics.snapshot()
+        assert snap["net.loss.requests_dropped"] == 1
+        assert snap["net.loss.replies_dropped"] == 1
+
+
+class TestScriptedPartitionThroughRpc:
+    def test_partition_then_heal_drives_rpc_outcomes(self):
+        net = Network()
+        net.add_node("server").host("svc", _Echo())
+        injector = ScriptedFailures(
+            net,
+            [
+                FailureEvent(1, "partition", groups=(("client",), ("server",))),
+                FailureEvent(2, "heal"),
+            ],
+        )
+        rpc = RpcEndpoint(net, origin="client")
+
+        injector.step()  # step 0: nothing due
+        assert rpc.call("server", "svc", "echo", "before") == "before"
+        injector.step()  # partition fires
+        with pytest.raises(NodeDownError):
+            rpc.call("server", "svc", "echo", "cut")
+        injector.step()  # heal fires
+        assert rpc.call("server", "svc", "echo", "after") == "after"

@@ -172,3 +172,56 @@ class TestLocalityPolicy:
             "read", ["A2", "B1", "B2"], config, random.Random(12)
         )
         assert quorum[0] == "A2" and len(quorum) == 2
+
+
+class _FixedDetector:
+    """Stand-in detector suspecting a fixed set of node ids."""
+
+    def __init__(self, suspects):
+        self._suspects = set(suspects)
+
+    def is_suspect(self, node_id):
+        return node_id in self._suspects
+
+
+class TestDetectorScreening:
+    def test_suspects_screened_out(self):
+        policy = RandomQuorumPolicy()
+        policy.bind_detector(_FixedDetector({"node-C"}), node_of=lambda n: f"node-{n}")
+        rng = random.Random(1)
+        for _ in range(50):
+            quorum = policy.choose("read", ["A", "B", "C"], CFG_322, rng)
+            assert "C" not in quorum
+
+    def test_falls_back_when_survivors_cannot_carry_quorum(self):
+        # Suspecting B and C leaves only 1 trusted vote for a 2-vote
+        # quorum: screening must be abandoned, not fail the operation.
+        policy = RandomQuorumPolicy()
+        policy.bind_detector(_FixedDetector({"B", "C"}))
+        quorum = policy.choose("write", ["A", "B", "C"], CFG_322, random.Random(2))
+        assert sum(CFG_322.votes[n] for n in quorum) >= 2
+
+    def test_screening_counters_published(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        policy = RandomQuorumPolicy()
+        policy.bind_metrics(registry)
+        policy.bind_detector(_FixedDetector({"C"}))
+        policy.choose("read", ["A", "B", "C"], CFG_322, random.Random(3))
+        assert registry.snapshot()["suite.quorum.read.suspects_screened"] == 1
+
+    def test_fallback_counter_published(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        policy = RandomQuorumPolicy()
+        policy.bind_metrics(registry)
+        policy.bind_detector(_FixedDetector({"B", "C"}))
+        policy.choose("write", ["A", "B", "C"], CFG_322, random.Random(4))
+        assert registry.snapshot()["suite.quorum.write.suspect_fallbacks"] == 1
+
+    def test_no_detector_means_no_screening(self):
+        policy = RandomQuorumPolicy()
+        quorum = policy.choose("read", ["A", "B", "C"], CFG_322, random.Random(5))
+        assert sum(CFG_322.votes[n] for n in quorum) >= 2

@@ -1,0 +1,180 @@
+"""Unit tests for the retrying front-end (`ResilientSuite`, `RetryPolicy`)."""
+
+import random
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    RpcTimeoutError,
+)
+from repro.core.resilient import ResilientSuite, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff=10.0, multiplier=2.0, max_backoff=35.0, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(i, rng) for i in range(4)]
+        assert delays == [10.0, 20.0, 35.0, 35.0]
+
+    def test_jitter_stretches_within_bounds(self):
+        policy = RetryPolicy(base_backoff=10.0, jitter=0.5)
+        rng = random.Random(1)
+        for _ in range(200):
+            delay = policy.backoff(0, rng)
+            assert 10.0 <= delay <= 15.0
+
+
+def flaky(real_fn, failures, exc=None):
+    """Wrap ``real_fn`` to raise ``failures`` times before succeeding."""
+    exc = exc or RpcTimeoutError("node-A", "dir:A.rep_insert")
+    state = {"left": failures, "calls": 0}
+
+    def wrapper(*args, **kwargs):
+        state["calls"] += 1
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc
+        return real_fn(*args, **kwargs)
+
+    return wrapper, state
+
+
+def make(**policy_kw):
+    policy_kw.setdefault("max_attempts", 3)
+    policy_kw.setdefault("base_backoff", 5.0)
+    policy_kw.setdefault("jitter", 0.0)
+    cluster = DirectoryCluster.create("3-2-2", seed=7)
+    front = ResilientSuite(
+        cluster.suite,
+        policy=RetryPolicy(**policy_kw),
+        rng=random.Random(0),
+    )
+    return cluster, front
+
+
+class TestResilientSuite:
+    def test_success_without_faults_is_transparent(self):
+        cluster, front = make()
+        front.insert("k", 1)
+        assert front.lookup("k") == (True, 1)
+        snap = cluster.metrics.snapshot()
+        assert snap.get("suite.retry.attempts", 0) == 0
+        assert snap.get("suite.retry.masked", 0) == 0
+
+    def test_transient_failure_is_masked(self):
+        cluster, front = make()
+        wrapper, state = flaky(cluster.suite.insert, failures=1)
+        cluster.suite.insert = wrapper
+        front.insert("k", 1)
+        assert state["calls"] == 2
+        assert front.lookup("k") == (True, 1)
+        snap = cluster.metrics.snapshot()
+        assert snap["suite.retry.attempts"] == 1
+        assert snap["suite.retry.masked"] == 1
+
+    def test_exhaustion_reraises(self):
+        cluster, front = make(max_attempts=3)
+        wrapper, state = flaky(cluster.suite.delete, failures=99)
+        cluster.suite.delete = wrapper
+        with pytest.raises(RpcTimeoutError):
+            front.delete("missing")
+        assert state["calls"] == 3
+        snap = cluster.metrics.snapshot()
+        assert snap["suite.retry.exhausted"] == 1
+        assert snap["suite.retry.attempts"] == 2  # retries, not first tries
+
+    def test_backoff_advances_simulated_clock(self):
+        cluster, front = make(
+            max_attempts=3, base_backoff=5.0, multiplier=2.0, jitter=0.0
+        )
+        wrapper, _ = flaky(cluster.suite.update, failures=99)
+        cluster.suite.update = wrapper
+        before = cluster.network.clock.now()
+        with pytest.raises(RpcTimeoutError):
+            front.update("k", 2)
+        # two sleeps: 5 then 10 ticks
+        assert cluster.network.clock.now() == before + 15.0
+
+    def test_application_errors_propagate_immediately(self):
+        cluster, front = make()
+        front.insert("k", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            front.insert("k", 2)
+        with pytest.raises(KeyNotPresentError):
+            front.update("nope", 0)
+        assert cluster.metrics.snapshot().get("suite.retry.attempts", 0) == 0
+
+    def test_ambiguous_committed_write_resolves_exactly_once(self):
+        # The attempt commits but the caller sees a timeout (lost final
+        # reply).  The retry layer must consult the decision log and
+        # report success instead of re-executing — a naive retry would
+        # raise KeyAlreadyPresentError here.
+        cluster, front = make()
+        real_insert = cluster.suite.insert
+
+        def commit_then_timeout(key, value):
+            real_insert(key, value)
+            raise RpcTimeoutError("client", "commit", lost="reply")
+
+        cluster.suite.insert = commit_then_timeout
+        front.insert("k", 1)  # no error surfaces
+        cluster.suite.insert = real_insert
+        assert front.lookup("k") == (True, 1)
+        snap = cluster.metrics.snapshot()
+        assert snap["suite.retry.exactly_once"] == 1
+        assert snap.get("suite.retry.attempts", 0) == 0  # resolved, not retried
+
+    def test_lookup_never_probes_the_decision_log(self):
+        # A committed prior write leaves last_txn_id pointing at a
+        # committed transaction; a failed lookup must still re-run (it
+        # needs the value), not short-circuit to "success".
+        cluster, front = make()
+        front.insert("k", 41)
+        wrapper, state = flaky(cluster.suite.lookup, failures=1)
+        cluster.suite.lookup = wrapper
+        assert front.lookup("k") == (True, 41)
+        assert state["calls"] == 2
+        snap = cluster.metrics.snapshot()
+        assert snap["suite.retry.masked"] == 1
+        assert snap.get("suite.retry.exactly_once", 0) == 0
+
+    def test_resolve_pending_runs_between_attempts(self):
+        cluster, front = make()
+        calls = []
+        real_resolve = cluster.suite.txn_manager.resolve_pending
+        cluster.suite.txn_manager.resolve_pending = lambda: (
+            calls.append(True),
+            real_resolve(),
+        )[1]
+        wrapper, _ = flaky(cluster.suite.insert, failures=1)
+        cluster.suite.insert = wrapper
+        front.insert("k", 1)
+        assert calls == [True]
+
+    def test_attribute_delegation(self):
+        cluster, front = make()
+        front.insert("k", 1)
+        assert front.authoritative_state() == {"k": 1}
+        assert front.config is cluster.suite.config
+        assert "ResilientSuite" in repr(front)
