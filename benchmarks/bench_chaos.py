@@ -19,7 +19,7 @@ authoritative state), so the table doubles as a no-duplicate-apply /
 no-lost-write check: the mismatch column must be zero everywhere.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import emit_bench, run_once, simulation_bench_sections
 from repro.sim.driver import SimulationSpec, run_simulation
 from repro.sim.report import format_table
 from repro.sim.workload import OpMix
@@ -125,6 +125,24 @@ def test_chaos_single_setting(benchmark, scale):
         f"{result.model_mismatches} mismatches, "
         f"{metrics.get('suite.retry.attempts', 0)} retries "
         f"({metrics.get('suite.retry.masked', 0)} masked)"
+    )
+    sections = simulation_bench_sections(result)
+    emit_bench(
+        "chaos_smoke",
+        workload={
+            "config": "3-2-2",
+            "directory_size": 100,
+            "operations": spec.operations,
+            "seed": spec.seed,
+            "loss": spec.loss,
+            "retries": spec.retries,
+        },
+        audit=(
+            result.audit_report.summary()
+            if result.audit_report is not None
+            else None
+        ),
+        **sections,
     )
     assert result.failed_operations == 0
     assert result.model_mismatches == 0

@@ -10,7 +10,7 @@ sizes 1, 3, and 5 and reports RPC rounds per delete attributable to the
 neighbor searches.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import emit_bench, run_once, simulation_bench_sections
 from repro.sim.driver import SimulationSpec, run_simulation
 from repro.sim.report import format_table
 
@@ -75,6 +75,21 @@ def test_rpc_rounds_vs_batch_size(benchmark, scale):
     r3 = neighbor_rounds(results[3])
     benchmark.extra_info["rounds_batch1"] = round(r1, 3)
     benchmark.extra_info["rounds_batch3"] = round(r3, 3)
+    sections = simulation_bench_sections(results[1])
+    sections["messages"]["neighbor_rounds_per_delete"] = {
+        f"batch{b}": neighbor_rounds(results[b]) for b in BATCH_SIZES
+    }
+    emit_bench(
+        "rpc_rounds",
+        workload={
+            "config": "3-2-2",
+            "directory_size": 100,
+            "operations": scale["generic_ops"],
+            "seed": 10,
+            "batch_sizes": BATCH_SIZES,
+        },
+        **sections,
+    )
     # Batching three results per message cuts the rounds substantially...
     assert r3 < r1
     # ...to close to one round per quorum member per direction (2 members

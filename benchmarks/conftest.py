@@ -9,11 +9,17 @@ By default the experiments run at a reduced scale that finishes in a
 couple of minutes.  Set ``REPRO_PAPER_SCALE=1`` to use the paper's exact
 parameters (10,000-operation Figure 14 runs; 100,000-operation Figure 15
 runs at 100 / 1,000 / 10,000 entries), which takes substantially longer.
+
+Set ``REPRO_BENCH_DIR=<dir>`` to have benchmarks write ``BENCH_<name>.json``
+telemetry documents (see :mod:`repro.obs.bench` and docs/OBSERVABILITY.md)
+there via :func:`emit_bench`; unset, telemetry emission is a no-op so the
+default run leaves no files behind.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -53,3 +59,53 @@ def run_once(benchmark, fn):
     the table, not the nanoseconds.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit_bench(
+    name,
+    workload=None,
+    messages=None,
+    latency=None,
+    audit=None,
+    extra=None,
+) -> Path | None:
+    """Write one BENCH telemetry document, if ``REPRO_BENCH_DIR`` is set.
+
+    The shared writer every ``bench_*.py`` uses: sections as in
+    :func:`repro.obs.bench.bench_payload`.  Returns the written path, or
+    None when telemetry is disabled.
+    """
+    directory = os.environ.get("REPRO_BENCH_DIR", "")
+    if not directory:
+        return None
+    from repro.obs.bench import bench_payload, write_bench
+
+    Path(directory).mkdir(parents=True, exist_ok=True)
+    payload = bench_payload(
+        name,
+        workload=workload,
+        messages=messages,
+        latency=latency,
+        audit=audit,
+        extra=extra,
+    )
+    path = write_bench(payload, directory)
+    print(f"\nBENCH telemetry written to {path}")
+    return path
+
+
+def simulation_bench_sections(result) -> dict:
+    """messages/extra sections for a BENCH doc from a SimulationResult."""
+    total_ops = max(1, result.op_counts.total)
+    return {
+        "messages": {
+            "messages": result.traffic["messages"],
+            "rpc_rounds": result.traffic["rpc_rounds"],
+            "rpc_rounds_per_op": result.traffic["rpc_rounds"] / total_ops,
+        },
+        "extra": {
+            "failed_operations": result.failed_operations,
+            "model_mismatches": result.model_mismatches,
+            "sim_ticks": result.sim_ticks,
+        },
+    }

@@ -74,13 +74,22 @@ from repro.core.suite import DirectorySuite
 from repro.net.detector import FailureDetector
 from repro.net.failures import LossEvent, LossyLinks, ScriptedLoss
 from repro.obs import (
+    AuditReport,
+    AuditViolation,
+    InvariantAuditor,
     MetricsRegistry,
     NullTracer,
     RecordingTracer,
     Span,
+    TraceProfile,
+    compare_benches,
+    critical_path,
     dump_spans,
+    load_bench,
     load_spans,
+    profile_spans,
     spans_to_trace,
+    write_bench,
 )
 from repro.sim.driver import SimulationResult, SimulationSpec, run_simulation
 
@@ -117,6 +126,15 @@ __all__ = [
     "dump_spans",
     "load_spans",
     "spans_to_trace",
+    "TraceProfile",
+    "profile_spans",
+    "critical_path",
+    "InvariantAuditor",
+    "AuditReport",
+    "AuditViolation",
+    "write_bench",
+    "load_bench",
+    "compare_benches",
     # error hierarchy
     "ReproError",
     "ConfigurationError",

@@ -5,13 +5,18 @@
     python -m repro demo
     python -m repro simulate --config 3-2-2 --size 100 --ops 10000
     python -m repro simulate --loss 0.05 --retries 4
+    python -m repro simulate --profile --audit --bench-json
     python -m repro figure14 [--ops 10000]
     python -m repro figure15 [--ops 100000 --sizes 100,1000,10000]
     python -m repro availability [--p 0.8,0.9,0.95,0.99]
     python -m repro concurrency [--txns 1000 --rate 8.0]
     python -m repro analytic [--configs 3-2-2,4-2-3,5-3-3]
+    python -m repro bench-compare BASELINE.json CANDIDATE.json
 
 Every subcommand prints a paper-style plain-text table to stdout.
+``simulate --audit`` exits non-zero if any invariant violation is found,
+and ``bench-compare`` exits non-zero on a >5% regression, so both are
+CI-gate ready.
 """
 
 from __future__ import annotations
@@ -78,10 +83,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         store=args.store,
         neighbor_batch_size=args.batch,
         read_repair=args.read_repair,
-        trace_spans=args.spans is not None,
+        trace_spans=args.spans is not None or args.profile,
         loss=args.loss,
         retries=args.retries,
-        verify_model=args.loss > 0.0,
+        verify_model=args.loss > 0.0 or args.audit,
+        audit=args.audit,
     )
     result = run_simulation(spec)
     rows = []
@@ -119,9 +125,115 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"exactly-once); {result.model_mismatches} model mismatches; "
             f"{result.sim_ticks:.0f} simulated ticks"
         )
+    profile = None
+    if args.profile:
+        from repro.obs.analyze import profile_spans
+
+        profile = profile_spans(result.spans)
+        print("\n" + profile.report())
+    if args.audit:
+        print("\n" + result.audit_report.render())
+    if args.metrics is not None:
+        _emit_metrics(args.metrics, result.metrics)
+    bench_json = args.bench_json
+    if bench_json is None and args.profile and args.audit:
+        bench_json = "BENCH_driver.json"
+    if bench_json is not None:
+        _emit_bench(bench_json, args, result, profile)
     if args.spans is not None:
         _emit_spans(args.spans, result, spec)
+    if args.audit and not result.audit_report.ok:
+        return 1
     return 0
+
+
+def _emit_metrics(destination: str, metrics: dict) -> None:
+    """Write ``MetricsRegistry.snapshot()`` as JSON to a file or stdout."""
+    import json
+
+    text = json.dumps(metrics, indent=2, sort_keys=True, default=str) + "\n"
+    if destination == "-":
+        print(text, end="")
+    else:
+        with open(destination, "w") as fh:
+            fh.write(text)
+        print(f"metrics snapshot written to {destination}")
+
+
+def _emit_bench(destination: str, args, result, profile) -> None:
+    """Write a schema-valid BENCH document for this driver run."""
+    import json
+    import re
+
+    from repro.obs.bench import bench_payload, validate_bench
+
+    match = re.fullmatch(r"BENCH_(.+)\.json", destination.rsplit("/", 1)[-1])
+    name = match.group(1) if match else "driver"
+    messages: dict = {
+        "messages": result.traffic["messages"],
+        "rpc_rounds": result.traffic["rpc_rounds"],
+    }
+    latency: dict = {}
+    if profile is not None:
+        summary = profile.summary()
+        messages["ops"] = {
+            kind: {
+                "rpc_rounds": row["rpc_rounds"],
+                "messages": row["messages"],
+            }
+            for kind, row in summary["ops"].items()
+        }
+        latency = {
+            "phases": summary["phases"],
+            "ops": {
+                kind: row["latency"] for kind, row in summary["ops"].items()
+            },
+        }
+    payload = bench_payload(
+        name,
+        workload={
+            "config": args.config,
+            "directory_size": args.size,
+            "operations": args.ops,
+            "seed": args.seed,
+            "store": args.store,
+            "loss": args.loss,
+            "retries": args.retries,
+        },
+        messages=messages,
+        latency=latency,
+        audit=(
+            result.audit_report.summary()
+            if result.audit_report is not None
+            else None
+        ),
+        extra={
+            "failed_operations": result.failed_operations,
+            "model_mismatches": result.model_mismatches,
+            "sim_ticks": result.sim_ticks,
+        },
+    )
+    validate_bench(payload)
+    with open(destination, "w") as fh:
+        fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"BENCH telemetry written to {destination}")
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Diff two BENCH documents; non-zero exit on regression."""
+    from repro.obs.bench import compare_benches, format_comparison, load_bench
+
+    baseline = load_bench(args.baseline)
+    candidate = load_bench(args.candidate)
+    regressions = compare_benches(
+        baseline, candidate, tolerance=args.tolerance
+    )
+    print(
+        format_comparison(
+            baseline, candidate, regressions, tolerance=args.tolerance
+        )
+    )
+    return 1 if regressions else 0
 
 
 def _emit_spans(destination: str, result, spec: SimulationSpec) -> None:
@@ -325,6 +437,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-operation span trees and dump them as JSON lines "
         "to PATH (or stdout when no path is given)",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="record span trees and print the trace profile: per-op and "
+        "per-phase latency percentiles, rounds, messages, retry attempts",
+    )
+    p.add_argument(
+        "--audit",
+        action="store_true",
+        help="audit the replica invariants at commit boundaries and at the "
+        "end of the run; non-zero exit on any violation",
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="dump the final MetricsRegistry snapshot as JSON to PATH "
+        "('-' for stdout)",
+    )
+    p.add_argument(
+        "--bench-json",
+        nargs="?",
+        const="BENCH_driver.json",
+        default=None,
+        metavar="PATH",
+        help="write BENCH telemetry for this run (defaults to "
+        "BENCH_driver.json; also written automatically when --profile "
+        "and --audit are both on)",
+    )
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("figure14", help="regenerate Figure 14")
@@ -356,6 +497,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--configs", default="3-2-2,4-2-3,5-3-3")
     p.add_argument("--size", type=int, default=100)
     p.set_defaults(fn=cmd_analytic)
+
+    p = sub.add_parser(
+        "bench-compare", help="diff two BENCH_*.json telemetry files"
+    )
+    p.add_argument("baseline", help="baseline BENCH_*.json")
+    p.add_argument("candidate", help="candidate BENCH_*.json")
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional increase before a leaf counts as a "
+        "regression (default 0.05)",
+    )
+    p.set_defaults(fn=cmd_bench_compare)
 
     p = sub.add_parser("plan", help="tailor R/W to a workload (section 5)")
     p.add_argument("--replicas", type=int, default=5)

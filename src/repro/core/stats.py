@@ -23,9 +23,24 @@ import math
 from dataclasses import dataclass, field
 
 
+#: LCG multiplier/increment (Knuth's MMIX constants) for the reservoir's
+#: private random stream — deterministic, so two runs over the same
+#: sample sequence report identical percentiles.
+_LCG_MUL = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
 @dataclass
 class RunningStat:
-    """Welford online mean/variance plus max, optionally keeping samples."""
+    """Welford online mean/variance plus max, optionally keeping samples.
+
+    ``keep_samples`` retains every sample (unbounded memory).
+    ``reservoir`` retains at most that many via deterministic reservoir
+    sampling (Algorithm R over a private LCG stream), which is enough for
+    percentile estimates at bounded memory; :meth:`percentile` reads
+    whichever sample store is active.
+    """
 
     keep_samples: bool = False
     n: int = 0
@@ -33,6 +48,9 @@ class RunningStat:
     _m2: float = 0.0
     max: float = 0.0
     samples: list[float] = field(default_factory=list)
+    reservoir: int = 0
+    _rsamples: list[float] = field(default_factory=list)
+    _rstate: int = 0x9E3779B97F4A7C15
 
     def add(self, x: float) -> None:
         """Record one sample."""
@@ -44,6 +62,16 @@ class RunningStat:
             self.max = x
         if self.keep_samples:
             self.samples.append(x)
+        elif self.reservoir:
+            if len(self._rsamples) < self.reservoir:
+                self._rsamples.append(x)
+            else:
+                self._rstate = (
+                    self._rstate * _LCG_MUL + _LCG_INC
+                ) & _LCG_MASK
+                j = self._rstate % self.n
+                if j < self.reservoir:
+                    self._rsamples[j] = x
 
     @property
     def avg(self) -> float:
@@ -60,6 +88,42 @@ class RunningStat:
         """Population standard deviation."""
         return math.sqrt(self.variance)
 
+    @property
+    def retained_samples(self) -> tuple[float, ...]:
+        """The samples available for percentile estimation.
+
+        The full sample list under ``keep_samples``, the bounded
+        reservoir otherwise (empty when neither retention mode is on).
+        """
+        return tuple(self.samples if self.keep_samples else self._rsamples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``q`` in [0, 100]) of retained samples.
+
+        Linear interpolation between closest ranks over the sorted
+        sample store (exact under ``keep_samples``, a reservoir estimate
+        otherwise).  Returns 0.0 when no samples have been recorded;
+        raises ``ValueError`` if samples were recorded but none retained
+        (construct with ``keep_samples=True`` or ``reservoir=k``).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q out of [0, 100]: {q}")
+        data = self.samples if self.keep_samples else self._rsamples
+        if not data:
+            if self.n:
+                raise ValueError(
+                    "percentile() needs keep_samples=True or reservoir>0"
+                )
+            return 0.0
+        ordered = sorted(data)
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
     def merge(self, other: "RunningStat") -> None:
         """Fold another collector's moments into this one."""
         if other.n == 0:
@@ -69,6 +133,7 @@ class RunningStat:
             self.max = other.max
             if self.keep_samples:
                 self.samples.extend(other.samples)
+            self._merge_reservoir(other)
             return
         n = self.n + other.n
         delta = other.mean - self.mean
@@ -78,6 +143,13 @@ class RunningStat:
         self.max = max(self.max, other.max)
         if self.keep_samples:
             self.samples.extend(other.samples)
+        self._merge_reservoir(other)
+
+    def _merge_reservoir(self, other: "RunningStat") -> None:
+        if self.reservoir and not self.keep_samples:
+            room = self.reservoir - len(self._rsamples)
+            if room > 0:
+                self._rsamples.extend(other.retained_samples[:room])
 
     def as_row(self) -> dict[str, float]:
         """Avg/Max/StdDev dict in the shape Figure 15 prints."""

@@ -332,24 +332,30 @@ class DirectorySuite:
             return self.rpc.call(
                 place.node_id, place.service_name, method, *args, **kw
             )
-        for attempt in range(1 + self.rpc_retries):
-            try:
-                result = self.rpc.call(
-                    place.node_id, place.service_name, method, *args, **kw
-                )
-            except RpcTimeoutError:
-                if detector is not None:
-                    detector.record_timeout(place.node_id)
-                if attempt >= self.rpc_retries:
+        try:
+            for attempt in range(1 + self.rpc_retries):
+                # Published (not passed as a kwarg, which would forward to
+                # the remote method) so traced rpc: spans can mark retries.
+                self.rpc.attempt = attempt
+                try:
+                    result = self.rpc.call(
+                        place.node_id, place.service_name, method, *args, **kw
+                    )
+                except RpcTimeoutError:
+                    if detector is not None:
+                        detector.record_timeout(place.node_id)
+                    if attempt >= self.rpc_retries:
+                        raise
+                except NodeDownError:
+                    if detector is not None:
+                        detector.record_down(place.node_id)
                     raise
-            except NodeDownError:
-                if detector is not None:
-                    detector.record_down(place.node_id)
-                raise
-            else:
-                if detector is not None:
-                    detector.record_ok(place.node_id)
-                return result
+                else:
+                    if detector is not None:
+                        detector.record_ok(place.node_id)
+                    return result
+        finally:
+            self.rpc.attempt = 0
 
     # ------------------------------------------------------------------
     # Figure 8: DirSuiteLookup

@@ -39,6 +39,10 @@ class RpcEndpoint:
         self.network = network
         self.origin = origin
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Retrying callers (the suite's _call loop) publish which re-issue
+        # this is so traced spans can distinguish first tries from
+        # retries; 0 between retry loops, so the plain path never reads it.
+        self.attempt = 0
         # The tracer is fixed for the endpoint's lifetime, so the traced
         # implementation is bound once here instead of branching on every
         # call — RPC issue is the hottest path in the simulator and the
@@ -121,6 +125,8 @@ class RpcEndpoint:
             origin=self.origin,
             payload_items=payload_items,
         ) as span:
+            if self.attempt:
+                span.set("attempt", self.attempt)
             if self.origin in self.network._nodes:
                 origin_node = self.network.node(self.origin)
                 if not origin_node.is_up:

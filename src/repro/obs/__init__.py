@@ -9,11 +9,35 @@ registry.
   :class:`~repro.core.stats.RunningStat`), gauges, and providers, one
   registry per cluster (``cluster.metrics.snapshot()``);
 * :mod:`repro.obs.export` — JSON-lines span dumps, loadable and
-  convertible to a replayable :class:`~repro.sim.trace.Trace`.
+  convertible to a replayable :class:`~repro.sim.trace.Trace`;
+* :mod:`repro.obs.analyze` — trace analytics: critical paths, per-phase
+  latency percentiles, message accounting (:func:`profile_spans`);
+* :mod:`repro.obs.audit` — online checking of the paper's replica
+  invariants (:class:`InvariantAuditor`);
+* :mod:`repro.obs.bench` — the shared ``BENCH_<name>.json`` telemetry
+  schema and regression comparison.
 
-See docs/OBSERVABILITY.md for the span and metric catalogs.
+See docs/OBSERVABILITY.md for the span and metric catalogs, the
+profiling/auditing guides, and the BENCH schema.
 """
 
+from repro.obs.analyze import (
+    TraceProfile,
+    critical_path,
+    format_critical_path,
+    phase_of,
+    profile_spans,
+    self_time,
+)
+from repro.obs.audit import AuditReport, AuditViolation, InvariantAuditor
+from repro.obs.bench import (
+    bench_payload,
+    compare_benches,
+    format_comparison,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
 from repro.obs.export import (
     dump_spans,
     load_spans,
@@ -41,4 +65,19 @@ __all__ = [
     "spans_to_trace",
     "total_messages",
     "total_rpc_rounds",
+    "TraceProfile",
+    "critical_path",
+    "format_critical_path",
+    "phase_of",
+    "profile_spans",
+    "self_time",
+    "AuditReport",
+    "AuditViolation",
+    "InvariantAuditor",
+    "bench_payload",
+    "compare_benches",
+    "format_comparison",
+    "load_bench",
+    "validate_bench",
+    "write_bench",
 ]

@@ -1,0 +1,304 @@
+"""Online auditing of the paper's replica invariants.
+
+The algorithm's correctness rests on one structural property — *every
+possible key has a version number on every representative* (entries for
+present keys, gap version numbers tiling the intervals between them) —
+plus the weighted-voting guarantee that the *current* version of any
+key, present or absent, is held by at least a write quorum's worth of
+votes.  :class:`InvariantAuditor` checks these directly against replica
+stores, at commit boundaries (see ``sim/driver.py``'s ``audit=`` knob)
+or on demand:
+
+* **tiling** — each replica's entries and gaps exactly tile
+  ``[LOW, HIGH]`` (delegates to the store's own structural
+  ``check_invariants``: strictly increasing keys, sentinel bounds, one
+  gap version per interval);
+* **monotonicity** — for every key stored anywhere, all replicas
+  holding the maximum version agree on (present, value); stale replicas
+  are strictly dominated, which is what makes the quorum merge of
+  Figure 8 sound across coalesces;
+* **quorum-intersection** — the replicas holding the maximum version of
+  each key, and of each empty interval between keys, muster at least W
+  votes (a write installed it on a full write quorum; splits preserve
+  it).  Only meaningful when every voting replica is up — a crashed
+  replica's volatile store is legitimately behind — so it is skipped
+  otherwise;
+* **ghost census / model diff** — entries whose key the quorum-derived
+  authoritative state says is absent are counted as ghosts (expected,
+  never violations), and, when the caller supplies its client-side
+  model, the derived state is diffed against it key by key.
+
+The auditor reads stores directly (no RPCs, no network traffic), so it
+never perturbs the simulation it is checking.  It publishes
+``audit.checks`` / ``audit.violations`` counters and accumulates a
+structured :class:`AuditReport`.  The cluster parameter is duck-typed
+(``config`` / ``network`` / ``suite.placements`` / ``representatives``)
+to keep this module import-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import StoreCorruptionError
+from repro.core.keys import HIGH, LOW, BoundedKey
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One failed invariant check.
+
+    ``check`` is the invariant name (``tiling`` / ``monotonicity`` /
+    ``quorum-intersection`` / ``model``); ``replica`` the representative
+    concerned (empty for cross-replica checks); ``key`` a display form
+    of the key or interval; ``detail`` the human-readable explanation.
+    """
+
+    check: str
+    replica: str
+    key: str
+    detail: str
+
+    def render(self) -> str:
+        where = f" rep={self.replica}" if self.replica else ""
+        return f"[{self.check}]{where} key={self.key}: {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Accumulated outcome of one or more auditor runs."""
+
+    runs: int = 0
+    checks: int = 0
+    violations: list[AuditViolation] = field(default_factory=list)
+    ghosts: int = 0
+    keys_audited: int = 0
+    intervals_audited: int = 0
+    skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no check has failed."""
+        return not self.violations
+
+    def merge(self, other: "AuditReport") -> None:
+        """Fold another report (one run's results) into this one."""
+        self.runs += other.runs
+        self.checks += other.checks
+        self.violations.extend(other.violations)
+        self.ghosts += other.ghosts
+        self.keys_audited += other.keys_audited
+        self.intervals_audited += other.intervals_audited
+        self.skipped += other.skipped
+
+    def summary(self) -> dict[str, int]:
+        """Flat counts for BENCH telemetry."""
+        return {
+            "runs": self.runs,
+            "checks": self.checks,
+            "violations": len(self.violations),
+            "ghosts": self.ghosts,
+            "keys_audited": self.keys_audited,
+            "intervals_audited": self.intervals_audited,
+            "skipped": self.skipped,
+        }
+
+    def render(self) -> str:
+        """Human-readable report (one line per violation)."""
+        head = (
+            f"audit: {self.runs} runs, {self.checks} checks, "
+            f"{len(self.violations)} violations, {self.ghosts} ghosts "
+            f"({self.keys_audited} keys, {self.intervals_audited} "
+            f"intervals audited, {self.skipped} audits skipped)"
+        )
+        if self.ok:
+            return head
+        lines = [head]
+        lines.extend("  " + v.render() for v in self.violations)
+        return "\n".join(lines)
+
+
+class InvariantAuditor:
+    """Checks replica invariants against a live cluster's stores."""
+
+    def __init__(self, cluster: Any, metrics: Any = None) -> None:
+        self.cluster = cluster
+        registry = metrics if metrics is not None else cluster.metrics
+        self._checks = registry.counter("audit.checks")
+        self._violations = registry.counter("audit.violations")
+        #: Cumulative report over every :meth:`run` call.
+        self.report = AuditReport()
+
+    # -- replica access (duck-typed) ---------------------------------------
+
+    def _up_replicas(self) -> dict[str, Any]:
+        """Name → representative, for replicas whose node is up."""
+        suite = self.cluster.suite
+        out = {}
+        for name, place in suite.placements.items():
+            if self.cluster.network.node(place.node_id).is_up:
+                out[name] = self.cluster.representatives[name]
+        return out
+
+    def _all_voting_up(self) -> bool:
+        config = self.cluster.config
+        suite = self.cluster.suite
+        for name in config.voting_names():
+            place = suite.placements[name]
+            if not self.cluster.network.node(place.node_id).is_up:
+                return False
+        return True
+
+    # -- the audit ---------------------------------------------------------
+
+    def run(self, model: dict[Any, Any] | None = None) -> AuditReport:
+        """Audit every invariant once; returns this run's report.
+
+        ``model`` is an optional client-side key→value map (what the
+        workload believes the directory contains); when given, the
+        quorum-derived authoritative state is diffed against it.  The
+        run's report is also merged into the cumulative :attr:`report`
+        and the ``audit.*`` counters.
+        """
+        report = AuditReport(runs=1)
+        reps = self._up_replicas()
+        votes = self.cluster.config.votes
+        write_quorum = self.cluster.config.write_quorum
+        quorum_checkable = self._all_voting_up()
+
+        # Invariant 1: each replica's entries+gaps tile [LOW, HIGH].
+        for name, rep in reps.items():
+            report.checks += 1
+            try:
+                rep.store.check_invariants()
+            except StoreCorruptionError as exc:
+                self._flag(report, "tiling", name, "[LOW .. HIGH]", str(exc))
+
+        # Union of stored keys: the finite skeleton that, with the gap
+        # probes below, covers the infinite key space.
+        union: set[BoundedKey] = set()
+        for rep in reps.values():
+            for entry in rep.store.user_entries():
+                union.add(entry.key)
+        ordered = sorted(union)
+        report.keys_audited = len(ordered)
+
+        # Invariants 2+3 per stored key: max-version agreement, and the
+        # max version mustered by >= W votes.
+        authoritative: dict[BoundedKey, tuple[bool, Any]] = {}
+        for key in ordered:
+            replies = {
+                name: rep.store.lookup(key) for name, rep in reps.items()
+            }
+            vmax = max(r.version for r in replies.values())
+            holders = {n: r for n, r in replies.items() if r.version == vmax}
+            verdicts = {(r.present, r.value) for r in holders.values()}
+            report.checks += 1
+            if len(verdicts) > 1:
+                self._flag(
+                    report,
+                    "monotonicity",
+                    ",".join(sorted(holders)),
+                    repr(key),
+                    f"replicas at version {vmax} disagree: "
+                    + "; ".join(
+                        f"{n}={'present' if r.present else 'absent'}"
+                        f"/{r.value!r}"
+                        for n, r in sorted(holders.items())
+                    ),
+                )
+            first = next(iter(holders.values()))
+            authoritative[key] = (first.present, first.value)
+            if quorum_checkable:
+                report.checks += 1
+                held = sum(votes.get(n, 0) for n in holders)
+                if held < write_quorum:
+                    self._flag(
+                        report,
+                        "quorum-intersection",
+                        ",".join(sorted(holders)),
+                        repr(key),
+                        f"version {vmax} held by {held} votes "
+                        f"< write quorum {write_quorum}",
+                    )
+
+        # Invariant 3 per empty interval: between consecutive union keys
+        # no replica stores an entry, so each replica's successor probe
+        # yields the one gap version covering the whole interval; the
+        # maximum must again be on >= W votes.
+        bounds = [LOW, *ordered, HIGH]
+        for a, b in zip(bounds, bounds[1:]):
+            report.intervals_audited += 1
+            gaps = {
+                name: rep.store.successor(a).gap_version
+                for name, rep in reps.items()
+            }
+            if quorum_checkable:
+                report.checks += 1
+                gmax = max(gaps.values())
+                held = sum(
+                    votes.get(n, 0) for n, g in gaps.items() if g == gmax
+                )
+                if held < write_quorum:
+                    self._flag(
+                        report,
+                        "quorum-intersection",
+                        "",
+                        f"({a!r} .. {b!r})",
+                        f"gap version {gmax} held by {held} votes "
+                        f"< write quorum {write_quorum}",
+                    )
+
+        # Invariant 4: ghost census and (optionally) the model diff.
+        for name, rep in reps.items():
+            for entry in rep.store.user_entries():
+                present, _ = authoritative[entry.key]
+                if not present:
+                    report.ghosts += 1
+        if model is not None:
+            derived = {
+                key.payload: value
+                for key, (present, value) in authoritative.items()
+                if present
+            }
+            for payload in sorted(
+                set(derived) | set(model), key=repr
+            ):
+                report.checks += 1
+                if payload not in derived:
+                    self._flag(
+                        report, "model", "", repr(payload),
+                        f"model has {model[payload]!r}, quorums say absent",
+                    )
+                elif payload not in model:
+                    self._flag(
+                        report, "model", "", repr(payload),
+                        f"quorums say {derived[payload]!r}, model says absent",
+                    )
+                elif derived[payload] != model[payload]:
+                    self._flag(
+                        report, "model", "", repr(payload),
+                        f"quorums say {derived[payload]!r}, "
+                        f"model says {model[payload]!r}",
+                    )
+
+        self._checks.inc(report.checks)
+        self.report.merge(report)
+        return report
+
+    def record_skip(self) -> None:
+        """Note one scheduled audit that had to be skipped (e.g. while a
+        commit decision is still undelivered under message loss)."""
+        self.report.skipped += 1
+
+    def _flag(
+        self,
+        report: AuditReport,
+        check: str,
+        replica: str,
+        key: str,
+        detail: str,
+    ) -> None:
+        report.violations.append(AuditViolation(check, replica, key, detail))
+        self._violations.inc()

@@ -66,9 +66,13 @@ class Histogram:
         name: str,
         stat: RunningStat | None = None,
         keep_samples: bool = False,
+        reservoir: int = 0,
     ) -> None:
         self.name = name
-        self.stat = stat if stat is not None else RunningStat(keep_samples)
+        if stat is not None:
+            self.stat = stat
+        else:
+            self.stat = RunningStat(keep_samples, reservoir=reservoir)
         self._lock = threading.Lock()
 
     def observe(self, x: float) -> None:
@@ -76,19 +80,35 @@ class Histogram:
         with self._lock:
             self.stat.add(x)
 
-    def snapshot(self) -> dict[str, float]:
-        """``{"n", "avg", "max", "std_dev"}`` for this distribution."""
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of retained samples (see RunningStat)."""
         with self._lock:
-            return {
+            return self.stat.percentile(q)
+
+    def snapshot(self) -> dict[str, float]:
+        """``{"n", "avg", "max", "std_dev"}`` for this distribution.
+
+        When the underlying stat retains samples (``keep_samples`` or a
+        ``reservoir``), ``p50``/``p90``/``p99`` are included too.
+        """
+        with self._lock:
+            out = {
                 "n": self.stat.n,
                 "avg": self.stat.avg,
                 "max": self.stat.max,
                 "std_dev": self.stat.std_dev,
             }
+            if self.stat.retained_samples:
+                out["p50"] = self.stat.percentile(50)
+                out["p90"] = self.stat.percentile(90)
+                out["p99"] = self.stat.percentile(99)
+            return out
 
     def reset(self) -> None:
         with self._lock:
-            self.stat = RunningStat(self.stat.keep_samples)
+            self.stat = RunningStat(
+                self.stat.keep_samples, reservoir=self.stat.reservoir
+            )
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.stat.n})"
@@ -128,16 +148,19 @@ class MetricsRegistry:
         name: str,
         stat: RunningStat | None = None,
         keep_samples: bool = False,
+        reservoir: int = 0,
     ) -> Histogram:
         """Get or create a histogram; ``stat`` adopts an existing
         :class:`RunningStat` as its storage (so legacy collectors become
-        registry-readable without copying)."""
+        registry-readable without copying); ``reservoir`` bounds the
+        sample store kept for percentile estimates."""
         with self._lock:
             self._check_free(name, allow="histogram")
             hist = self._histograms.get(name)
             if hist is None:
                 hist = self._histograms[name] = Histogram(
-                    name, stat=stat, keep_samples=keep_samples
+                    name, stat=stat, keep_samples=keep_samples,
+                    reservoir=reservoir,
                 )
             return hist
 

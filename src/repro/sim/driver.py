@@ -27,6 +27,7 @@ from repro.core.resilient import ResilientSuite, RetryPolicy
 from repro.core.stats import DeleteOverheadStats, SuiteOpCounts
 from repro.net.detector import FailureDetector
 from repro.net.failures import LossyLinks
+from repro.obs.audit import AuditReport, InvariantAuditor
 from repro.obs.spans import RecordingTracer, Span
 from repro.sim.workload import OpMix, Operation, UniformWorkload
 
@@ -81,6 +82,12 @@ class SimulationSpec:
     #: diff the model against the authoritative state at the end — the
     #: exactly-once / no-duplicate-apply oracle for chaos runs.
     verify_model: bool = False
+    #: Run the :class:`~repro.obs.audit.InvariantAuditor` at commit
+    #: boundaries every ``audit_interval`` measured operations and once
+    #: at the end of the run.  Off by default — like the tracer, auditing
+    #: must cost nothing when disabled.
+    audit: bool = False
+    audit_interval: int = 1_000
 
 
 @dataclass
@@ -110,6 +117,8 @@ class SimulationResult:
     spans: list[Span] = field(default_factory=list)
     #: ``cluster.metrics.snapshot()`` taken at the end of the run.
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Cumulative invariant-audit outcome, when ``spec.audit``.
+    audit_report: "AuditReport | None" = None
 
     def stats_table(self) -> dict[str, dict[str, float]]:
         """The Figure 14/15 row block for this run."""
@@ -195,6 +204,10 @@ def run_simulation(
             rng=random.Random(spec.seed + 3),
         )
 
+    # The auditor reads replica stores directly (no RPCs), so running it
+    # between operations perturbs nothing; when off it does not exist.
+    auditor = InvariantAuditor(cluster) if spec.audit else None
+
     # Measurement phase starts from clean statistics.  The tracer resets
     # with the traffic counters so span message counts reconcile exactly
     # against ``result.traffic``.
@@ -241,6 +254,12 @@ def run_simulation(
             and (index + 1) % spec.ghost_sample_interval == 0
         ):
             ghost_timeline.append((index + 1, count_ghosts(cluster)))
+        if (
+            auditor is not None
+            and spec.audit_interval
+            and (index + 1) % spec.audit_interval == 0
+        ):
+            _audit_boundary(auditor, suite, lossy)
     sim_ticks = cluster.network.clock.now() - ticks_at_start
 
     if lossy:
@@ -256,6 +275,10 @@ def run_simulation(
             for key in set(truth) | set(model)
             if truth.get(key, _ABSENT) != model.get(key, _ABSENT)
         )
+    if auditor is not None:
+        # Final audit on the quiesced cluster; with a model available the
+        # quorum-derived state is also diffed against it.
+        auditor.run(model=model)
 
     return SimulationResult(
         spec=spec,
@@ -274,7 +297,26 @@ def run_simulation(
         ghost_timeline=ghost_timeline,
         spans=cluster.tracer.finished_roots(),
         metrics=cluster.metrics.snapshot(),
+        audit_report=auditor.report if auditor is not None else None,
     )
+
+
+def _audit_boundary(
+    auditor: InvariantAuditor, suite: Any, lossy: bool
+) -> None:
+    """Run one commit-boundary audit, or record a skip if state is dirty.
+
+    Under message loss a commit/abort decision may not have reached every
+    participant yet; un-rolled-back effects of an undelivered abort are
+    not an invariant violation, so the audit is skipped until the
+    decisions drain.
+    """
+    if lossy:
+        suite.txn_manager.resolve_pending()
+        if suite.txn_manager.pending_completions:
+            auditor.record_skip()
+            return
+    auditor.run()
 
 
 def count_ghosts(cluster: DirectoryCluster) -> int:

@@ -1,0 +1,203 @@
+"""Unit tests for the trace-analytics engine (repro.obs.analyze)."""
+
+import pytest
+
+from repro.obs.analyze import (
+    PHASES,
+    TraceProfile,
+    critical_path,
+    format_critical_path,
+    iter_op_spans,
+    phase_of,
+    profile_spans,
+    self_time,
+)
+from repro.obs.spans import Span
+
+_IDS = iter(range(1, 10_000))
+
+
+def span(name, start, end, children=(), status="ok", **attrs):
+    """Hand-build a sealed span."""
+    return Span(
+        name,
+        next(_IDS),
+        start=start,
+        end=end,
+        status=status,
+        attrs=dict(attrs),
+        children=list(children),
+    )
+
+
+class TestPhaseOf:
+    def test_quorum_spans(self):
+        assert phase_of(span("quorum:read", 0, 1)) == "quorum-select"
+        assert phase_of(span("quorum:write", 0, 1)) == "quorum-select"
+
+    def test_ordinary_rpc(self):
+        assert phase_of(span("rpc:dir:A.rep_lookup", 0, 1)) == "rpc"
+        assert phase_of(span("rpc:dir:B.rep_insert", 0, 1)) == "rpc"
+
+    def test_two_phase_commit_rpcs(self):
+        for method in ("prepare", "commit", "abort"):
+            assert phase_of(span(f"rpc:dir:A.{method}", 0, 1)) == "commit"
+
+    def test_rep_side(self):
+        assert phase_of(span("rep:A.rep_coalesce", 0, 1)) == "rep-side"
+        # Representative work during 2PC is still rep-side work.
+        assert phase_of(span("rep:A.prepare", 0, 1)) == "rep-side"
+
+    def test_roots_are_client(self):
+        assert phase_of(span("op:delete", 0, 1)) == "client"
+        assert phase_of(span("retry:insert", 0, 1)) == "client"
+
+    def test_all_phases_enumerated(self):
+        names = [
+            "quorum:read",
+            "rpc:dir:A.rep_lookup",
+            "rep:A.rep_lookup",
+            "rpc:dir:A.commit",
+            "op:insert",
+        ]
+        assert {phase_of(span(n, 0, 1)) for n in names} == set(PHASES)
+
+
+class TestSelfTime:
+    def test_leaf_self_time_is_duration(self):
+        assert self_time(span("rep:A.x", 2.0, 7.0)) == 5.0
+
+    def test_children_subtracted(self):
+        child = span("rep:A.x", 1.0, 4.0)
+        parent = span("rpc:dir:A.x", 0.0, 10.0, children=[child])
+        assert self_time(parent) == 7.0
+
+    def test_never_negative(self):
+        child = span("rep:A.x", 0.0, 5.0)
+        parent = span("rpc:dir:A.x", 0.0, 3.0, children=[child])
+        assert self_time(parent) == 0.0
+
+
+class TestCriticalPath:
+    def test_descends_into_longest_child(self):
+        short = span("rpc:dir:A.rep_lookup", 0, 2)
+        deep_leaf = span("rep:B.rep_lookup", 2, 9)
+        long = span("rpc:dir:B.rep_lookup", 2, 10, children=[deep_leaf])
+        root = span("op:lookup", 0, 10, children=[short, long])
+        path = critical_path(root)
+        assert [s.name for s in path] == [
+            "op:lookup",
+            "rpc:dir:B.rep_lookup",
+            "rep:B.rep_lookup",
+        ]
+
+    def test_single_span_path(self):
+        root = span("op:lookup", 0, 1)
+        assert critical_path(root) == [root]
+
+    def test_format_renders_one_line_per_hop(self):
+        leaf = span("rep:A.x", 0, 1)
+        root = span("op:lookup", 0, 2, children=[leaf])
+        text = format_critical_path(critical_path(root))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("op:lookup")
+        assert "rep:A.x" in lines[1]
+
+
+def build_op(kind="lookup", start=0.0, failed=False):
+    """One realistic operation tree: quorum, two rpcs, one commit."""
+    t = start
+    rep1 = span("rep:A.rep_lookup", t + 2, t + 3, wal_records=0)
+    rpc1 = span(
+        "rpc:dir:A.rep_lookup", t + 1, t + 4, children=[rep1], messages=2
+    )
+    rep2 = span("rep:B.rep_lookup", t + 5, t + 6)
+    rpc2 = span(
+        "rpc:dir:B.rep_lookup",
+        t + 4,
+        t + 7,
+        children=[rep2],
+        messages=2,
+        attempt=1,
+    )
+    quorum = span("quorum:read", t + 0.5, t + 1, members=["A", "B"])
+    commit = span("rpc:dir:A.commit", t + 7, t + 9, messages=2)
+    return span(
+        f"op:{kind}",
+        t,
+        t + 10,
+        children=[quorum, rpc1, rpc2, commit],
+        status="QuorumUnavailableError" if failed else "ok",
+    )
+
+
+class TestProfileSpans:
+    def test_per_op_stats(self):
+        profile = profile_spans([build_op(), build_op(start=100.0)])
+        op = profile.ops["lookup"]
+        assert op.count == 2
+        assert op.failed == 0
+        assert op.latency.avg == 10.0
+        assert op.rpc_rounds.avg == 3.0
+        assert op.messages.avg == 6.0
+        assert profile.total_rpc_rounds == 6
+        assert profile.total_messages == 12
+
+    def test_phases_tile_the_latency(self):
+        profile = profile_spans([build_op()])
+        total = sum(stat.avg for stat in profile.phases.values())
+        assert total == pytest.approx(10.0)
+        assert profile.phases["quorum-select"].avg == pytest.approx(0.5)
+        assert profile.phases["commit"].avg == pytest.approx(2.0)
+        assert profile.phases["rep-side"].avg == pytest.approx(2.0)
+        # rpc self time: (3-1) + (3-1) = 4.
+        assert profile.phases["rpc"].avg == pytest.approx(4.0)
+        assert profile.phases["client"].avg == pytest.approx(1.5)
+
+    def test_attempt_counts(self):
+        profile = profile_spans([build_op()])
+        assert profile.rpc_attempts == {0: 2, 1: 1}
+        assert profile.retried_rpcs == 1
+
+    def test_failed_ops_counted(self):
+        profile = profile_spans([build_op(failed=True)])
+        assert profile.ops["lookup"].failed == 1
+
+    def test_retry_roots_yield_nested_ops(self):
+        inner = build_op(kind="insert")
+        retry_root = span(
+            "retry:insert", 0, 12, children=[inner], attempts=1
+        )
+        assert [s.name for s in iter_op_spans([retry_root])] == ["op:insert"]
+        profile = profile_spans([retry_root])
+        assert profile.ops["insert"].count == 1
+
+    def test_percentiles_available(self):
+        profile = profile_spans(
+            [build_op(start=float(i) * 100) for i in range(10)]
+        )
+        assert profile.ops["lookup"].latency.percentile(50) == 10.0
+
+    def test_report_renders_tables(self):
+        profile = profile_spans([build_op()])
+        text = profile.report()
+        assert "Per-operation simulated latency" in text
+        assert "Per-phase self time" in text
+        assert "p99" in text
+        assert "retry#1=1" in text
+
+    def test_empty_profile(self):
+        profile = profile_spans([])
+        assert isinstance(profile, TraceProfile)
+        assert profile.operation_count == 0
+        assert profile.report()  # renders without raising
+
+    def test_summary_is_json_shaped(self):
+        import json
+
+        summary = profile_spans([build_op()]).summary()
+        text = json.dumps(summary)
+        assert "phases" in summary and "ops" in summary
+        assert summary["rpc_attempts"] == {"0": 2, "1": 1}
+        assert json.loads(text)["operations"] == 1

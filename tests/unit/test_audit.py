@@ -1,0 +1,216 @@
+"""Unit tests for the online invariant auditor (repro.obs.audit).
+
+Each invariant gets a clean-pass test and a seeded-violation test: the
+violation is planted by mutating replica stores directly (below the
+algorithm), which is exactly the class of corruption the auditor exists
+to catch.
+"""
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.core.keys import HIGH, LOW, wrap
+from repro.obs.audit import AuditReport, AuditViolation, InvariantAuditor
+
+
+def make_cluster(**kw):
+    return DirectoryCluster.create("3-2-2", seed=11, **kw)
+
+
+def violations_by_check(report):
+    out = {}
+    for v in report.violations:
+        out.setdefault(v.check, []).append(v)
+    return out
+
+
+class TestCleanCluster:
+    def test_fresh_cluster_audits_clean(self):
+        cluster = make_cluster()
+        report = InvariantAuditor(cluster).run()
+        assert report.ok
+        assert report.runs == 1
+        assert report.checks > 0
+        # Only [LOW .. HIGH] exists.
+        assert report.intervals_audited == 1
+        assert report.keys_audited == 0
+
+    def test_working_cluster_audits_clean(self):
+        cluster = make_cluster()
+        for i in range(20):
+            cluster.suite.insert(f"k{i:02d}", i)
+        for i in range(0, 20, 3):
+            cluster.suite.delete(f"k{i:02d}")
+        report = InvariantAuditor(cluster).run()
+        assert report.ok, report.render()
+        assert report.keys_audited > 0
+        assert report.intervals_audited == report.keys_audited + 1
+
+    def test_counters_published(self):
+        cluster = make_cluster()
+        auditor = InvariantAuditor(cluster)
+        auditor.run()
+        snap = cluster.metrics.snapshot()
+        assert snap["audit.checks"] == auditor.report.checks
+        assert snap["audit.violations"] == 0
+
+    def test_cumulative_report_accumulates(self):
+        cluster = make_cluster()
+        auditor = InvariantAuditor(cluster)
+        auditor.run()
+        auditor.run()
+        assert auditor.report.runs == 2
+
+
+class TestTiling:
+    def test_seeded_structural_corruption(self):
+        cluster = make_cluster()
+        cluster.suite.insert("a", 1)
+        # Break the gaps-tile-the-keyspace arity on one replica.
+        cluster.representatives["A"].store._gaps.append(0)
+        report = InvariantAuditor(cluster).run()
+        flagged = violations_by_check(report)
+        assert "tiling" in flagged
+        assert flagged["tiling"][0].replica == "A"
+
+
+class TestMonotonicity:
+    def test_equal_max_versions_must_agree(self):
+        cluster = make_cluster()
+        # Two replicas claim version 5 for the same key with different
+        # values — impossible under correct version assignment.
+        cluster.representatives["A"].store.insert(wrap("k"), 5, "x")
+        cluster.representatives["B"].store.insert(wrap("k"), 5, "y")
+        report = InvariantAuditor(cluster).run()
+        flagged = violations_by_check(report)
+        assert "monotonicity" in flagged
+        assert "disagree" in flagged["monotonicity"][0].detail
+
+    def test_dominated_stale_value_is_fine(self):
+        cluster = make_cluster()
+        # A write quorum (A, B) carries version 2; C was skipped and
+        # still holds a dominated version 1. Legal — resolution picks 2.
+        cluster.representatives["A"].store.insert(wrap("k"), 2, "new")
+        cluster.representatives["B"].store.insert(wrap("k"), 2, "new")
+        cluster.representatives["C"].store.insert(wrap("k"), 1, "stale")
+        report = InvariantAuditor(cluster).run()
+        assert report.ok, report.render()
+
+
+class TestQuorumIntersection:
+    def test_entry_version_on_too_few_votes(self):
+        cluster = make_cluster()
+        cluster.representatives["A"].store.insert(wrap("k"), 5, "x")
+        report = InvariantAuditor(cluster).run()
+        flagged = violations_by_check(report)
+        assert "quorum-intersection" in flagged
+        assert "write quorum" in flagged["quorum-intersection"][0].detail
+
+    def test_gap_version_on_too_few_votes(self):
+        cluster = make_cluster()
+        # Bump the whole-keyspace gap version on one replica only: the
+        # interval's current version is then held by 1 vote < W=2.
+        cluster.representatives["A"].store.coalesce(LOW, HIGH, 1)
+        report = InvariantAuditor(cluster).run()
+        flagged = violations_by_check(report)
+        assert "quorum-intersection" in flagged
+
+    def test_skipped_while_a_voting_replica_is_down(self):
+        cluster = make_cluster()
+        cluster.suite.insert("k", 1)
+        cluster.crash("C")
+        # C's volatile store reset to empty — legitimately behind; the
+        # vote-counting checks must not fire.
+        report = InvariantAuditor(cluster).run()
+        assert report.ok, report.render()
+
+
+class TestGhostsAndModel:
+    def test_ghost_census_counts_dominated_entries(self):
+        cluster = make_cluster()
+        # A and B saw insert then coalesce-delete (gap version 2); C
+        # kept the entry — a classic ghost, expected and legal.
+        for name in ("A", "B"):
+            store = cluster.representatives[name].store
+            store.insert(wrap("k"), 1, "x")
+            store.coalesce(LOW, HIGH, 2)
+        cluster.representatives["C"].store.insert(wrap("k"), 1, "x")
+        report = InvariantAuditor(cluster).run()
+        assert report.ok, report.render()
+        assert report.ghosts == 1
+
+    def test_model_diff_flags_divergence(self):
+        cluster = make_cluster()
+        cluster.suite.insert("a", 1)
+        report = InvariantAuditor(cluster).run(model={"a": 1, "zz": 9})
+        flagged = violations_by_check(report)
+        assert len(flagged.get("model", [])) == 1
+        assert "zz" in flagged["model"][0].key
+
+    def test_matching_model_is_clean(self):
+        cluster = make_cluster()
+        cluster.suite.insert("a", 1)
+        cluster.suite.insert("b", 2)
+        cluster.suite.delete("a")
+        report = InvariantAuditor(cluster).run(model={"b": 2})
+        assert report.ok, report.render()
+
+
+class TestReport:
+    def test_merge_and_summary(self):
+        a = AuditReport(runs=1, checks=5, ghosts=1, keys_audited=2)
+        b = AuditReport(
+            runs=1,
+            checks=3,
+            violations=[AuditViolation("tiling", "A", "k", "boom")],
+            skipped=1,
+        )
+        a.merge(b)
+        assert a.runs == 2 and a.checks == 8 and a.skipped == 1
+        assert not a.ok
+        assert a.summary()["violations"] == 1
+
+    def test_render_lists_violations(self):
+        report = AuditReport(
+            runs=1,
+            checks=1,
+            violations=[AuditViolation("tiling", "A", "k", "boom")],
+        )
+        text = report.render()
+        assert "1 violations" in text
+        assert "[tiling] rep=A key=k: boom" in text
+
+    def test_record_skip(self):
+        cluster = make_cluster()
+        auditor = InvariantAuditor(cluster)
+        auditor.record_skip()
+        assert auditor.report.skipped == 1
+
+
+class TestDriverIntegration:
+    def test_driver_audit_knob(self):
+        from repro.sim.driver import SimulationSpec, run_simulation
+
+        spec = SimulationSpec(
+            operations=150,
+            directory_size=30,
+            seed=4,
+            audit=True,
+            audit_interval=50,
+            verify_model=True,
+        )
+        result = run_simulation(spec)
+        assert result.audit_report is not None
+        # 3 boundary audits + the final one.
+        assert result.audit_report.runs == 4
+        assert result.audit_report.ok, result.audit_report.render()
+        assert result.metrics["audit.checks"] > 0
+
+    def test_driver_audit_off_by_default(self):
+        from repro.sim.driver import SimulationSpec, run_simulation
+
+        result = run_simulation(
+            SimulationSpec(operations=20, directory_size=10, seed=4)
+        )
+        assert result.audit_report is None
+        assert "audit.checks" not in result.metrics

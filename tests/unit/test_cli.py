@@ -131,3 +131,102 @@ class TestCommands:
         assert code == 0
         assert "most available: 5-3-3" in out
         assert "accesses/op" in out
+
+
+class TestProfileAuditBench:
+    def test_simulate_profile_audit_writes_everything(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "20", "--ops", "200", "--seed", "0",
+            "--profile", "--audit", "--metrics", "metrics.json",
+            "--bench-json",
+        )
+        assert code == 0
+        assert "Per-operation simulated latency" in out
+        assert "Per-phase self time" in out
+        assert "p99" in out
+        assert "0 violations" in out
+
+        from repro.obs.bench import load_bench
+
+        bench = load_bench(tmp_path / "BENCH_driver.json")
+        assert bench["name"] == "driver"
+        assert bench["audit"]["violations"] == 0
+        assert bench["workload"]["operations"] == 200
+        assert bench["messages"]["messages"] > 0
+        assert "phases" in bench["latency"]
+
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["audit.violations"] == 0
+        assert "net.traffic" in metrics
+
+    def test_metrics_to_stdout(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "10", "--ops", "50", "--metrics", "-",
+        )
+        assert code == 0
+        start = out.index("{")
+        snapshot = json.loads(out[start : out.rindex("}") + 1])
+        assert "suite.ops" in snapshot
+
+    def test_bench_json_custom_path(self, capsys, tmp_path):
+        from repro.obs.bench import load_bench
+
+        path = tmp_path / "BENCH_mini.json"
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "10", "--ops", "50", "--profile",
+            "--bench-json", str(path),
+        )
+        assert code == 0
+        bench = load_bench(path)
+        assert bench["name"] == "mini"
+        assert bench["audit"] is None  # no --audit on this run
+
+    def test_bench_compare_clean_and_regressed(self, capsys, tmp_path):
+        from repro.obs.bench import bench_payload, write_bench
+
+        base = bench_payload(
+            name="a",
+            workload={},
+            messages={"messages": 100},
+            latency={},
+            created=1.0,
+        )
+        worse = bench_payload(
+            name="b",
+            workload={},
+            messages={"messages": 150},
+            latency={},
+            created=2.0,
+        )
+        base_path = write_bench(base, directory=tmp_path)
+        worse_path = write_bench(worse, directory=tmp_path)
+
+        code, out = run_cli(
+            capsys, "bench-compare", str(base_path), str(base_path)
+        )
+        assert code == 0
+        assert "no regressions" in out
+
+        code, out = run_cli(
+            capsys, "bench-compare", str(base_path), str(worse_path)
+        )
+        assert code == 1
+        assert "messages.messages" in out
+
+        # a generous tolerance waves the same pair through
+        code, _ = run_cli(
+            capsys,
+            "bench-compare", str(base_path), str(worse_path),
+            "--tolerance", "0.6",
+        )
+        assert code == 0

@@ -1,0 +1,147 @@
+"""Drift test: the metric catalog in docs/OBSERVABILITY.md vs runtime.
+
+Exercises every registration path in the codebase, then checks both
+directions:
+
+* every metric name a real cluster registers matches a catalog row, and
+* every catalog row is producible (matched by at least one runtime name).
+
+Catalog rows use ``<placeholder>`` syntax (``suite.quorum.<read\\|write>``,
+``rep.<name>.locks``); the test expands those into patterns.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    DirectoryCluster,
+    HintedDirectory,
+    ResilientSuite,
+    RetryPolicy,
+    StickyQuorumPolicy,
+    SuiteConfig,
+)
+from repro.net import FailureDetector, LossyLinks
+from repro.obs.audit import InvariantAuditor
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+CATALOG_HEADER = "| name | kind | meaning |"
+
+
+def catalog_rows():
+    """(name, kind) for each row of the metric-catalog table."""
+    lines = DOC.read_text().splitlines()
+    start = lines.index(CATALOG_HEADER) + 2  # skip header + separator
+    rows = []
+    for line in lines[start:]:
+        if not line.startswith("|"):
+            break
+        # Protect escaped pipes inside placeholders before splitting.
+        cells = [
+            c.strip().replace("\x00", "|")
+            for c in line.replace("\\|", "\x00").strip("|").split("|")
+        ]
+        rows.append((cells[0].strip("`"), cells[1]))
+    return rows
+
+
+def pattern_for(name):
+    """Compile a catalog name, expanding ``<...>`` placeholders."""
+    out, i = [], 0
+    while i < len(name):
+        if name[i] == "<":
+            j = name.index(">", i)
+            body = name[i + 1 : j]
+            if "|" in body:  # enumerated alternatives
+                out.append(
+                    "(?:"
+                    + "|".join(re.escape(b) for b in body.split("|"))
+                    + ")"
+                )
+            else:  # free-form single segment, e.g. a replica name
+                out.append(r"[A-Za-z0-9_-]+")
+            i = j + 1
+        else:
+            out.append(re.escape(name[i]))
+            i += 1
+    return re.compile("".join(out) + r"\Z")
+
+
+@pytest.fixture(scope="module")
+def runtime_names():
+    """Register every metric the codebase can, return the snapshot keys."""
+    config = SuiteConfig(
+        votes={"A": 1, "B": 1, "C": 1, "cache": 0},
+        read_quorum=2,
+        write_quorum=2,
+    )
+    cluster = DirectoryCluster.create(
+        config, seed=3, quorum_policy=StickyQuorumPolicy()
+    )
+    suite = cluster.suite
+    HintedDirectory(suite, hint="cache")
+    # Loss counters register eagerly when a fault model is installed.
+    cluster.network.install_faults(LossyLinks(request_loss=0.0))
+    cluster.network.install_faults(None)
+    detector = FailureDetector(
+        cluster.network.clock.now, metrics=cluster.metrics
+    )
+    suite.attach_detector(detector)
+    front = ResilientSuite(suite, policy=RetryPolicy(max_attempts=3))
+
+    # Sticky reuse on both quorum kinds (second op of each kind).
+    front.insert("a", 1)
+    front.insert("b", 2)
+    front.lookup("a")
+    front.lookup("b")
+    # Suspect one replica: enough trusted votes remain -> screening.
+    detector.record_down(suite.placements["C"].node_id)
+    front.lookup("a")
+    front.update("a", 3)
+    # Suspect a second: too few trusted votes -> screened fallback.
+    detector.record_down(suite.placements["B"].node_id)
+    front.lookup("a")
+    front.delete("b")
+
+    InvariantAuditor(cluster).run()
+    return sorted(cluster.metrics.snapshot())
+
+
+class TestMetricsCatalogDrift:
+    def test_every_runtime_metric_is_documented(self, runtime_names):
+        patterns = [pattern_for(name) for name, _ in catalog_rows()]
+        undocumented = [
+            name
+            for name in runtime_names
+            if not any(p.match(name) for p in patterns)
+        ]
+        assert not undocumented, (
+            "metrics registered at runtime but missing from the "
+            f"docs/OBSERVABILITY.md catalog: {undocumented}"
+        )
+
+    def test_every_documented_metric_is_producible(self, runtime_names):
+        stale = [
+            name
+            for name, _ in catalog_rows()
+            if not any(pattern_for(name).match(r) for r in runtime_names)
+        ]
+        assert not stale, (
+            "catalog rows in docs/OBSERVABILITY.md that no runtime path "
+            f"registers any more: {stale}"
+        )
+
+    def test_catalog_parses(self):
+        rows = catalog_rows()
+        assert len(rows) >= 20
+        kinds = {kind for _, kind in rows}
+        assert kinds <= {"counter", "gauge", "histogram", "provider"}
+
+    def test_screening_paths_really_fired(self, runtime_names):
+        # The lazy quorum counters only exist if the scenario above
+        # actually exercised suspicion screening and sticky reuse.
+        assert any("suspects_screened" in n for n in runtime_names)
+        assert any("suspect_fallbacks" in n for n in runtime_names)
+        assert any("sticky_reuses" in n for n in runtime_names)

@@ -292,3 +292,38 @@ class TestExport:
         span = Span.from_dict({"name": "x", "span_id": 1})
         assert span.status == "ok"
         assert span.children == [] and span.attrs == {}
+
+
+class TestHistogramPercentiles:
+    def test_percentile_delegates_to_stat(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", keep_samples=True)
+        for x in range(1, 101):
+            h.observe(float(x))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(99) == pytest.approx(99.01)
+
+    def test_snapshot_carries_percentiles_with_retention(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", reservoir=256)
+        for x in range(1, 101):
+            h.observe(float(x))
+        row = reg.snapshot()["lat"]
+        assert set(row) >= {"p50", "p90", "p99"}
+        assert row["p50"] == pytest.approx(50.5)
+
+    def test_snapshot_omits_percentiles_without_retention(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")  # no keep_samples, no reservoir
+        h.observe(1.0)
+        row = reg.snapshot()["lat"]
+        assert "p50" not in row and "p99" not in row
+        assert row["n"] == 1
+
+    def test_reset_preserves_reservoir_configuration(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", reservoir=64)
+        h.observe(3.0)
+        reg.reset()
+        h.observe(5.0)
+        assert reg.snapshot()["lat"]["p50"] == 5.0

@@ -121,3 +121,85 @@ class TestSuiteOpCounts:
     def test_total(self):
         counts = SuiteOpCounts(lookups=1, inserts=2, updates=3, deletes=4)
         assert counts.total == 10
+
+
+class TestPercentile:
+    def test_exact_with_keep_samples(self):
+        s = RunningStat(keep_samples=True)
+        data = [float(x) for x in range(1, 101)]
+        for x in data:
+            s.add(x)
+        assert s.percentile(0) == 1.0
+        assert s.percentile(100) == 100.0
+        assert s.percentile(50) == pytest.approx(np.percentile(data, 50))
+        assert s.percentile(90) == pytest.approx(np.percentile(data, 90))
+        assert s.percentile(99) == pytest.approx(np.percentile(data, 99))
+
+    def test_interpolates_between_ranks(self):
+        s = RunningStat(keep_samples=True)
+        for x in (0.0, 10.0):
+            s.add(x)
+        assert s.percentile(50) == 5.0
+
+    def test_out_of_range_q_rejected(self):
+        s = RunningStat(keep_samples=True)
+        s.add(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+        with pytest.raises(ValueError):
+            s.percentile(-1)
+
+    def test_empty_returns_zero(self):
+        assert RunningStat(keep_samples=True).percentile(50) == 0.0
+
+    def test_no_retention_raises_once_samples_recorded(self):
+        s = RunningStat()
+        s.add(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(50)
+
+    def test_reservoir_keeps_at_most_k(self):
+        s = RunningStat(reservoir=32)
+        for x in range(1000):
+            s.add(float(x))
+        assert len(s.retained_samples) == 32
+        assert s.n == 1000
+        # Reservoir samples are a subset of what was added.
+        assert all(0.0 <= x < 1000.0 for x in s.retained_samples)
+
+    def test_reservoir_percentile_is_close_on_uniform_data(self):
+        s = RunningStat(reservoir=512)
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0, 100, size=20_000)
+        for x in data:
+            s.add(float(x))
+        # A 512-sample reservoir estimates the median of uniform data
+        # within a few percent.
+        assert s.percentile(50) == pytest.approx(50.0, abs=8.0)
+
+    def test_reservoir_is_deterministic(self):
+        def run():
+            s = RunningStat(reservoir=16)
+            for x in range(500):
+                s.add(float(x))
+            return s.retained_samples
+
+        assert run() == run()
+
+    def test_small_stream_is_exact(self):
+        s = RunningStat(reservoir=100)
+        for x in (3.0, 1.0, 2.0):
+            s.add(x)
+        assert s.percentile(50) == 2.0
+        assert s.percentile(100) == 3.0
+
+    def test_merge_carries_reservoir_samples(self):
+        a = RunningStat(reservoir=10)
+        b = RunningStat(reservoir=10)
+        for x in (1.0, 2.0):
+            a.add(x)
+        for x in (3.0, 4.0):
+            b.add(x)
+        a.merge(b)
+        assert a.n == 4
+        assert set(a.retained_samples) == {1.0, 2.0, 3.0, 4.0}
