@@ -25,7 +25,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import STORE_FACTORIES, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.sim.analytic import predict_xyz
 from repro.sim.availability import analyze
@@ -83,6 +83,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         store=args.store,
         neighbor_batch_size=args.batch,
         read_repair=args.read_repair,
+        fanout=args.fanout,
         trace_spans=args.spans is not None or args.profile,
         loss=args.loss,
         retries=args.retries,
@@ -199,6 +200,7 @@ def _emit_bench(destination: str, args, result, profile) -> None:
             "store": args.store,
             "loss": args.loss,
             "retries": args.retries,
+            "fanout": args.fanout,
         },
         messages=messages,
         latency=latency,
@@ -412,9 +414,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=100)
     p.add_argument("--ops", type=int, default=10_000)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--store", choices=["sorted", "btree"], default="sorted")
+    p.add_argument(
+        "--store", choices=sorted(STORE_FACTORIES), default="sorted"
+    )
     p.add_argument("--batch", type=int, default=1, help="neighbor batch size")
     p.add_argument("--read-repair", action="store_true")
+    p.add_argument(
+        "--fanout",
+        choices=["serial", "parallel", "hedged"],
+        default="serial",
+        help="quorum RPC issue mode: serial (paper-faithful baseline), "
+        "parallel (scatter-gather, cost = max arrival), or hedged "
+        "(parallel + over-requested reads completing on first "
+        "vote-sufficient replies)",
+    )
     p.add_argument(
         "--loss",
         type=float,

@@ -82,6 +82,8 @@ class DirectoryCluster:
         node_for_rep: Callable[[str], str] | None = None,
         tracer: Any = None,
         metrics: MetricsRegistry | None = None,
+        fanout: str = "serial",
+        hedge_extra: int = 1,
     ) -> "DirectoryCluster":
         """Build a cluster.
 
@@ -107,6 +109,15 @@ class DirectoryCluster:
         metrics:
             A :class:`~repro.obs.metrics.MetricsRegistry` to publish into;
             a fresh registry is created by default (``cluster.metrics``).
+        fanout:
+            ``"serial"`` (paper-faithful one-RPC-at-a-time baseline),
+            ``"parallel"`` (quorum rounds and 2PC phases scatter
+            concurrently, costing the max arrival instead of the sum),
+            or ``"hedged"`` (parallel plus over-requested reads that
+            complete on the first vote-sufficient replies).  See
+            :class:`~repro.core.suite.DirectorySuite`.
+        hedge_extra:
+            Spare representatives a hedged read over-requests.
         """
         config = (
             SuiteConfig.from_xyz(spec) if isinstance(spec, str) else spec
@@ -122,7 +133,11 @@ class DirectoryCluster:
         network = Network(latency=latency, metrics=metrics)
         tracer.bind_clock(network.clock.now)
         rpc = RpcEndpoint(network, origin="client", tracer=tracer)
-        txn_manager = TransactionManager(rpc, clock_now=network.clock.now)
+        txn_manager = TransactionManager(
+            rpc,
+            clock_now=network.clock.now,
+            parallel_commit=fanout != "serial",
+        )
 
         placements: dict[str, Placement] = {}
         representatives: dict[str, DirectoryRepresentative] = {}
@@ -158,6 +173,8 @@ class DirectoryCluster:
             read_repair=read_repair,
             tracer=tracer,
             metrics=network.metrics,
+            fanout=fanout,
+            hedge_extra=hedge_extra,
         )
         return cls(config, network, suite, representatives, tracer=tracer)
 

@@ -48,7 +48,7 @@ from repro.core.quorum import QuorumPolicy, RandomQuorumPolicy
 from repro.core.stats import DeleteOverheadStats, RunningStat, SuiteOpCounts
 from repro.core.versions import VersionSpace, UNBOUNDED
 from repro.net.network import Network
-from repro.net.rpc import RpcEndpoint
+from repro.net.rpc import RpcBatch, RpcCall, RpcEndpoint, RpcReply
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.txn.manager import TransactionManager
@@ -116,6 +116,20 @@ class DirectorySuite:
         the Figure 6 operations are idempotent within a transaction; see
         :meth:`_call`).  0, the default, keeps the perfect-network fast
         path.
+    fanout:
+        How quorum RPC rounds are issued.  ``"serial"`` (default) is the
+        paper-faithful baseline: one call at a time, each charged a full
+        round trip, bit-identical accounting to the pre-fan-out code.
+        ``"parallel"`` scatters each round concurrently and pays the
+        *max* arrival over the batch.  ``"hedged"`` additionally
+        over-requests reads to ``hedge_extra`` spare representatives and
+        completes on the first vote-sufficient replies; stragglers are
+        awaited only for lock-release accounting at commit/abort (safe —
+        quorum reads are idempotent, and every representative that
+        executed a call is still enlisted for two-phase commit).
+    hedge_extra:
+        How many spare representatives a hedged read over-requests
+        beyond the read quorum (only consulted when ``fanout="hedged"``).
     """
 
     def __init__(
@@ -134,12 +148,20 @@ class DirectorySuite:
         metrics: MetricsRegistry | None = None,
         detector: Any = None,
         rpc_retries: int = 0,
+        fanout: str = "serial",
+        hedge_extra: int = 1,
     ) -> None:
         missing = set(config.names) - set(placements)
         if missing:
             raise ValueError(f"placements missing for representatives: {missing}")
         if neighbor_batch_size < 1:
             raise ValueError("neighbor_batch_size must be >= 1")
+        if fanout not in ("serial", "parallel", "hedged"):
+            raise ValueError(
+                f"fanout must be serial, parallel, or hedged; got {fanout!r}"
+            )
+        if hedge_extra < 0:
+            raise ValueError("hedge_extra must be >= 0")
         self.config = config
         self.placements = dict(placements)
         self.network = network
@@ -159,6 +181,13 @@ class DirectorySuite:
         #: on a lossy network (see :meth:`_call` for why re-issue is
         #: safe).  0 keeps the perfect-network fast path.
         self.rpc_retries = rpc_retries
+        self.fanout = fanout
+        self.hedge_extra = hedge_extra
+        #: Net ticks hedged gathers returned before their stragglers,
+        #: minus any straggler wait paid back at commit/abort (never
+        #: negative in aggregate; see :meth:`_await_stragglers`).
+        self.straggler_ticks_saved = 0.0
+        self._fanout_width = RunningStat()
         #: Transaction id of the most recently begun suite transaction.
         #: A retrying front-end reads it after a failed attempt to probe
         #: the 2PC decision log for the attempt's true outcome.
@@ -216,6 +245,14 @@ class DirectorySuite:
             metrics.gauge(
                 f"suite.quorum.{kind}.selections", lambda s=stat: s.n
             )
+        # Fan-out telemetry.  Registered unconditionally (the metrics
+        # catalog is mode-independent); in serial mode the histogram
+        # simply stays empty and the gauge reads 0.
+        metrics.histogram("suite.fanout.width", stat=self._fanout_width)
+        metrics.gauge(
+            "suite.fanout.straggler_ticks_saved",
+            lambda: self.straggler_ticks_saved,
+        )
         self.quorum_policy.bind_metrics(metrics)
 
     # ------------------------------------------------------------------
@@ -358,17 +395,168 @@ class DirectorySuite:
             self.rpc.attempt = 0
 
     # ------------------------------------------------------------------
+    # scatter-gather engine (fanout = "parallel" / "hedged")
+    # ------------------------------------------------------------------
+
+    def _rep_call(
+        self, txn: Transaction, rep: str, method: str,
+        args: tuple, payload_items: int = 1,
+    ) -> RpcCall:
+        """Build one batch member addressed to representative ``rep``."""
+        place = self.placements[rep]
+        return RpcCall(
+            node_id=place.node_id,
+            service_name=place.service_name,
+            method=method,
+            args=(txn.txn_id, *args),
+            payload_items=payload_items,
+            retries=self.rpc_retries,
+            key=rep,
+        )
+
+    def _scatter(
+        self, txn: Transaction, calls: list[RpcCall], label: str
+    ) -> RpcBatch:
+        """Issue one fan-out round and absorb its side channels.
+
+        Detector evidence is fed for every member (a timeout strike per
+        lost exchange, down/ok for the final outcome), and every member
+        whose call actually executed — including ones that then timed
+        out on a lost reply — is enlisted in the transaction, so 2PC
+        reaches each representative that may hold locks or undo state.
+        A member that never executed (down target, every request lost)
+        holds nothing and stays un-enlisted.
+        """
+        batch = self.rpc.scatter(calls, label=label)
+        self._fanout_width.add(batch.width)
+        detector = self._detector
+        for reply in batch.replies:
+            node_id = reply.call.node_id
+            if detector is not None:
+                for _ in range(reply.timeouts):
+                    detector.record_timeout(node_id)
+                if reply.ok:
+                    detector.record_ok(node_id)
+                elif isinstance(reply.error, NodeDownError):
+                    detector.record_down(node_id)
+            if reply.effect_applied:
+                place = self.placements[reply.call.key]
+                txn.enlist(reply.call.key, place.node_id, place.service_name)
+        return batch
+
+    def _gather_all(self, batch: RpcBatch) -> list[Any]:
+        """Wait for the whole batch; return values in issue order.
+
+        The first failure (in issue order, matching what the serial loop
+        would have surfaced) is raised after the clock has advanced to
+        the batch envelope.
+        """
+        for reply in batch.complete_all():
+            if reply.error is not None:
+                raise reply.error
+        return [reply.value for reply in batch.replies]
+
+    def _gather_read(
+        self, txn: Transaction, batch: RpcBatch
+    ) -> list[RpcReply]:
+        """Gather a read round; hedged mode returns on first-R-sufficient.
+
+        Returns the replies actually waited on.  In hedged mode the
+        clock stops at the earliest vote-sufficient prefix; the ticks
+        not spent waiting for stragglers are credited to
+        ``straggler_ticks_saved`` and the transaction's
+        ``straggler_deadline`` is pushed out so commit/abort settles the
+        outstanding exchanges (see :meth:`_await_stragglers`).
+        """
+        if self.fanout != "hedged":
+            self._gather_all(batch)
+            return list(batch.replies)
+        waited, sufficient = batch.complete_first(
+            self.config.read_quorum,
+            lambda reply: self.config.votes[reply.call.key],
+        )
+        if not sufficient:
+            for reply in batch.replies:
+                if reply.error is not None:
+                    raise reply.error
+            return waited  # pragma: no cover - quorum choice is sufficient
+        deadline = batch.lock_deadline
+        now = self.network.clock.now()
+        if deadline > now:
+            self.straggler_ticks_saved += deadline - now
+            txn.straggler_deadline = max(txn.straggler_deadline, deadline)
+        return waited
+
+    def _hedge_extras(self, quorum: list[str]) -> list[str]:
+        """Spare representatives a hedged read over-requests.
+
+        Available, vote-carrying representatives outside the quorum, in
+        placement order, capped at ``hedge_extra``.
+        """
+        chosen = set(quorum)
+        extras = [
+            name
+            for name in self._available()
+            if name not in chosen and self.config.votes[name] > 0
+        ]
+        return extras[: self.hedge_extra]
+
+    def _await_stragglers(self, txn: Transaction) -> None:
+        """Sit out a hedged read's outstanding exchanges.
+
+        Called before commit *and* abort: representatives that executed
+        a hedged read's call hold read locks until their replies (or
+        timeouts) land, so the client cannot start resolving the
+        transaction earlier than the last such instant.  Ticks waited
+        here are paid back out of ``straggler_ticks_saved``, keeping the
+        metric an honest net saving.  A no-op whenever other work
+        already carried the clock past the deadline.
+        """
+        deadline = txn.straggler_deadline
+        clock = self.network.clock
+        if deadline <= clock.now():
+            return
+        wait = deadline - clock.now()
+        tracer = self.tracer
+        with tracer.span(
+            "fanout:straggler-wait", width=0, waited=wait
+        ) if tracer.enabled else NULL_SPAN:
+            clock.advance_to(deadline)
+        self.straggler_ticks_saved -= wait
+
+    # ------------------------------------------------------------------
     # Figure 8: DirSuiteLookup
     # ------------------------------------------------------------------
 
     def _suite_lookup(self, txn: Transaction, key: BoundedKey) -> SuiteLookupReply:
-        """Send DirRepLookup to a read quorum; keep the highest version."""
+        """Send DirRepLookup to a read quorum; keep the highest version.
+
+        In parallel/hedged modes the quorum is scattered concurrently;
+        a hedged read additionally over-requests spare representatives
+        and settles on the first vote-sufficient replies (any highest-
+        version verdict carried by >= R votes intersects every write
+        quorum, so which sufficient subset answers first is immaterial).
+        """
         quorum = self._collect_quorum("read")
-        best: LookupReply | None = None
         replies: dict[str, LookupReply] = {}
-        for rep in quorum:
-            reply: LookupReply = self._call(txn, rep, "rep_lookup", txn.txn_id, key)
-            replies[rep] = reply
+        if self.fanout == "serial":
+            for rep in quorum:
+                replies[rep] = self._call(
+                    txn, rep, "rep_lookup", txn.txn_id, key
+                )
+        else:
+            members = list(quorum)
+            if self.fanout == "hedged":
+                members += self._hedge_extras(quorum)
+            batch = self._scatter(
+                txn,
+                [self._rep_call(txn, rep, "rep_lookup", (key,)) for rep in members],
+                "rep_lookup",
+            )
+            for reply in self._gather_read(txn, batch):
+                replies[reply.call.key] = reply.value
+        best: LookupReply | None = None
+        for reply in replies.values():
             if reply.beats(best):
                 best = reply
         assert best is not None  # quorum is never empty
@@ -389,8 +577,12 @@ class DirectorySuite:
         monotonicity invariant (no version is invented), so repair is
         always safe; it simply raises the entry's copy density.
         """
-        for rep, reply in replies.items():
-            if reply.version < best.version:
+        stale = [
+            rep for rep, reply in replies.items()
+            if reply.version < best.version
+        ]
+        if self.fanout == "serial":
+            for rep in stale:
                 self._call(
                     txn,
                     rep,
@@ -401,6 +593,15 @@ class DirectorySuite:
                     best.value,
                 )
                 self.repairs_performed += 1
+        elif stale:
+            calls = [
+                self._rep_call(
+                    txn, rep, "rep_insert", (key, best.version, best.value)
+                )
+                for rep in stale
+            ]
+            self._gather_all(self._scatter(txn, calls, "rep_insert"))
+            self.repairs_performed += len(stale)
 
     # ------------------------------------------------------------------
     # Figure 9: DirSuiteInsert (and DirSuiteUpdate, its analog)
@@ -427,8 +628,18 @@ class DirectorySuite:
             raise KeyNotPresentError(key.payload)
         quorum = self._collect_quorum("write")
         version = self.version_space.successor(reply.version)
-        for rep in quorum:
-            self._call(txn, rep, "rep_insert", txn.txn_id, key, version, value)
+        if self.fanout == "serial":
+            for rep in quorum:
+                self._call(
+                    txn, rep, "rep_insert", txn.txn_id, key, version, value
+                )
+        else:
+            # Writes always wait on the full quorum: W votes must land.
+            calls = [
+                self._rep_call(txn, rep, "rep_insert", (key, version, value))
+                for rep in quorum
+            ]
+            self._gather_all(self._scatter(txn, calls, "rep_insert"))
 
     # ------------------------------------------------------------------
     # Figure 12: RealPredecessor / RealSuccessor
@@ -459,6 +670,8 @@ class DirectorySuite:
         cursor = key
         max_gap_version = self.version_space.lowest
         while True:
+            if self.fanout != "serial":
+                self._refill_streams(txn, quorum, streams, cursor)
             candidate: BoundedKey | None = None
             for rep in quorum:
                 reply = streams[rep].reply_for(cursor)
@@ -479,6 +692,43 @@ class DirectorySuite:
                     max_gap_version=max_gap_version,
                 )
             cursor = candidate
+
+    def _refill_streams(
+        self,
+        txn: Transaction,
+        quorum: list[str],
+        streams: dict[str, "_NeighborStream"],
+        cursor: BoundedKey,
+    ) -> None:
+        """Fan out one batched-neighbor fetch per stream that needs one.
+
+        Brings every stream's cache up to covering ``cursor`` before the
+        walk consults it, so the per-step fetches that the serial walk
+        issues one at a time land as a single scatter.  Repeats until no
+        stream is dry (a refill can come back still short of the cursor
+        when batched items were consumed unevenly).
+        """
+        while True:
+            needy = [
+                rep for rep in quorum if streams[rep].needs_fetch(cursor)
+            ]
+            if not needy:
+                return
+            calls = [
+                self._rep_call(
+                    txn,
+                    rep,
+                    "rep_neighbors_batch",
+                    streams[rep].fetch_args(),
+                    payload_items=self.neighbor_batch_size,
+                )
+                for rep in needy
+            ]
+            batches = self._gather_all(
+                self._scatter(txn, calls, "rep_neighbors_batch")
+            )
+            for rep, items in zip(needy, batches):
+                streams[rep].absorb(items)
 
     # ------------------------------------------------------------------
     # Figure 13: DirSuiteDelete
@@ -508,36 +758,93 @@ class DirectorySuite:
         version = max(succ.max_gap_version, pred.max_gap_version, lookup.version)
 
         insertions = 0
-        for rep in quorum:
-            for neighbor in (succ, pred):
-                reply: LookupReply = self._call(
-                    txn, rep, "rep_lookup", txn.txn_id, neighbor.key
-                )
-                if not reply.present:
-                    self._call(
-                        txn,
-                        rep,
-                        "rep_insert",
-                        txn.txn_id,
-                        neighbor.key,
-                        neighbor.version,
-                        neighbor.value,
+        if self.fanout == "serial":
+            for rep in quorum:
+                for neighbor in (succ, pred):
+                    reply: LookupReply = self._call(
+                        txn, rep, "rep_lookup", txn.txn_id, neighbor.key
                     )
-                    insertions += 1
+                    if not reply.present:
+                        self._call(
+                            txn,
+                            rep,
+                            "rep_insert",
+                            txn.txn_id,
+                            neighbor.key,
+                            neighbor.version,
+                            neighbor.value,
+                        )
+                        insertions += 1
+        else:
+            # One scatter probes every (member, neighbor) pair; a second
+            # installs only the copies found missing.
+            pairs = [(rep, nb) for rep in quorum for nb in (succ, pred)]
+            probes = self._gather_all(
+                self._scatter(
+                    txn,
+                    [
+                        self._rep_call(txn, rep, "rep_lookup", (nb.key,))
+                        for rep, nb in pairs
+                    ],
+                    "rep_lookup",
+                )
+            )
+            missing = [
+                (rep, nb)
+                for (rep, nb), found in zip(pairs, probes)
+                if not found.present
+            ]
+            if missing:
+                self._gather_all(
+                    self._scatter(
+                        txn,
+                        [
+                            self._rep_call(
+                                txn,
+                                rep,
+                                "rep_insert",
+                                (nb.key, nb.version, nb.value),
+                            )
+                            for rep, nb in missing
+                        ],
+                        "rep_insert",
+                    )
+                )
+            insertions = len(missing)
 
         new_gap_version = self.version_space.successor(version)
         per_rep_coalesced: list[int] = []
         ghost_deletions = 0
-        for rep in quorum:
-            result = self._call(
-                txn,
-                rep,
-                "rep_coalesce",
-                txn.txn_id,
-                pred.key,
-                succ.key,
-                new_gap_version,
+        if self.fanout == "serial":
+            results = [
+                self._call(
+                    txn,
+                    rep,
+                    "rep_coalesce",
+                    txn.txn_id,
+                    pred.key,
+                    succ.key,
+                    new_gap_version,
+                )
+                for rep in quorum
+            ]
+        else:
+            results = self._gather_all(
+                self._scatter(
+                    txn,
+                    [
+                        self._rep_call(
+                            txn,
+                            rep,
+                            "rep_coalesce",
+                            (pred.key, succ.key, new_gap_version),
+                        )
+                        for rep in quorum
+                    ],
+                    "rep_coalesce",
+                )
             )
+        for result in results:
             per_rep_coalesced.append(len(result.removed.entries))
             ghost_deletions += sum(
                 1 for e in result.removed.entries if e.key != key
@@ -610,20 +917,34 @@ class _NeighborStream:
         self._pos = 0
 
     def _fetch(self) -> None:
-        if self._exhausted:
-            raise ReproError(
-                f"neighbor stream past the {self.direction} sentinel"
-            )  # pragma: no cover - the sentinels always terminate the walk
         batch: list[NeighborReply] = self.suite._call(
             self.txn,
             self.rep,
             "rep_neighbors_batch",
             self.txn.txn_id,
+            *self.fetch_args(),
+            payload_items=self.suite.neighbor_batch_size,
+        )
+        self.absorb(batch)
+
+    def fetch_args(self) -> tuple:
+        """Wire arguments (after the txn id) for the next refill RPC.
+
+        Raises if the stream is already past its sentinel — a refill
+        can then never be needed.
+        """
+        if self._exhausted:
+            raise ReproError(
+                f"neighbor stream past the {self.direction} sentinel"
+            )  # pragma: no cover - the sentinels always terminate the walk
+        return (
             self._fetch_from,
             self.direction,
             self.suite.neighbor_batch_size,
-            payload_items=self.suite.neighbor_batch_size,
         )
+
+    def absorb(self, batch: list[NeighborReply]) -> None:
+        """Append one refill's results to the cache."""
         self._items.extend(batch)
         if batch:
             last = batch[-1].key
@@ -633,6 +954,31 @@ class _NeighborStream:
         else:
             self._exhausted = True
 
+    def _scan(self, probe: BoundedKey) -> NeighborReply | None:
+        """Cached immediate neighbor of ``probe``, or None if not cached.
+
+        Advances the cursor past items on the wrong side of ``probe``
+        (already-consumed positions) without consuming the match.
+        """
+        while self._pos < len(self._items):
+            item = self._items[self._pos]
+            if self.direction == "pred":
+                if item.key < probe:
+                    return item
+            else:
+                if item.key > probe:
+                    return item
+            self._pos += 1
+        return None
+
+    def needs_fetch(self, probe: BoundedKey) -> bool:
+        """True if answering ``reply_for(probe)`` would trigger an RPC.
+
+        Used by the parallel walk to refill every dry stream in one
+        scatter before consulting any of them.
+        """
+        return self._scan(probe) is None
+
     def reply_for(self, probe: BoundedKey) -> NeighborReply:
         """This representative's immediate neighbor of ``probe``.
 
@@ -640,15 +986,9 @@ class _NeighborStream:
         for "succ"), which the suite's walk guarantees.
         """
         while True:
-            while self._pos < len(self._items):
-                item = self._items[self._pos]
-                if self.direction == "pred":
-                    if item.key < probe:
-                        return item
-                else:
-                    if item.key > probe:
-                        return item
-                self._pos += 1
+            item = self._scan(probe)
+            if item is not None:
+                return item
             self._fetch()
 
 
@@ -666,6 +1006,10 @@ class _SuiteTransaction:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         assert self.txn is not None
+        # Hedged reads may have left exchanges in flight; their
+        # representatives hold locks until those land, so settle them
+        # before resolving the transaction either way.
+        self.suite._await_stragglers(self.txn)
         if exc_type is None:
             self.suite.txn_manager.commit(self.txn)
             return False

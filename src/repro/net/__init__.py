@@ -21,13 +21,16 @@ from repro.net.failures import (
 )
 from repro.net.network import Network, site_latency, uniform_latency
 from repro.net.node import Node
-from repro.net.rpc import RpcEndpoint
+from repro.net.rpc import RpcBatch, RpcCall, RpcEndpoint, RpcReply
 
 __all__ = [
     "SimClock",
     "Node",
     "Network",
     "RpcEndpoint",
+    "RpcCall",
+    "RpcReply",
+    "RpcBatch",
     "uniform_latency",
     "site_latency",
     "ScriptedFailures",

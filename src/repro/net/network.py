@@ -156,12 +156,30 @@ class Network:
         if not self.reachable(src, dst):
             raise NodeDownError(dst)
 
+    def round_cost(self, src: str, dst: str) -> float:
+        """Ticks one request/reply exchange takes on the (src, dst) link."""
+        return 2 * self.latency(src, dst)
+
+    def send_round(
+        self, src: str, dst: str, method: str, payload_items: int = 1
+    ) -> float:
+        """Account one request/reply exchange *without* advancing the clock.
+
+        Returns the reply's arrival offset (one round trip from now).
+        This is the per-call half of a scatter-gather batch: the batch
+        issues every send at the same instant and later advances the
+        clock once, to the *max* arrival over the calls it waited on —
+        where :meth:`transmit_round` (the degenerate width-1 batch)
+        advances by this call's own round trip.
+        """
+        self.stats.record_round(method, payload_items)
+        return self.round_cost(src, dst)
+
     def transmit_round(
         self, src: str, dst: str, method: str, payload_items: int = 1
     ) -> None:
         """Account one request/reply exchange and advance the clock."""
-        self.stats.record_round(method, payload_items)
-        self.clock.advance(2 * self.latency(src, dst))
+        self.clock.advance(self.send_round(src, dst, method, payload_items))
 
     # -- message loss ----------------------------------------------------------
 
@@ -180,6 +198,18 @@ class Network:
             "reply": self.metrics.counter("net.loss.replies_dropped"),
         }
 
+    def send_lost(self, src: str, dst: str, method: str, phase: str) -> float:
+        """Account a lost exchange *without* advancing the clock.
+
+        Returns the timeout offset at which the caller would learn the
+        loss.  A batch member that is lost only charges the batch the
+        timeout when the batch actually waits on that member; a serial
+        caller (see :meth:`transmit_lost`) always sits it out.
+        """
+        self.stats.record_lost_round(phase)
+        self._lost_counters[phase].inc()
+        return self.rpc_timeout
+
     def transmit_lost(self, src: str, dst: str, method: str, phase: str) -> None:
         """Account a lost exchange and advance the clock by the timeout.
 
@@ -187,6 +217,4 @@ class Network:
         two (the request was delivered and executed).  Either way the
         caller sits out the full ``rpc_timeout`` instead of a round trip.
         """
-        self.stats.record_lost_round(phase)
-        self._lost_counters[phase].inc()
-        self.clock.advance(self.rpc_timeout)
+        self.clock.advance(self.send_lost(src, dst, method, phase))

@@ -53,6 +53,11 @@ def phase_of(span: Span) -> str:
     else is ``rpc``.  Representative-side spans are ``rep-side`` even
     when nested under a commit RPC (the ``commit`` phase is the
     coordination overhead, not the store work it triggers).
+
+    Scatter-gather batches record a ``fanout:<label>`` parent around
+    their (overlapping) per-member ``rpc:`` spans; the batch belongs to
+    the same phase its members would — ``commit`` for 2PC rounds,
+    ``rpc`` otherwise (including the hedged reads' straggler wait).
     """
     name = span.name
     if name.startswith("quorum:"):
@@ -60,6 +65,9 @@ def phase_of(span: Span) -> str:
     if name.startswith("rpc:"):
         method = name.rsplit(".", 1)[-1]
         return "commit" if method in _COMMIT_METHODS else "rpc"
+    if name.startswith("fanout:"):
+        label = name[len("fanout:"):]
+        return "commit" if label in _COMMIT_METHODS else "rpc"
     if name.startswith("rep:"):
         return "rep-side"
     return "client"
@@ -69,6 +77,23 @@ def self_time(span: Span) -> float:
     """A span's duration minus its children's (never negative)."""
     own = span.duration - sum(c.duration for c in span.children)
     return own if own > 0.0 else 0.0
+
+
+def _credit_phases(span: Span, phase_sums: dict[str, float]) -> None:
+    """Credit one subtree's time to phases such that it tiles exactly.
+
+    Serial spans credit their self time and recurse.  A ``fanout:``
+    span's children overlap each other (and, for hedged stragglers,
+    overhang the gather), so summing their self times would not tile
+    the operation's latency — the batch *envelope* (the fanout span's
+    own duration) is credited instead and its descendants are skipped.
+    """
+    if span.name.startswith("fanout:"):
+        phase_sums[phase_of(span)] += span.duration
+        return
+    phase_sums[phase_of(span)] += self_time(span)
+    for child in span.children:
+        _credit_phases(child, phase_sums)
 
 
 def critical_path(root: Span) -> list[Span]:
@@ -278,8 +303,8 @@ def profile_spans(
         profile.total_rpc_rounds += op_span.rpc_rounds()
         profile.total_messages += op_span.message_count()
         phase_sums = dict.fromkeys(PHASES, 0.0)
+        _credit_phases(op_span, phase_sums)
         for span in op_span.walk():
-            phase_sums[phase_of(span)] += self_time(span)
             if span.name.startswith("rpc:"):
                 attempt = span.attrs.get("attempt", 0)
                 profile.rpc_attempts[attempt] = (

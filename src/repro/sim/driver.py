@@ -82,6 +82,14 @@ class SimulationSpec:
     #: diff the model against the authoritative state at the end — the
     #: exactly-once / no-duplicate-apply oracle for chaos runs.
     verify_model: bool = False
+    #: RPC fan-out mode: ``"serial"`` (paper-faithful one-call-at-a-time
+    #: baseline), ``"parallel"`` (quorum rounds and 2PC phases scatter
+    #: concurrently, paying the max arrival instead of the sum), or
+    #: ``"hedged"`` (parallel plus over-requested reads completing on the
+    #: first vote-sufficient replies).
+    fanout: str = "serial"
+    #: Spare representatives a hedged read over-requests.
+    hedge_extra: int = 1
     #: Run the :class:`~repro.obs.audit.InvariantAuditor` at commit
     #: boundaries every ``audit_interval`` measured operations and once
     #: at the end of the run.  Off by default — like the tracer, auditing
@@ -155,6 +163,8 @@ def run_simulation(
             neighbor_batch_size=spec.neighbor_batch_size,
             read_repair=spec.read_repair,
             tracer=RecordingTracer() if spec.trace_spans else None,
+            fanout=spec.fanout,
+            hedge_extra=spec.hedge_extra,
         )
     suite = cluster.suite
     workload = UniformWorkload(

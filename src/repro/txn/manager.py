@@ -34,12 +34,19 @@ _MISSING = object()
 class TransactionManager:
     """Begin / commit / abort for suite-level transactions."""
 
-    def __init__(self, rpc: RpcEndpoint, clock_now: Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        rpc: RpcEndpoint,
+        clock_now: Callable[[], float] | None = None,
+        parallel_commit: bool = False,
+    ) -> None:
         self.rpc = rpc
         self._ids = TxnIdGenerator()
         self._live: dict[TxnId, Transaction] = {}
         self.decision_log = DecisionLog()
-        self._coordinator = TwoPhaseCoordinator(rpc, self.decision_log)
+        self._coordinator = TwoPhaseCoordinator(
+            rpc, self.decision_log, parallel=parallel_commit
+        )
         self._now = clock_now or (lambda: 0.0)
         self.commits = 0
         self.aborts = 0

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import NodeDownError, RpcTimeoutError
-from repro.net.rpc import RpcEndpoint
+from repro.core.errors import NetworkError, NodeDownError, RpcTimeoutError
+from repro.net.rpc import RpcCall, RpcEndpoint
 from repro.txn.ids import TxnId
 from repro.txn.transaction import Participant
 
@@ -76,6 +76,11 @@ class TwoPhaseCoordinator:
     safe, and delivering decisions eagerly matters: a participant that
     never learns an abort keeps the transaction's (rolled-back-nowhere)
     effects and locks until recovery.
+
+    ``parallel`` fans each phase out across all participants at once
+    (the batch costs the max arrival over the round instead of the sum;
+    see :meth:`~repro.net.rpc.RpcEndpoint.scatter`), with the same
+    per-participant retry and vote semantics as the serial loops.
     """
 
     def __init__(
@@ -83,10 +88,12 @@ class TwoPhaseCoordinator:
         rpc: RpcEndpoint,
         decision_log: DecisionLog,
         completion_retries: int = 8,
+        parallel: bool = False,
     ) -> None:
         self.rpc = rpc
         self.decision_log = decision_log
         self.completion_retries = completion_retries
+        self.parallel = parallel
 
     def commit(
         self, txn_id: TxnId, participants: dict[str, Participant]
@@ -100,9 +107,13 @@ class TwoPhaseCoordinator:
         against the decision log at recovery.)  Participant loss in
         phase two is tolerated the same way.
         """
-        votes: dict[str, bool] = {}
-        for name, part in participants.items():
-            votes[name] = self._prepare_vote(txn_id, part)
+        if self.parallel:
+            votes = self._prepare_parallel(txn_id, participants)
+        else:
+            votes = {
+                name: self._prepare_vote(txn_id, part)
+                for name, part in participants.items()
+            }
         all_yes = bool(votes) and all(votes.values())
         decision = "commit" if all_yes else "abort"
         self.decision_log.decide(txn_id, decision)
@@ -142,6 +153,40 @@ class TwoPhaseCoordinator:
                 return False
         return False
 
+    def _prepare_parallel(
+        self, txn_id: TxnId, participants: dict[str, Participant]
+    ) -> dict[str, bool]:
+        """Phase one as a single scatter; one vote per participant.
+
+        Per-member semantics match :meth:`_prepare_vote` exactly: a
+        timed-out ask is re-issued up to ``completion_retries`` times
+        within the batch, and exhausted retries or a crashed participant
+        come back as a no vote.
+        """
+        batch = self.rpc.scatter(
+            [
+                RpcCall(
+                    node_id=part.node_id,
+                    service_name=part.service_name,
+                    method="prepare",
+                    args=(txn_id,),
+                    retries=self.completion_retries,
+                    key=name,
+                )
+                for name, part in participants.items()
+            ],
+            label="prepare",
+        )
+        votes: dict[str, bool] = {}
+        for reply in batch.complete_all():
+            if reply.ok:
+                votes[reply.call.key] = bool(reply.value)
+            elif isinstance(reply.error, NetworkError):
+                votes[reply.call.key] = False
+            else:  # pragma: no cover - prepare never raises app errors
+                raise reply.error
+        return votes
+
     def _complete(
         self, decision: str, txn_id: TxnId, participants: dict[str, Participant]
     ) -> tuple[str, ...]:
@@ -152,7 +197,33 @@ class TwoPhaseCoordinator:
         later — its in-doubt transaction resolves against the decision
         log at recovery, or via
         :meth:`~repro.txn.manager.TransactionManager.resolve_pending`.
+        With ``parallel`` the whole round goes out as one scatter;
+        members whose delivery still failed are the unreachable set.
         """
+        if self.parallel:
+            batch = self.rpc.scatter(
+                [
+                    RpcCall(
+                        node_id=part.node_id,
+                        service_name=part.service_name,
+                        method=decision,
+                        args=(txn_id,),
+                        retries=self.completion_retries,
+                        key=name,
+                    )
+                    for name, part in participants.items()
+                ],
+                label=decision,
+            )
+            unreachable = []
+            for reply in batch.complete_all():
+                if reply.error is None:
+                    continue
+                if isinstance(reply.error, NetworkError):
+                    unreachable.append(reply.call.key)
+                else:  # pragma: no cover - completion never raises app errors
+                    raise reply.error
+            return tuple(unreachable)
         unreachable: list[str] = []
         for name, part in participants.items():
             for _ in range(1 + self.completion_retries):

@@ -87,6 +87,31 @@ class TestCommands:
         )
         assert code == 0
 
+    def test_simulate_with_skiplist_store(self, capsys):
+        # Every registered store factory must be reachable from the CLI;
+        # the choices list is derived from the registry, not hand-kept.
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "20", "--ops", "150",
+            "--store", "skiplist",
+        )
+        assert code == 0
+        assert "RPC rounds" in out
+
+    @pytest.mark.parametrize("mode", ["parallel", "hedged"])
+    def test_simulate_fanout_modes(self, capsys, mode):
+        code, out = run_cli(
+            capsys,
+            "simulate", "--size", "20", "--ops", "150",
+            "--fanout", mode,
+        )
+        assert code == 0
+        assert "RPC rounds" in out
+
+    def test_unknown_fanout_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--fanout", "sideways"])
+
     def test_figure14_reduced(self, capsys):
         code, out = run_cli(
             capsys,
