@@ -1,0 +1,219 @@
+"""Sharded directory — aggregate throughput scaling, 1 to 16 shards.
+
+Not a paper table: Daniels & Spector analyse a single replicated
+directory.  The sharded service routes keys across N independent
+replica suites on one shared simulated network, and executes client
+*waves* (batches of independent operations) shard-parallel: a wave
+costs the slowest shard's serial time, not the sum.
+
+This experiment replays the same seeded operation stream in fixed
+32-op waves at 1/2/4/8/16 shards and records aggregate throughput
+(wave ops per simulated tick) as a BENCH artifact:
+
+* under a **uniform** workload with a range map, 8 shards must reach
+  at least 3x the single-shard throughput (the multinomial max-bin
+  bound for 32-op waves over 8 bins predicts ~3.5-4x);
+* under the **skewed** workload (keys piled near 0.0), the range map's
+  scaling collapses — shard 0 owns almost everything — while the hash
+  map keeps scaling; at 8 shards hashed throughput must beat ranged;
+* every run finishes with zero failed waves, zero model drift (the
+  final merged state equals the workload's membership), and a clean
+  merged invariant audit across all shards.
+"""
+
+from benchmarks.conftest import emit_bench, run_once
+from repro.shard import ShardedDirectory
+from repro.sim.report import format_table
+from repro.sim.workload import OpMix, SkewedKeyWorkload, UniformWorkload
+
+SHARD_COUNTS = (1, 2, 4, 8, 16)
+CONFIG = "3-2-2"
+SEED = 19
+WAVE = 32
+LOAD = 64
+
+#: Lookup-heavy mix: waves are client batches, so the read path is the
+#: interesting throughput surface, but churn keeps the stores moving.
+MIX = OpMix(insert=1, update=1, delete=1, lookup=3)
+
+#: Acceptance bound: uniform-workload speedup at 8 shards.
+MIN_SPEEDUP_AT_8 = 3.0
+
+#: (curve label, workload class, shard map) — one throughput curve each.
+CURVES = (
+    ("uniform/range", UniformWorkload, "range"),
+    ("skewed/range", SkewedKeyWorkload, "range"),
+    ("skewed/hash", SkewedKeyWorkload, "hash"),
+)
+
+
+def _op_stream(workload_cls, ops):
+    """One deterministic (preload, churn) op-tuple stream per workload.
+
+    Generated once per workload class and replayed at every shard
+    count, so the curves compare identical work.
+    """
+    workload = workload_cls(target_size=LOAD, mix=MIX, seed=SEED)
+    preload = [
+        ("insert", op.key, op.value) for op in workload.initial_load(LOAD)
+    ]
+    churn = []
+    for op in workload.operations(ops):
+        if op.kind in ("insert", "update"):
+            churn.append((op.kind, op.key, op.value))
+        else:
+            churn.append((op.kind, op.key))
+    return preload, churn
+
+
+def _waves(ops):
+    for i in range(0, len(ops), WAVE):
+        yield ops[i : i + WAVE]
+
+
+def _run_curve_point(shards, shard_map, preload, churn):
+    """Replay the stream in waves at one shard count; measure the churn."""
+    sharded = ShardedDirectory.create(
+        CONFIG, shards=shards, shard_map=shard_map, seed=SEED
+    )
+    for wave in _waves(preload):
+        sharded.execute_wave(wave)
+
+    start = sharded.network.clock.now()
+    failures = 0
+    for wave in _waves(churn):
+        outcomes = sharded.execute_wave(wave)
+        failures += sum(1 for outcome in outcomes if not outcome.ok)
+    ticks = sharded.network.clock.now() - start
+
+    audit = sharded.make_auditor().run()
+    return {
+        "shards": shards,
+        "ticks": ticks,
+        "throughput": len(churn) / ticks,
+        "messages": sharded.network.stats.messages,
+        "max_routed": max(sharded.routed),
+        "failures": failures,
+        "size": sharded.size(),
+        "audit": audit,
+    }
+
+
+def test_shard_scaling(benchmark, scale):
+    ops = scale["generic_ops"]
+    streams = {
+        cls: _op_stream(cls, ops)
+        for cls in {cls for _, cls, _ in CURVES}
+    }
+
+    def experiment():
+        return {
+            label: [
+                _run_curve_point(n, shard_map, *streams[cls])
+                for n in SHARD_COUNTS
+            ]
+            for label, cls, shard_map in CURVES
+        }
+
+    curves = run_once(benchmark, experiment)
+
+    rows = []
+    speedups = {}
+    for label, points in curves.items():
+        base = points[0]["throughput"]
+        speedups[label] = {
+            point["shards"]: point["throughput"] / base for point in points
+        }
+        for point in points:
+            rows.append(
+                [
+                    label,
+                    str(point["shards"]),
+                    f"{point['ticks']:.0f}",
+                    f"{point['throughput']:.4f}",
+                    f"{speedups[label][point['shards']]:.2f}x",
+                    str(point["max_routed"]),
+                    str(point["failures"]),
+                    str(len(point["audit"].violations)),
+                ]
+            )
+    print(
+        "\n"
+        + format_table(
+            [
+                "workload/map",
+                "shards",
+                "sim ticks",
+                "ops/tick",
+                "speedup",
+                "max routed",
+                "failed",
+                "audit viol",
+            ],
+            rows,
+            title=(
+                f"Sharded throughput ({CONFIG} per shard, {LOAD} entries, "
+                f"{ops} ops in {WAVE}-op waves, seed {SEED})"
+            ),
+        )
+    )
+
+    uniform_8 = speedups["uniform/range"][8]
+    skew_range_8 = speedups["skewed/range"][8]
+    skew_hash_8 = speedups["skewed/hash"][8]
+    print(
+        f"speedup at 8 shards — uniform/range {uniform_8:.2f}x, "
+        f"skewed/range {skew_range_8:.2f}x, skewed/hash {skew_hash_8:.2f}x"
+    )
+    benchmark.extra_info["uniform_speedup_at_8"] = round(uniform_8, 4)
+
+    emit_bench(
+        "shard",
+        workload={
+            "config": CONFIG,
+            "directory_size": LOAD,
+            "operations": ops,
+            "wave": WAVE,
+            "seed": SEED,
+            "mix": "1/1/1/3 insert/update/delete/lookup",
+            "shard_counts": list(SHARD_COUNTS),
+        },
+        messages={
+            f"{label.replace('/', '_')}_{point['shards']}_messages": point[
+                "messages"
+            ]
+            for label, points in curves.items()
+            for point in points
+        },
+        latency={
+            f"{label.replace('/', '_')}_{point['shards']}_ticks_per_op": (
+                point["ticks"] / ops
+            )
+            for label, points in curves.items()
+            for point in points
+        },
+        audit=curves["uniform/range"][-1]["audit"].summary(),
+        extra={
+            "curves": {
+                label: {
+                    str(shards): round(speedup, 4)
+                    for shards, speedup in per_curve.items()
+                }
+                for label, per_curve in speedups.items()
+            },
+            "min_speedup_at_8": MIN_SPEEDUP_AT_8,
+            "uniform_speedup_at_8": uniform_8,
+        },
+    )
+
+    # Headline: near-linear-until-max-bin scaling on uniform keys.
+    assert uniform_8 >= MIN_SPEEDUP_AT_8
+    # Hash routing rescues the skewed workload; range routing cannot.
+    assert skew_hash_8 > skew_range_8
+    # Sharding must never trade correctness for throughput.
+    for label, points in curves.items():
+        final_size = {point["size"] for point in points}
+        assert len(final_size) == 1, (label, final_size)
+        for point in points:
+            assert point["failures"] == 0, label
+            assert point["audit"].ok, label

@@ -34,8 +34,13 @@ Packages:
   concurrency analysis, paper-style table rendering.
 """
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
+from repro.core.interface import (
+    Directory,
+    directory_factories,
+    register_directory,
+)
 from repro.core.hints import HintedDirectory
 from repro.core.setdir import ReplicatedSet
 from repro.core.errors import (
@@ -91,17 +96,36 @@ from repro.obs import (
     spans_to_trace,
     write_bench,
 )
+from repro.shard import (
+    HashShardMap,
+    RangeShardMap,
+    ShardAuditor,
+    ShardMap,
+    ShardedDirectory,
+    WaveOutcome,
+)
 from repro.sim.driver import SimulationResult, SimulationSpec, run_simulation
 
 __version__ = "1.0.0"
 
 __all__ = [
     # construction and directory API
+    "Directory",
     "DirectoryCluster",
+    "ClusterSpec",
     "DirectorySuite",
     "SuiteConfig",
     "ReplicatedSet",
     "HintedDirectory",
+    "register_directory",
+    "directory_factories",
+    # sharding
+    "ShardedDirectory",
+    "ShardMap",
+    "RangeShardMap",
+    "HashShardMap",
+    "ShardAuditor",
+    "WaveOutcome",
     # quorum policies
     "RandomQuorumPolicy",
     "StickyQuorumPolicy",

@@ -19,6 +19,7 @@
 """
 
 from repro.baselines.directory_as_file import DirectoryAsFile, build_directory_as_file
+from repro.core.interface import register_directory
 from repro.baselines.file_voting import FileSuite, build_file_suite
 from repro.baselines.naive_entry_versions import (
     NaiveReplicatedDirectory,
@@ -48,3 +49,35 @@ __all__ = [
     "StaticPartitionedDirectory",
     "build_static_partitioned",
 ]
+
+# -- conformance registration (see repro.core.interface) -----------------------
+#
+# Every baseline that implements the full Directory surface registers a
+# seeded factory here, so the conformance suite exercises them all with
+# one op sequence.  Notes on the choices:
+#
+# * ``naive-consult`` uses "3-3-3" (read and write quorums cover all
+#   three replicas): with partial quorums the naive per-entry-version
+#   scheme is *known* to mis-serve reinserted keys — that brokenness is
+#   the baseline's point, but it would fail conformance, which tests the
+#   contract, not the pathology.  At full quorums it is exact.
+# * ``primary-copy`` registers in read_primary_only mode for the same
+#   reason: async secondary reads are deliberately stale.
+
+register_directory(
+    "directory-as-file", lambda: build_directory_as_file("3-2-2", seed=0)
+)
+register_directory("unanimous", lambda: build_unanimous(3, seed=0))
+register_directory(
+    "primary-copy",
+    lambda: build_primary_copy(2, seed=0, read_primary_only=True),
+)
+register_directory(
+    "naive-consult",
+    lambda: build_naive("3-3-3", seed=0, resolution="consult")[0],
+)
+register_directory("tombstone", lambda: build_tombstone("3-2-2", seed=0)[0])
+register_directory(
+    "static-partitioned",
+    lambda: build_static_partitioned("3-2-2", n_partitions=4, seed=0),
+)

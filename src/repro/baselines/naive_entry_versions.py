@@ -80,6 +80,9 @@ class NaiveReplica:
     def remove(self, key: Any) -> None:
         self.data.pop(key, None)
 
+    def keys(self) -> list[Any]:
+        return list(self.data)
+
 
 class NaiveReplicatedDirectory:
     """Weighted voting with per-entry versions only."""
@@ -190,6 +193,22 @@ class NaiveReplicatedDirectory:
             extra = remaining.pop()
             replies[extra] = self._call(extra, "get", key)
             self.extra_consultations += 1
+
+    def size(self) -> int:
+        """Count live entries: union the keys held by a read quorum, then
+        decide each key's presence with :meth:`lookup`.
+
+        Sound because a current entry is stored on a full write quorum,
+        which intersects every read quorum — so no live key can be
+        missing from the union.  Stale copies *can* appear in it, which
+        is why each candidate still goes through lookup (inheriting this
+        baseline's resolution mode, ambiguities and all).
+        """
+        quorum = self._collect(self.config.read_quorum, "read quorum")
+        candidates: set[Any] = set()
+        for rep in quorum:
+            candidates.update(self._call(rep, "keys"))
+        return sum(1 for key in sorted(candidates) if self.lookup(key)[0])
 
     # -- internal versioned lookup for modifications ------------------------------
 

@@ -68,6 +68,9 @@ class PrimaryReplica:
     def updates_since(self, seq: int) -> list[LogUpdate]:
         return [u for u in self.log if u.seq > seq]
 
+    def count(self) -> int:
+        return len(self.data)
+
 
 class SecondaryReplica:
     """A secondary: applies relayed updates in sequence order."""
@@ -165,6 +168,10 @@ class PrimaryCopyDirectory:
         if not present:
             raise KeyNotPresentError(key)
         self._primary("apply", "remove", key)
+
+    def size(self) -> int:
+        """Entry count from the primary — the only authoritative copy."""
+        return self._primary("count")
 
     def propagate(self) -> int:
         """Relay outstanding updates to every reachable secondary.

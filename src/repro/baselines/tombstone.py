@@ -87,6 +87,10 @@ class TombstoneReplica:
     def stored_count(self) -> int:
         return len(self.data)
 
+    def keys(self) -> list[Any]:
+        """Every stored key — live entries and tombstones alike."""
+        return list(self.data)
+
 
 class TombstoneDirectory:
     """Weighted-voting directory whose deletes write tombstones."""
@@ -152,9 +156,14 @@ class TombstoneDirectory:
     # -- operations -----------------------------------------------------------
 
     def lookup(self, key: Any) -> tuple[bool, Any]:
-        """Standard voting lookup; a winning tombstone means absent."""
-        _version, value = self._quorum_best(key)
-        if value is None or value == TOMBSTONE:
+        """Standard voting lookup; a winning tombstone means absent.
+
+        Absence is decided by version (0 = no replica ever stored the
+        key) or by the tombstone marker — never by the value itself,
+        which is opaque and may legitimately be ``None``.
+        """
+        version, value = self._quorum_best(key)
+        if version == 0 or value == TOMBSTONE:
             return False, None
         return True, value
 
@@ -165,22 +174,34 @@ class TombstoneDirectory:
 
     def insert(self, key: Any, value: Any) -> None:
         version, current = self._quorum_best(key)
-        if current is not None and current != TOMBSTONE:
+        if version > 0 and current != TOMBSTONE:
             raise KeyAlreadyPresentError(key)
         self._write(key, version + 1, value)
 
     def update(self, key: Any, value: Any) -> None:
         version, current = self._quorum_best(key)
-        if current is None or current == TOMBSTONE:
+        if version == 0 or current == TOMBSTONE:
             raise KeyNotPresentError(key)
         self._write(key, version + 1, value)
 
     def delete(self, key: Any) -> None:
         """Mark deleted: an update whose new value is the tombstone."""
         version, current = self._quorum_best(key)
-        if current is None or current == TOMBSTONE:
+        if version == 0 or current == TOMBSTONE:
             raise KeyNotPresentError(key)
         self._write(key, version + 1, TOMBSTONE)
+
+    def size(self) -> int:
+        """Count live entries: union the keys a read quorum stores, then
+        vote on each.  Sound because every live key sits on a full write
+        quorum, which intersects the read quorum; tombstoned keys appear
+        as candidates but lose their vote in :meth:`lookup`.
+        """
+        quorum = self._collect(self.config.read_quorum, "read quorum")
+        candidates: set[Any] = set()
+        for rep in quorum:
+            candidates.update(self._call(rep, "keys"))
+        return sum(1 for key in sorted(candidates) if self.lookup(key)[0])
 
     # -- space accounting and garbage collection -----------------------------------
 

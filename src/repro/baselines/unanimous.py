@@ -54,6 +54,9 @@ class PlainReplica:
         self._durable_ops.append(("remove", key, None))
         self.data.pop(key, None)
 
+    def count(self) -> int:
+        return len(self.data)
+
     def on_crash(self) -> None:
         self.data = {}
 
@@ -134,6 +137,10 @@ class UnanimousDirectory:
         for rep in self._all_replicas():
             self._call(rep, "put", key, value)
             self.writes_performed += 1
+
+    def size(self) -> int:
+        """Entry count from any single replica (they are all identical)."""
+        return self._call(self._any_replica(), "count")
 
     def delete(self, key: Any) -> None:
         """Remove the entry from every replica — exactly n deletions.

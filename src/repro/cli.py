@@ -89,6 +89,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         retries=args.retries,
         verify_model=args.loss > 0.0 or args.audit,
         audit=args.audit,
+        shards=args.shards,
+        shard_map=args.shard_map,
+        workload=args.workload,
     )
     result = run_simulation(spec)
     rows = []
@@ -111,6 +114,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"{result.traffic['rpc_rounds']} RPC rounds; "
         f"{result.elapsed_seconds:.1f}s wall clock"
     )
+    if args.shards:
+        routed = result.metrics.get("shard.routed", {})
+        print(
+            f"shards: {args.shards} ({args.shard_map} map); routed "
+            + ", ".join(f"{k}={v}" for k, v in sorted(routed.items()))
+        )
     if args.loss > 0.0:
         metrics = result.metrics
         retries = metrics.get("suite.retry.attempts", 0)
@@ -201,6 +210,9 @@ def _emit_bench(destination: str, args, result, profile) -> None:
             "loss": args.loss,
             "retries": args.retries,
             "fanout": args.fanout,
+            "shards": args.shards,
+            "shard_map": args.shard_map,
+            "generator": args.workload,
         },
         messages=messages,
         latency=latency,
@@ -427,6 +439,27 @@ def build_parser() -> argparse.ArgumentParser:
         "parallel (scatter-gather, cost = max arrival), or hedged "
         "(parallel + over-requested reads completing on first "
         "vote-sufficient replies)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run against a ShardedDirectory of this many shards "
+        "(0 = single unsharded cluster)",
+    )
+    p.add_argument(
+        "--shard-map",
+        choices=["range", "hash"],
+        default="range",
+        help="key-to-shard split when --shards > 0: contiguous key "
+        "ranges or stable hash buckets",
+    )
+    p.add_argument(
+        "--workload",
+        choices=["uniform", "skewed"],
+        default="uniform",
+        help="key generator: uniform over [0,1) (the paper's) or skewed "
+        "toward 0.0 (the range-map imbalance stressor)",
     )
     p.add_argument(
         "--loss",

@@ -11,21 +11,30 @@ manager, and the suite front-end — so examples and benchmarks can say::
 
 and tests can reach inside (``cluster.representative("A")``,
 ``cluster.network.node("node-A").crash()``) to script failure scenarios.
+
+Construction options live in :class:`ClusterSpec`; ``create`` accepts
+either a spec or the same fields as keywords (a thin shim over the
+spec).  A spec can also point at an *existing* :class:`Network`, which
+is how the sharded directory (:mod:`repro.shard`) places many
+independent replica suites on one simulated substrate.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, fields, replace
 from typing import Any, Callable
 
 from repro.core.config import SuiteConfig
+from repro.core.errors import ConfigurationError
+from repro.core.interface import register_directory
 from repro.core.quorum import QuorumPolicy
 from repro.core.representative import DirectoryRepresentative
+from repro.core.resilient import ResilientSuite
 from repro.core.suite import DirectorySuite, Placement
 from repro.core.versions import UNBOUNDED, VersionSpace
 from repro.net.network import LatencyModel, Network
 from repro.net.rpc import RpcEndpoint
-from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_TRACER
 from repro.storage.btree import BTreeStore
 from repro.storage.interface import RepresentativeStore
@@ -42,6 +51,106 @@ STORE_FACTORIES: dict[str, Callable[[], RepresentativeStore]] = {
 }
 
 
+@dataclass
+class ClusterSpec:
+    """Everything :meth:`DirectoryCluster.create` needs to build a cluster.
+
+    One value object instead of fifteen keyword arguments, so specs can
+    be stored, diffed, and stamped out per shard with
+    :func:`dataclasses.replace`.  See docs/API.md for the full option
+    table.
+    """
+
+    #: The paper's ``"x-y-z"`` shorthand or a full :class:`SuiteConfig`
+    #: (weighted votes / zero-vote hint replicas).
+    config: str | SuiteConfig = "3-2-2"
+    #: Backing store per replica: ``"sorted"``, ``"btree"``, ``"skiplist"``.
+    store: str = "sorted"
+    #: Figure 7 range locks; disable only for single-threaded simulations.
+    locking: bool = True
+    #: Quorum-selection randomness (set it for reproducible runs).
+    seed: int | None = None
+    #: Quorum selection strategy; default uniform random (the paper's).
+    quorum_policy: QuorumPolicy | None = None
+    #: Message latency model; only valid when building a fresh network.
+    latency: LatencyModel | None = None
+    #: Version-number space; a bounded space raises on exhaustion.
+    version_space: VersionSpace = UNBOUNDED
+    #: §4's batching: neighbor probes per RPC during delete searches.
+    neighbor_batch_size: int = 1
+    #: Lookups push current entries to stale quorum members.
+    read_repair: bool = False
+    #: WAL checkpointing policy (``EveryNCommits`` / ``LogSizeBound``).
+    checkpoint_policy: CheckpointPolicy | None = None
+    #: Representative name → node id; defaults to one node per
+    #: representative named ``node-<rep>``.
+    node_for_rep: Callable[[str], str] | None = None
+    #: A RecordingTracer to capture span trees; no-op tracer by default.
+    tracer: Any = None
+    #: Registry to publish metrics into.  With a fresh network this
+    #: becomes the network-wide registry; with a shared ``network`` it
+    #: overrides where *this cluster's* suite and replicas publish (the
+    #: sharded directory passes a ``shard<i>``-scoped view here).
+    metrics: Any = None
+    #: RPC issue mode: ``"serial"`` | ``"parallel"`` | ``"hedged"``.
+    fanout: str = "serial"
+    #: Spare representatives a hedged read over-requests.
+    hedge_extra: int = 1
+    #: Build onto an existing simulated network (shared clock, shared
+    #: traffic stats) instead of creating one.  Node ids must not
+    #: collide with nodes already on it — use ``node_for_rep``.
+    network: Network | None = None
+
+    def __post_init__(self) -> None:
+        if self.network is not None and self.latency is not None:
+            raise ConfigurationError(
+                "latency is fixed by the existing network; "
+                "set it where the network is created"
+            )
+
+    def suite_config(self) -> SuiteConfig:
+        """The resolved :class:`SuiteConfig`."""
+        if isinstance(self.config, str):
+            return SuiteConfig.from_xyz(self.config)
+        return self.config
+
+    def for_shard(
+        self, index: int, network: Network, metrics: Any
+    ) -> "ClusterSpec":
+        """This spec restamped for shard ``index`` on a shared substrate.
+
+        Node names get an ``s<index>:`` prefix (one network hosts every
+        shard's nodes, and node ids must be unique), the quorum RNG seed
+        is offset per shard so shards draw independent streams, and the
+        latency field is cleared (the shared network already owns it).
+        """
+        base_node = self.node_for_rep or (lambda rep: f"node-{rep}")
+        policy = self.quorum_policy
+        if policy is not None:
+            if isinstance(policy, QuorumPolicy):
+                raise ConfigurationError(
+                    "a QuorumPolicy instance is stateful and cannot be "
+                    "shared across shards; pass a factory (e.g. the "
+                    "policy class) instead"
+                )
+            policy = policy()
+        return replace(
+            self,
+            seed=None if self.seed is None else self.seed + index,
+            quorum_policy=policy,
+            latency=None,
+            node_for_rep=lambda rep: f"s{index}:{base_node(rep)}",
+            metrics=metrics,
+            network=network,
+        )
+
+
+#: ClusterSpec field names accepted by the ``create`` keyword shim.
+_SPEC_FIELDS = frozenset(
+    f.name for f in fields(ClusterSpec) if f.name != "config"
+)
+
+
 class DirectoryCluster:
     """A fully wired suite plus its simulated substrate."""
 
@@ -52,16 +161,24 @@ class DirectoryCluster:
         suite: DirectorySuite,
         representatives: dict[str, DirectoryRepresentative],
         tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         self.config = config
         self.network = network
         self.suite = suite
         self.representatives = representatives
         self.tracer = tracer if tracer is not None else suite.tracer
+        self._metrics = metrics
 
     @property
-    def metrics(self) -> MetricsRegistry:
-        """The cluster-wide metrics registry (``metrics.snapshot()``)."""
+    def metrics(self) -> Any:
+        """Where this cluster publishes (``metrics.snapshot()``).
+
+        Normally the network-wide :class:`MetricsRegistry`; for a shard
+        built on a shared network it is that shard's scoped view.
+        """
+        if self._metrics is not None:
+            return self._metrics
         return self.network.metrics
 
     # -- construction ----------------------------------------------------------
@@ -69,79 +186,61 @@ class DirectoryCluster:
     @classmethod
     def create(
         cls,
-        spec: str | SuiteConfig = "3-2-2",
-        store: str = "sorted",
-        locking: bool = True,
-        seed: int | None = None,
-        quorum_policy: QuorumPolicy | None = None,
-        latency: LatencyModel | None = None,
-        version_space: VersionSpace = UNBOUNDED,
-        neighbor_batch_size: int = 1,
-        read_repair: bool = False,
-        checkpoint_policy: CheckpointPolicy | None = None,
-        node_for_rep: Callable[[str], str] | None = None,
-        tracer: Any = None,
-        metrics: MetricsRegistry | None = None,
-        fanout: str = "serial",
-        hedge_extra: int = 1,
+        spec: "str | SuiteConfig | ClusterSpec" = "3-2-2",
+        **options: Any,
     ) -> "DirectoryCluster":
-        """Build a cluster.
+        """Build a cluster from a :class:`ClusterSpec`.
 
-        Parameters
-        ----------
-        spec:
-            Either the paper's ``"x-y-z"`` shorthand or a full
-            :class:`SuiteConfig` (for weighted votes).
-        store:
-            ``"sorted"`` or ``"btree"`` backing store.
-        locking:
-            Disable to skip range-lock bookkeeping in serial simulations.
-        seed:
-            Seed for quorum selection randomness.
-        node_for_rep:
-            Representative name → node id; defaults to one node per
-            representative named ``node-<rep>`` (co-locating several
-            representatives on one node models correlated failures).
-        tracer:
-            A :class:`~repro.obs.spans.RecordingTracer` to capture
-            per-operation span trees; defaults to the zero-cost no-op
-            tracer.  Its clock is bound to the cluster's simulated clock.
-        metrics:
-            A :class:`~repro.obs.metrics.MetricsRegistry` to publish into;
-            a fresh registry is created by default (``cluster.metrics``).
-        fanout:
-            ``"serial"`` (paper-faithful one-RPC-at-a-time baseline),
-            ``"parallel"`` (quorum rounds and 2PC phases scatter
-            concurrently, costing the max arrival instead of the sum),
-            or ``"hedged"`` (parallel plus over-requested reads that
-            complete on the first vote-sufficient replies).  See
-            :class:`~repro.core.suite.DirectorySuite`.
-        hedge_extra:
-            Spare representatives a hedged read over-requests.
+        ``spec`` may be the spec itself, or (the keyword shim) the
+        paper's ``"x-y-z"`` shorthand / a :class:`SuiteConfig` plus any
+        :class:`ClusterSpec` fields as keywords::
+
+            DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7))
+            DirectoryCluster.create("3-2-2", seed=7)          # same thing
         """
-        config = (
-            SuiteConfig.from_xyz(spec) if isinstance(spec, str) else spec
-        )
+        if isinstance(spec, ClusterSpec):
+            if options:
+                raise TypeError(
+                    "pass options inside the ClusterSpec, not as keywords: "
+                    f"{sorted(options)}"
+                )
+            return cls._create(spec)
+        unknown = set(options) - _SPEC_FIELDS
+        if unknown:
+            raise TypeError(
+                f"unknown cluster option(s) {sorted(unknown)}; "
+                f"valid: {sorted(_SPEC_FIELDS)}"
+            )
+        return cls._create(ClusterSpec(config=spec, **options))
+
+    @classmethod
+    def _create(cls, spec: ClusterSpec) -> "DirectoryCluster":
+        config = spec.suite_config()
         try:
-            store_factory = STORE_FACTORIES[store]
+            store_factory = STORE_FACTORIES[spec.store]
         except KeyError:
             raise ValueError(
-                f"unknown store {store!r}; choose from {sorted(STORE_FACTORIES)}"
+                f"unknown store {spec.store!r}; "
+                f"choose from {sorted(STORE_FACTORIES)}"
             ) from None
 
-        tracer = tracer if tracer is not None else NULL_TRACER
-        network = Network(latency=latency, metrics=metrics)
+        tracer = spec.tracer if spec.tracer is not None else NULL_TRACER
+        if spec.network is not None:
+            network = spec.network
+        else:
+            network = Network(latency=spec.latency, metrics=spec.metrics)
+        metrics = spec.metrics if spec.metrics is not None else network.metrics
         tracer.bind_clock(network.clock.now)
         rpc = RpcEndpoint(network, origin="client", tracer=tracer)
         txn_manager = TransactionManager(
             rpc,
             clock_now=network.clock.now,
-            parallel_commit=fanout != "serial",
+            parallel_commit=spec.fanout != "serial",
         )
 
         placements: dict[str, Placement] = {}
         representatives: dict[str, DirectoryRepresentative] = {}
-        node_name = node_for_rep or (lambda rep: f"node-{rep}")
+        node_name = spec.node_for_rep or (lambda rep: f"node-{rep}")
         for rep_name in config.names:
             node_id = node_name(rep_name)
             if node_id not in {n.node_id for n in network.nodes()}:
@@ -149,11 +248,11 @@ class DirectoryCluster:
             rep = DirectoryRepresentative(
                 rep_name,
                 store_factory=store_factory,
-                locking=locking,
-                checkpoint_policy=checkpoint_policy,
+                locking=spec.locking,
+                checkpoint_policy=spec.checkpoint_policy,
                 decision_outcomes=txn_manager.decision_log.committed_ids,
                 tracer=tracer,
-                metrics=network.metrics,
+                metrics=metrics,
             )
             service_name = f"dir:{rep_name}"
             network.node(node_id).host(service_name, rep)
@@ -166,17 +265,24 @@ class DirectoryCluster:
             network,
             rpc,
             txn_manager,
-            quorum_policy=quorum_policy,
-            rng=random.Random(seed),
-            version_space=version_space,
-            neighbor_batch_size=neighbor_batch_size,
-            read_repair=read_repair,
+            quorum_policy=spec.quorum_policy,
+            rng=random.Random(spec.seed),
+            version_space=spec.version_space,
+            neighbor_batch_size=spec.neighbor_batch_size,
+            read_repair=spec.read_repair,
             tracer=tracer,
-            metrics=network.metrics,
-            fanout=fanout,
-            hedge_extra=hedge_extra,
+            metrics=metrics,
+            fanout=spec.fanout,
+            hedge_extra=spec.hedge_extra,
         )
-        return cls(config, network, suite, representatives, tracer=tracer)
+        return cls(
+            config,
+            network,
+            suite,
+            representatives,
+            tracer=tracer,
+            metrics=spec.metrics,
+        )
 
     # -- conveniences ----------------------------------------------------------
 
@@ -196,3 +302,27 @@ class DirectoryCluster:
         """Structural invariants of every representative's store."""
         for rep in self.representatives.values():
             rep.store.check_invariants()
+
+    def make_auditor(self) -> Any:
+        """An :class:`~repro.obs.audit.InvariantAuditor` over this cluster.
+
+        The driver calls this instead of naming the auditor class so
+        sharded clusters can return their per-shard merging auditor.
+        """
+        from repro.obs.audit import InvariantAuditor
+
+        return InvariantAuditor(self)
+
+
+# -- conformance registration (see repro.core.interface) -----------------------
+
+register_directory(
+    "suite", lambda: DirectoryCluster.create("3-2-2", seed=0).suite
+)
+register_directory(
+    "resilient",
+    lambda: ResilientSuite(
+        DirectoryCluster.create("3-2-2", seed=0).suite,
+        rng=random.Random(0),
+    ),
+)

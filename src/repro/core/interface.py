@@ -1,0 +1,106 @@
+"""The formal ``Directory`` protocol every implementation satisfies.
+
+The paper describes one algorithm; this repository grew several — the
+replicated suite itself, its retrying front-end, seven baseline
+strategies, and the sharded router — each of which began life with an
+ad-hoc surface.  This module pins down the one interface they all share,
+so routers, drivers, and conformance tests can treat any of them as "a
+directory" without special cases:
+
+* ``lookup(key) -> (present, value)`` — never raises for an absent key;
+* ``insert(key, value)`` — raises
+  :class:`~repro.core.errors.KeyAlreadyPresentError` if the key is
+  present;
+* ``update(key, value)`` / ``delete(key)`` — raise
+  :class:`~repro.core.errors.KeyNotPresentError` if the key is absent;
+* ``size() -> int`` — the number of entries currently present;
+* availability failures raise subclasses of
+  :class:`~repro.core.errors.NetworkError` (quorum unreachable, node
+  down, RPC timeout), transactional aborts subclasses of
+  :class:`~repro.core.errors.TransactionError`; everything derives from
+  :class:`~repro.core.errors.ReproError`, and a failed operation leaves
+  no partial effects.
+
+Keys must be mutually comparable within one directory; several
+implementations (the static-partition baseline, the range shard map's
+default split) additionally assume float keys in ``[0, 1)`` — the key
+space the paper's workloads draw from.
+
+The module also keeps a registry of *conformance factories*: zero-
+argument callables building a fresh, empty, seeded implementation on its
+own simulated substrate.  ``tests/unit/test_interface.py`` runs one
+op-sequence against every registered factory, which is what keeps the
+protocol honest as implementations evolve.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Directory(Protocol):
+    """The shared client surface of every directory implementation.
+
+    ``runtime_checkable``: ``isinstance(obj, Directory)`` verifies the
+    five methods exist (signatures and the error contract are enforced
+    by the conformance test, not by ``isinstance``).
+    """
+
+    def lookup(self, key: Any) -> tuple[bool, Any]:
+        """(present?, value); ``(False, None)`` for an absent key."""
+        ...
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add a new entry; ``KeyAlreadyPresentError`` if present."""
+        ...
+
+    def update(self, key: Any, value: Any) -> None:
+        """Overwrite an entry; ``KeyNotPresentError`` if absent."""
+        ...
+
+    def delete(self, key: Any) -> None:
+        """Remove an entry; ``KeyNotPresentError`` if absent."""
+        ...
+
+    def size(self) -> int:
+        """Number of entries currently present."""
+        ...
+
+
+#: name -> zero-argument factory returning a fresh empty Directory.
+_FACTORIES: dict[str, Callable[[], Directory]] = {}
+
+
+def register_directory(
+    name: str, factory: Callable[[], Directory], replace: bool = False
+) -> None:
+    """Register a conformance factory under ``name``.
+
+    Factories must build a *fresh* implementation each call (own network,
+    own replicas, fixed seed) so conformance runs are independent and
+    deterministic.
+    """
+    if not replace and name in _FACTORIES:
+        raise ValueError(f"directory factory {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def directory_factories() -> dict[str, Callable[[], Directory]]:
+    """Every registered factory, name → callable (a copy).
+
+    Importing the implementation packages is what populates the
+    registry, so this triggers those imports lazily — callers need not
+    know which modules register what.
+    """
+    _ensure_builtin_factories()
+    return dict(_FACTORIES)
+
+
+def _ensure_builtin_factories() -> None:
+    # Imported for their registration side effects only.  Local imports:
+    # these packages import this module, so importing them at module
+    # load would be circular.
+    import repro.baselines  # noqa: F401
+    import repro.cluster  # noqa: F401
+    import repro.shard  # noqa: F401

@@ -127,6 +127,10 @@ class ResilientSuite:
     def delete(self, key: Any) -> None:
         return self._run("delete", lambda: self.suite.delete(key), write=True)
 
+    def size(self) -> int:
+        # Read-only like lookup: idempotent, so no decision-log probe.
+        return self._run("size", lambda: self.suite.size(), write=False)
+
     # -- machinery ----------------------------------------------------------
 
     def _run(self, kind: str, attempt_fn: Callable[[], Any], write: bool) -> Any:

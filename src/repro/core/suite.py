@@ -43,7 +43,7 @@ from repro.core.errors import (
     RpcTimeoutError,
     SentinelKeyError,
 )
-from repro.core.keys import BoundedKey, wrap
+from repro.core.keys import LOW, BoundedKey, wrap
 from repro.core.quorum import QuorumPolicy, RandomQuorumPolicy
 from repro.core.stats import DeleteOverheadStats, RunningStat, SuiteOpCounts
 from repro.core.versions import VersionSpace, UNBOUNDED
@@ -296,6 +296,31 @@ class DirectorySuite:
         ) if tracer.enabled else NULL_SPAN:
             with self._transaction() as txn:
                 self._suite_insert(txn, bkey, value, expect_present=True)
+
+    def size(self) -> int:
+        """Number of entries present, via a RealSuccessor walk.
+
+        Part of the :class:`~repro.core.interface.Directory` contract.
+        Walks Figure 12's real-successor chain from LOW to HIGH inside
+        one transaction, so the count is a consistent quorum-backed
+        snapshot: each step is a full neighbor search plus confirming
+        lookup, skipping ghosts exactly as delete's range search does.
+        O(n) quorum reads — a measurement/administration operation, not
+        a hot-path one.
+        """
+        tracer = self.tracer
+        with tracer.span(
+            "op:size", client=self.rpc.origin
+        ) if tracer.enabled else NULL_SPAN:
+            with self._transaction() as txn:
+                count = 0
+                cursor = LOW
+                while True:
+                    neighbor = self._real_neighbor(txn, cursor, "succ")
+                    if neighbor.key.is_high:
+                        return count
+                    count += 1
+                    cursor = neighbor.key
 
     def delete(self, key: Any) -> None:
         """DirSuiteDelete: remove an entry; error if the key is absent."""

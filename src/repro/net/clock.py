@@ -40,5 +40,19 @@ class SimClock:
             self._now = when
         return self._now
 
+    def travel(self, when: float) -> float:
+        """Set the clock to ``when``, even backward.
+
+        Escape hatch for *overlap executors* only: the sharded
+        directory's wave executor replays each shard's operation group
+        from a common start instant and then settles the clock at the
+        slowest group's finish, mirroring the scatter-gather engine's
+        max-not-sum accounting.  Within any one shard's timeline time
+        still only moves forward; protocol code must use
+        :meth:`advance` / :meth:`advance_to`.
+        """
+        self._now = float(when)
+        return self._now
+
     def __repr__(self) -> str:
         return f"SimClock(t={self._now:.3f})"

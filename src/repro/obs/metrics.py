@@ -235,3 +235,76 @@ class MetricsRegistry:
             counter.reset()
         for hist in histograms:
             hist.reset()
+
+    # -- scoping ---------------------------------------------------------------
+
+    def scoped(self, prefix: str) -> "ScopedMetricsRegistry":
+        """A view of this registry that prefixes every metric name.
+
+        The sharded directory gives each shard's suite and replicas a
+        ``shard<i>``-scoped view of the cluster-wide registry, so N
+        shards publish N distinguishable copies of ``suite.ops``,
+        ``rep.<name>.wal``, ... into one snapshot instead of silently
+        sharing counters (get-or-create) or clobbering providers
+        (last-wins).
+        """
+        return ScopedMetricsRegistry(self, prefix)
+
+
+class ScopedMetricsRegistry:
+    """A prefix-namespacing facade over a :class:`MetricsRegistry`.
+
+    Exposes the registry's registration surface (``counter`` /
+    ``histogram`` / ``gauge`` / ``provider``) with every name rewritten
+    to ``<prefix>.<name>``; storage and thread-safety live in the root
+    registry.  ``snapshot`` returns only this scope's slice, with the
+    prefix stripped back off.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        # Dotted prefixes arise from nested scoping; every segment must
+        # be non-empty so names stay unambiguous.
+        if not prefix or any(not seg for seg in prefix.split(".")):
+            raise ValueError(
+                f"scope prefix segments must be non-empty: {prefix!r}"
+            )
+        self.registry = registry
+        self.prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self._name(name))
+
+    def histogram(self, name: str, **kwargs: Any) -> Histogram:
+        return self.registry.histogram(self._name(name), **kwargs)
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        self.registry.gauge(self._name(name), fn)
+
+    def provider(self, name: str, fn: Callable[[], Mapping[str, Any]]) -> None:
+        self.registry.provider(self._name(name), fn)
+
+    def scoped(self, prefix: str) -> "ScopedMetricsRegistry":
+        return ScopedMetricsRegistry(self.registry, self._name(prefix))
+
+    def names(self) -> list[str]:
+        cut = len(self.prefix) + 1
+        return [
+            n[cut:]
+            for n in self.registry.names()
+            if n.startswith(self.prefix + ".")
+        ]
+
+    def snapshot(self) -> dict[str, Any]:
+        """This scope's metrics only, names relative to the prefix."""
+        cut = len(self.prefix) + 1
+        return {
+            name[cut:]: value
+            for name, value in self.registry.snapshot().items()
+            if name.startswith(self.prefix + ".")
+        }
+
+    def __repr__(self) -> str:
+        return f"ScopedMetricsRegistry({self.prefix!r}, {self.registry!r})"

@@ -1,0 +1,31 @@
+"""Sharding: the replicated directory, scaled out.
+
+See :mod:`repro.shard.sharded` for the design notes.  The public
+surface:
+
+* :class:`ShardedDirectory` — N independent replica suites behind one
+  :class:`~repro.core.interface.Directory` front-end.
+* :class:`ShardMap` / :class:`RangeShardMap` / :class:`HashShardMap` —
+  pluggable key → shard routing.
+* :class:`ShardAuditor` — merged invariant auditing over every shard.
+* :class:`WaveOutcome` — per-operation result of a concurrent wave.
+"""
+
+from repro.shard.audit import ShardAuditor
+from repro.shard.maps import (
+    HashShardMap,
+    RangeShardMap,
+    ShardMap,
+    resolve_shard_map,
+)
+from repro.shard.sharded import ShardedDirectory, WaveOutcome
+
+__all__ = [
+    "HashShardMap",
+    "RangeShardMap",
+    "ShardAuditor",
+    "ShardMap",
+    "ShardedDirectory",
+    "WaveOutcome",
+    "resolve_shard_map",
+]

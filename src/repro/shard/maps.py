@@ -1,0 +1,140 @@
+"""Shard maps: deterministic key → shard routing.
+
+A :class:`ShardMap` answers one question — which shard owns a key — and
+must answer it identically on every client forever (a key routed to two
+different shards would be two different keys).  Two splits are provided:
+
+* :class:`RangeShardMap` — contiguous key ranges, the classic
+  partitioned-directory layout.  Preserves key locality (range scans
+  stay on one shard) but inherits the key distribution: a workload
+  whose keys concentrate in one region piles onto one shard.
+* :class:`HashShardMap` — hash buckets over a *stable* digest
+  (BLAKE2b of ``repr(key)``; Python's builtin ``hash`` is
+  salted per process and unusable for routing).  Destroys locality,
+  flattens any key-space skew.
+
+Both are pure functions of the key — no state, no network — so routing
+costs nothing in simulated time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.core.errors import ConfigurationError
+
+
+@runtime_checkable
+class ShardMap(Protocol):
+    """The routing contract: ``shards`` shards, ``shard_of(key)`` owner."""
+
+    @property
+    def shards(self) -> int:
+        """Number of shards this map routes across."""
+        ...
+
+    def shard_of(self, key: Any) -> int:
+        """Index in ``range(shards)`` of the shard owning ``key``."""
+        ...
+
+    def describe(self) -> str:
+        """Human-readable routing summary (for reports and BENCH docs)."""
+        ...
+
+
+class RangeShardMap:
+    """Contiguous split: shard ``i`` owns ``[boundaries[i-1], boundaries[i])``.
+
+    ``boundaries`` are the ``n - 1`` interior split points, strictly
+    increasing and mutually comparable with every key routed.  Keys
+    below the first boundary go to shard 0, keys at or above the last to
+    shard ``n - 1`` — the map tiles the whole key space.
+    """
+
+    def __init__(self, boundaries: Iterable[Any]) -> None:
+        self.boundaries = list(boundaries)
+        for a, b in zip(self.boundaries, self.boundaries[1:]):
+            if not a < b:
+                raise ConfigurationError(
+                    f"range boundaries must be strictly increasing: "
+                    f"{a!r} !< {b!r}"
+                )
+        self._shards = len(self.boundaries) + 1
+
+    @classmethod
+    def uniform(
+        cls, shards: int, low: float = 0.0, high: float = 1.0
+    ) -> "RangeShardMap":
+        """An even float split of ``[low, high)`` — the paper's key space."""
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1: {shards}")
+        if not low < high:
+            raise ConfigurationError(f"need low < high: {low} .. {high}")
+        width = (high - low) / shards
+        return cls(low + width * i for i in range(1, shards))
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    def shard_of(self, key: Any) -> int:
+        return bisect_right(self.boundaries, key)
+
+    def describe(self) -> str:
+        return f"range[{self._shards}]"
+
+    def __repr__(self) -> str:
+        return f"RangeShardMap({self.boundaries!r})"
+
+
+class HashShardMap:
+    """Hash-bucket split over a stable digest of ``repr(key)``.
+
+    Any key with a deterministic ``repr`` routes stably (floats, ints,
+    strings, tuples of those).  Used for workloads whose *key values*
+    are skewed: the digest is uniform regardless of where keys cluster,
+    so load spreads evenly where a range split would hot-spot.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1: {shards}")
+        self._shards = shards
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    def shard_of(self, key: Any) -> int:
+        digest = hashlib.blake2b(
+            repr(key).encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % self._shards
+
+    def describe(self) -> str:
+        return f"hash[{self._shards}]"
+
+    def __repr__(self) -> str:
+        return f"HashShardMap({self._shards})"
+
+
+def resolve_shard_map(shard_map: "str | ShardMap", shards: int | None) -> ShardMap:
+    """Build/validate a map from a name (``"range"`` / ``"hash"``) or
+    pass an instance through, checking it against ``shards`` if given."""
+    if isinstance(shard_map, str):
+        n = 4 if shards is None else shards
+        if shard_map == "range":
+            return RangeShardMap.uniform(n)
+        if shard_map == "hash":
+            return HashShardMap(n)
+        raise ConfigurationError(
+            f"unknown shard map {shard_map!r}; choose 'range' or 'hash' "
+            "or pass a ShardMap instance"
+        )
+    if shards is not None and shard_map.shards != shards:
+        raise ConfigurationError(
+            f"shard map routes {shard_map.shards} shards, but shards={shards}"
+        )
+    return shard_map

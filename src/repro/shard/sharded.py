@@ -1,0 +1,427 @@
+"""A sharded directory: N independent replica suites behind one front-end.
+
+The paper's algorithm replicates one directory.  :class:`ShardedDirectory`
+scales it *out*: the key space is split by a :class:`~repro.shard.maps.ShardMap`
+across N shards, each shard a complete, independent
+:class:`~repro.cluster.DirectoryCluster` (its own representatives, quorums,
+write-ahead logs, and transaction manager), and every operation is routed
+to the one shard owning its key.  Because shards share no state, they never
+coordinate — cross-shard parallelism is free by construction.
+
+Honest accounting is the point of the design:
+
+* every shard's nodes live on ONE shared simulated :class:`~repro.net.network.Network`
+  (one clock, one traffic ledger), so message counts and latencies add up
+  exactly as they would unsharded;
+* sequential routing charges every operation its full cost on the shared
+  clock — a single-shard ``ShardedDirectory`` is bit-identical (messages,
+  rounds, ticks, final state) to an unsharded
+  :class:`~repro.core.suite.DirectorySuite`;
+* :meth:`ShardedDirectory.execute_wave` models an open pool of clients
+  issuing one *wave* of independent operations concurrently: each shard's
+  share of the wave replays from the wave's start instant and the clock
+  settles at the slowest shard's finish — max-not-sum, the same rule the
+  scatter-gather engine uses for parallel quorum rounds.
+
+``ShardedDirectory`` implements the :class:`~repro.core.interface.Directory`
+protocol and additionally quacks like both a ``DirectoryCluster`` (merged
+``representatives``, shared ``network``, ``make_auditor``) and a
+``DirectorySuite`` (``txn_manager``, ``op_counts``, ``attach_detector``),
+so the simulation driver, the retrying front-end, and the auditors run
+unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.cluster import _SPEC_FIELDS, ClusterSpec, DirectoryCluster
+from repro.core.errors import ConfigurationError, ReproError
+from repro.core.interface import register_directory
+from repro.net.network import Network
+from repro.shard.maps import ShardMap, resolve_shard_map
+
+
+@dataclass
+class WaveOutcome:
+    """Result of one operation inside an :meth:`~ShardedDirectory.execute_wave`.
+
+    Wave operations run concurrently with each other, so a failure must
+    not abort the wave — it is captured here instead of raised.
+    """
+
+    kind: str
+    key: Any
+    shard: int
+    value: Any = None
+    error: ReproError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _ShardedTxnManager:
+    """The slice of the per-shard transaction managers the driver and the
+    retrying front-end consume, merged.
+
+    Shards have independent managers whose transaction ids collide
+    (both start at 1), so merged views key pending completions by
+    ``(shard, txn_id)`` and ``decision_log`` binds to the *last-routed*
+    shard — the one whose transaction a retrying front-end is probing
+    via ``last_txn_id``.
+    """
+
+    def __init__(self, sharded: "ShardedDirectory") -> None:
+        self._sharded = sharded
+
+    def resolve_pending(self) -> int:
+        return sum(
+            cluster.suite.txn_manager.resolve_pending()
+            for cluster in self._sharded.clusters
+        )
+
+    @property
+    def pending_completions(self) -> dict[Any, Any]:
+        merged: dict[Any, Any] = {}
+        for index, cluster in enumerate(self._sharded.clusters):
+            for txn_id, entry in (
+                cluster.suite.txn_manager.pending_completions.items()
+            ):
+                merged[(index, txn_id)] = entry
+        return merged
+
+    @property
+    def decision_log(self) -> Any:
+        shard = self._sharded.last_routed_shard
+        return self._sharded.clusters[shard].suite.txn_manager.decision_log
+
+
+class ShardedDirectory:
+    """N independent replica suites routed by a shard map.
+
+    Build one with :meth:`create`; the raw constructor takes already
+    wired per-shard clusters (every cluster must sit on ``network``).
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        clusters: Sequence[DirectoryCluster],
+        network: Network,
+        metrics: Any = None,
+    ) -> None:
+        if shard_map.shards != len(clusters):
+            raise ConfigurationError(
+                f"shard map routes {shard_map.shards} shards but "
+                f"{len(clusters)} clusters were supplied"
+            )
+        if not clusters:
+            raise ConfigurationError("need at least one shard")
+        for cluster in clusters:
+            if cluster.network is not network:
+                raise ConfigurationError(
+                    "every shard must share the sharded directory's network"
+                )
+        self.shard_map = shard_map
+        self.clusters = list(clusters)
+        self.network = network
+        self._metrics = metrics
+        #: Operations routed to each shard (by shard index).
+        self.routed = [0] * len(self.clusters)
+        #: Shard that served the most recent operation; ``txn_manager``'s
+        #: decision-log facade and ``last_txn_id`` follow it.
+        self.last_routed_shard = 0
+        self.txn_manager = _ShardedTxnManager(self)
+        # One aggregate op-count / delete-overhead ledger shared by every
+        # shard suite, so ``suite.op_counts.total`` means the whole
+        # directory (the driver also *assigns* fresh collectors through
+        # the properties below, which re-share them).
+        first = self.clusters[0].suite
+        for cluster in self.clusters[1:]:
+            cluster.suite.op_counts = first.op_counts
+            cluster.suite.delete_stats = first.delete_stats
+        self.metrics.provider(
+            "shard.routed",
+            lambda: {f"s{i}": n for i, n in enumerate(self.routed)},
+        )
+        self.metrics.gauge("shard.count", lambda: len(self.clusters))
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        spec: "str | Any | ClusterSpec" = "3-2-2",
+        shards: int | None = None,
+        shard_map: "str | ShardMap" = "range",
+        **options: Any,
+    ) -> "ShardedDirectory":
+        """Build ``shards`` identical clusters on one shared network.
+
+        ``spec`` / ``options`` describe each shard exactly as
+        :meth:`DirectoryCluster.create` — a :class:`ClusterSpec` or the
+        keyword shim.  The spec is restamped per shard
+        (:meth:`ClusterSpec.for_shard`): node ids gain an ``s<i>:``
+        prefix, the quorum seed is offset per shard, and metrics land in
+        a ``shard<i>``-scoped view of the shared registry.
+
+        ``shard_map`` is ``"range"`` (uniform float split of ``[0, 1)``),
+        ``"hash"``, or a :class:`ShardMap` instance; ``shards`` defaults
+        to the instance's count, else 4.
+        """
+        if isinstance(spec, ClusterSpec):
+            if options:
+                raise TypeError(
+                    "pass options inside the ClusterSpec, not as keywords: "
+                    f"{sorted(options)}"
+                )
+            base = spec
+        else:
+            unknown = set(options) - _SPEC_FIELDS
+            if unknown:
+                raise TypeError(
+                    f"unknown cluster option(s) {sorted(unknown)}; "
+                    f"valid: {sorted(_SPEC_FIELDS)}"
+                )
+            base = ClusterSpec(config=spec, **options)
+        resolved_map = resolve_shard_map(shard_map, shards)
+
+        if base.network is not None:
+            network = base.network
+        else:
+            network = Network(latency=base.latency, metrics=base.metrics)
+        root_metrics = (
+            base.metrics if base.metrics is not None else network.metrics
+        )
+        clusters = [
+            DirectoryCluster.create(
+                base.for_shard(i, network, root_metrics.scoped(f"shard{i}"))
+            )
+            for i in range(resolved_map.shards)
+        ]
+        return cls(resolved_map, clusters, network, metrics=root_metrics)
+
+    # -- routing ------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return len(self.clusters)
+
+    def shard(self, index: int) -> DirectoryCluster:
+        """The full per-shard cluster (for crash/recover scripting)."""
+        return self.clusters[index]
+
+    def shard_for(self, key: Any) -> int:
+        """Owning shard index for ``key`` (no routing counter bump)."""
+        index = self.shard_map.shard_of(key)
+        if not 0 <= index < len(self.clusters):
+            raise ConfigurationError(
+                f"shard map sent {key!r} to shard {index}, "
+                f"but only {len(self.clusters)} shards exist"
+            )
+        return index
+
+    def _route(self, key: Any) -> Any:
+        index = self.shard_for(key)
+        self.routed[index] += 1
+        self.last_routed_shard = index
+        return self.clusters[index].suite
+
+    # -- the Directory surface ----------------------------------------------
+
+    def lookup(self, key: Any) -> tuple[bool, Any]:
+        return self._route(key).lookup(key)
+
+    def insert(self, key: Any, value: Any) -> None:
+        return self._route(key).insert(key, value)
+
+    def update(self, key: Any, value: Any) -> None:
+        return self._route(key).update(key, value)
+
+    def delete(self, key: Any) -> None:
+        return self._route(key).delete(key)
+
+    def size(self) -> int:
+        return sum(cluster.suite.size() for cluster in self.clusters)
+
+    # -- wave execution ------------------------------------------------------
+
+    def execute_wave(
+        self, ops: Iterable[tuple[Any, ...]]
+    ) -> list[WaveOutcome]:
+        """Run one wave of independent client operations concurrently.
+
+        ``ops`` are ``("lookup", key)`` / ``("insert", key, value)`` /
+        ``("update", key, value)`` / ``("delete", key)`` tuples, each from
+        a different client.  Operations group by owning shard; each
+        shard's group replays from the wave's start instant on the
+        shared clock and the wave finishes at the *slowest* group's
+        finish — the max-not-sum rule the scatter-gather engine applies
+        to parallel quorum rounds, here applied across shards.  Within a
+        shard the group stays sequential (one suite front-end cannot
+        overlap its own transactions), which is exactly why adding
+        shards adds throughput.
+
+        Per-operation failures are captured in the returned
+        :class:`WaveOutcome` list (input order), not raised: concurrent
+        clients don't abort each other.
+        """
+        op_list = list(ops)
+        groups: dict[int, list[tuple[int, tuple[Any, ...]]]] = {}
+        for slot, op in enumerate(op_list):
+            groups.setdefault(self.shard_for(op[1]), []).append((slot, op))
+
+        results: list[WaveOutcome] = [None] * len(op_list)  # type: ignore[list-item]
+        clock = self.network.clock
+        start = clock.now()
+        finish = start
+        for index in sorted(groups):
+            clock.travel(start)
+            suite = self.clusters[index].suite
+            self.routed[index] += len(groups[index])
+            self.last_routed_shard = index
+            for slot, op in groups[index]:
+                kind, key = op[0], op[1]
+                try:
+                    value = self._apply(suite, op)
+                except ReproError as exc:
+                    results[slot] = WaveOutcome(kind, key, index, error=exc)
+                else:
+                    results[slot] = WaveOutcome(kind, key, index, value=value)
+            finish = max(finish, clock.now())
+        clock.travel(finish)
+        return results
+
+    @staticmethod
+    def _apply(suite: Any, op: tuple[Any, ...]) -> Any:
+        kind = op[0]
+        if kind == "lookup":
+            return suite.lookup(op[1])
+        if kind == "insert":
+            return suite.insert(op[1], op[2])
+        if kind == "update":
+            return suite.update(op[1], op[2])
+        if kind == "delete":
+            return suite.delete(op[1])
+        raise ValueError(f"unknown wave operation kind {kind!r}")
+
+    # -- cluster-shaped surface (driver / auditor substrate) -----------------
+
+    @property
+    def suite(self) -> "ShardedDirectory":
+        """The sharded directory is its own suite front-end."""
+        return self
+
+    @property
+    def config(self) -> Any:
+        return self.clusters[0].config
+
+    @property
+    def metrics(self) -> Any:
+        """The ROOT registry: shard metrics appear under ``shard<i>.``,
+        cross-shard metrics (``shard.routed``, retry counters) unprefixed."""
+        if self._metrics is not None:
+            return self._metrics
+        return self.network.metrics
+
+    @property
+    def tracer(self) -> Any:
+        return self.clusters[0].tracer
+
+    @property
+    def rpc(self) -> Any:
+        return self.clusters[0].suite.rpc
+
+    @property
+    def representatives(self) -> dict[str, Any]:
+        """Every shard's representatives, keyed ``s<i>/<name>``."""
+        return {
+            f"s{index}/{name}": rep
+            for index, cluster in enumerate(self.clusters)
+            for name, rep in cluster.representatives.items()
+        }
+
+    def representative(self, name: str) -> Any:
+        """Representative by ``s<i>/<name>`` key (see :attr:`representatives`)."""
+        return self.representatives[name]
+
+    def authoritative_state(self) -> dict[Any, Any]:
+        merged: dict[Any, Any] = {}
+        for cluster in self.clusters:
+            merged.update(cluster.suite.authoritative_state())
+        return merged
+
+    def check_invariants(self) -> None:
+        for cluster in self.clusters:
+            cluster.check_invariants()
+
+    def make_auditor(self) -> "ShardAuditor":
+        from repro.shard.audit import ShardAuditor
+
+        return ShardAuditor(self)
+
+    # -- suite-shaped surface (driver wiring) --------------------------------
+
+    @property
+    def last_txn_id(self) -> Any:
+        return self.clusters[self.last_routed_shard].suite.last_txn_id
+
+    def attach_detector(self, detector: Any) -> None:
+        """Share one failure detector across every shard.
+
+        Safe because node ids are disjoint (``s<i>:`` prefixes): each
+        shard feeds and screens only its own nodes' evidence.
+        """
+        for cluster in self.clusters:
+            cluster.suite.attach_detector(detector)
+
+    @property
+    def rpc_retries(self) -> int:
+        return self.clusters[0].suite.rpc_retries
+
+    @rpc_retries.setter
+    def rpc_retries(self, value: int) -> None:
+        for cluster in self.clusters:
+            cluster.suite.rpc_retries = value
+
+    @property
+    def op_counts(self) -> Any:
+        return self.clusters[0].suite.op_counts
+
+    @op_counts.setter
+    def op_counts(self, value: Any) -> None:
+        for cluster in self.clusters:
+            cluster.suite.op_counts = value
+
+    @property
+    def delete_stats(self) -> Any:
+        return self.clusters[0].suite.delete_stats
+
+    @delete_stats.setter
+    def delete_stats(self, value: Any) -> None:
+        for cluster in self.clusters:
+            cluster.suite.delete_stats = value
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDirectory({self.shard_map.describe()}, "
+            f"{len(self.clusters)} shards)"
+        )
+
+
+# -- conformance registration (see repro.core.interface) -----------------------
+
+register_directory(
+    "sharded-range",
+    lambda: ShardedDirectory.create(
+        "3-2-2", shards=3, shard_map="range", seed=0
+    ),
+)
+register_directory(
+    "sharded-hash",
+    lambda: ShardedDirectory.create(
+        "3-2-2", shards=3, shard_map="hash", seed=0
+    ),
+)

@@ -26,7 +26,13 @@ from repro.sim.driver import (
 from repro.sim.replication import ReplicatedResult, replicate
 from repro.sim.threads import ThreadedClients
 from repro.sim.trace import Trace, replay
-from repro.sim.workload import LocalityWorkload, OpMix, UniformWorkload, ZipfWorkload
+from repro.sim.workload import (
+    LocalityWorkload,
+    OpMix,
+    SkewedKeyWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
 
 __all__ = [
     "SimulationSpec",
@@ -42,6 +48,7 @@ __all__ = [
     "replay",
     "OpMix",
     "UniformWorkload",
+    "SkewedKeyWorkload",
     "ZipfWorkload",
     "LocalityWorkload",
 ]

@@ -29,7 +29,12 @@ from repro.net.detector import FailureDetector
 from repro.net.failures import LossyLinks
 from repro.obs.audit import AuditReport, InvariantAuditor
 from repro.obs.spans import RecordingTracer, Span
-from repro.sim.workload import OpMix, Operation, UniformWorkload
+from repro.sim.workload import (
+    OpMix,
+    Operation,
+    SkewedKeyWorkload,
+    UniformWorkload,
+)
 
 #: Distinguishes "key absent" from "key present with value None" when
 #: diffing the client model against the cluster's authoritative state.
@@ -96,6 +101,17 @@ class SimulationSpec:
     #: must cost nothing when disabled.
     audit: bool = False
     audit_interval: int = 1_000
+    #: When > 0, run against a :class:`~repro.shard.ShardedDirectory` of
+    #: this many shards instead of a single cluster.  Routing stays
+    #: sequential here — the driver's job is correctness accounting and
+    #: audit coverage; cross-shard *throughput* is what
+    #: ``benchmarks/bench_shard.py`` measures with wave execution.
+    shards: int = 0
+    #: Key → shard split when ``shards`` > 0: ``"range"`` or ``"hash"``.
+    shard_map: str = "range"
+    #: Key generator: ``"uniform"`` (the paper's) or ``"skewed"``
+    #: (concentrated near 0.0 — the shard-imbalance stressor).
+    workload: str = "uniform"
 
 
 @dataclass
@@ -154,8 +170,7 @@ def run_simulation(
     """
     started = time.perf_counter()
     if cluster is None:
-        cluster = DirectoryCluster.create(
-            spec.config,
+        options: dict[str, Any] = dict(
             store=spec.store,
             locking=spec.locking,
             seed=spec.seed,
@@ -166,8 +181,23 @@ def run_simulation(
             fanout=spec.fanout,
             hedge_extra=spec.hedge_extra,
         )
+        if spec.shards > 0:
+            from repro.shard import ShardedDirectory
+
+            cluster = ShardedDirectory.create(
+                spec.config,
+                shards=spec.shards,
+                shard_map=spec.shard_map,
+                **options,
+            )
+        else:
+            cluster = DirectoryCluster.create(spec.config, **options)
     suite = cluster.suite
-    workload = UniformWorkload(
+    workload_cls = {
+        "uniform": UniformWorkload,
+        "skewed": SkewedKeyWorkload,
+    }[spec.workload]
+    workload = workload_cls(
         target_size=spec.directory_size, mix=spec.mix, seed=spec.seed + 1
     )
     model: dict[Any, Any] | None = {} if spec.verify_model else None
@@ -216,7 +246,9 @@ def run_simulation(
 
     # The auditor reads replica stores directly (no RPCs), so running it
     # between operations perturbs nothing; when off it does not exist.
-    auditor = InvariantAuditor(cluster) if spec.audit else None
+    # ``make_auditor`` lets the cluster choose its auditor (a sharded
+    # cluster returns the per-shard merging one).
+    auditor = cluster.make_auditor() if spec.audit else None
 
     # Measurement phase starts from clean statistics.  The tracer resets
     # with the traffic counters so span message counts reconcile exactly

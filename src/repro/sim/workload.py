@@ -164,6 +164,38 @@ class UniformWorkload:
             yield op
 
 
+class SkewedKeyWorkload(UniformWorkload):
+    """Uniform operation mix, but key *values* concentrate near 0.0.
+
+    Fresh keys are drawn as ``u ** concentration`` for uniform ``u``, so
+    with the default concentration 4.0 half of all keys land below
+    ``0.5 ** 4 ≈ 0.06``.  Where :class:`ZipfWorkload` skews which
+    *member* gets touched, this skews where in the key *space* members
+    live — the stressor for anything partitioned by key range: a
+    contiguous range split piles most of the directory onto shard 0,
+    while a hash split is indifferent to key placement.
+    """
+
+    def __init__(
+        self,
+        target_size: int = 100,
+        mix: OpMix | None = None,
+        seed: int | None = None,
+        concentration: float = 4.0,
+    ) -> None:
+        super().__init__(target_size, mix, seed)
+        if concentration < 1.0:
+            raise ValueError(f"concentration must be >= 1: {concentration}")
+        self.concentration = concentration
+
+    def fresh_key(self) -> Any:
+        """A key not currently present, concentrated toward 0.0."""
+        while True:
+            key = self.rng.random() ** self.concentration
+            if key not in self._member_set:
+                return key
+
+
 class ZipfWorkload(UniformWorkload):
     """Uniform inserts but Zipf-skewed choice of existing keys.
 

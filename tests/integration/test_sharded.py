@@ -1,0 +1,175 @@
+"""End-to-end sharded directory behavior.
+
+The load-bearing guarantee: sharding is *transparent*.  A single-shard
+sharded directory is bit-identical to the unsharded suite (accounting
+honesty), and a multi-shard one preserves every invariant and every
+client-visible outcome (correctness), including under message loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import DirectoryCluster
+from repro.shard import ShardedDirectory
+from repro.sim import SimulationSpec, run_simulation
+from repro.sim.workload import UniformWorkload
+
+
+def _churn_ops(n, seed):
+    """A deterministic mixed op stream over the optimistic workload model."""
+    workload = UniformWorkload(target_size=30, seed=seed)
+    ops = [("insert", op.key, op.value) for op in workload.initial_load(30)]
+    for op in workload.operations(n):
+        if op.kind in ("insert", "update"):
+            ops.append((op.kind, op.key, op.value))
+        else:
+            ops.append((op.kind, op.key))
+    return ops
+
+
+def _run(front, ops):
+    results = []
+    for op in ops:
+        results.append(getattr(front, op[0])(*op[1:]))
+    return results
+
+
+class TestSingleShardBitIdentity:
+    def test_direct_ops_identical(self):
+        ops = _churn_ops(200, seed=17)
+
+        plain = DirectoryCluster.create("3-2-2", seed=99)
+        r_plain = _run(plain.suite, ops)
+        plain_obs = (
+            plain.network.stats.messages,
+            plain.network.stats.rpc_rounds,
+            plain.network.stats.payload_items,
+            plain.network.clock.now(),
+            plain.suite.authoritative_state(),
+            plain.suite.delete_stats.as_table(),
+        )
+
+        sharded = ShardedDirectory.create(
+            "3-2-2", shards=1, shard_map="range", seed=99
+        )
+        r_sharded = _run(sharded, ops)
+        sharded_obs = (
+            sharded.network.stats.messages,
+            sharded.network.stats.rpc_rounds,
+            sharded.network.stats.payload_items,
+            sharded.network.clock.now(),
+            sharded.authoritative_state(),
+            sharded.delete_stats.as_table(),
+        )
+
+        assert r_plain == r_sharded
+        assert plain_obs == sharded_obs
+
+    def test_driver_runs_identical(self):
+        base = dict(
+            config="3-2-2",
+            directory_size=40,
+            operations=400,
+            seed=7,
+            verify_model=True,
+        )
+        plain = run_simulation(SimulationSpec(**base))
+        sharded = run_simulation(SimulationSpec(**base, shards=1))
+
+        assert plain.model_mismatches == sharded.model_mismatches == 0
+        assert plain.traffic == sharded.traffic
+        assert plain.sim_ticks == sharded.sim_ticks
+        assert plain.final_size == sharded.final_size
+        assert plain.op_counts == sharded.op_counts
+        assert (
+            plain.delete_stats.as_table() == sharded.delete_stats.as_table()
+        )
+        # Same replica contents, modulo the s0/ shard prefix.
+        assert plain.rep_entry_counts == {
+            name.split("/", 1)[1]: count
+            for name, count in sharded.rep_entry_counts.items()
+        }
+
+
+class TestMultiShard:
+    @pytest.mark.parametrize("shard_map", ["range", "hash"])
+    def test_audited_run_clean(self, shard_map):
+        result = run_simulation(
+            SimulationSpec(
+                directory_size=60,
+                operations=600,
+                seed=23,
+                shards=4,
+                shard_map=shard_map,
+                verify_model=True,
+                audit=True,
+                audit_interval=200,
+            )
+        )
+        assert result.model_mismatches == 0
+        assert result.failed_operations == 0
+        assert result.audit_report is not None
+        assert result.audit_report.ok
+        assert result.audit_report.runs == 4  # 3 interval + 1 final
+        routed = result.metrics["shard.routed"]
+        assert sum(routed.values()) > 0
+        if shard_map == "hash":
+            # Hash routing must touch every shard on a 600-op run.
+            assert all(v > 0 for v in routed.values())
+
+    def test_skewed_workload_imbalances_range_not_hash(self):
+        def routed_counts(shard_map):
+            result = run_simulation(
+                SimulationSpec(
+                    directory_size=80,
+                    operations=400,
+                    seed=31,
+                    shards=8,
+                    shard_map=shard_map,
+                    workload="skewed",
+                )
+            )
+            return result.metrics["shard.routed"]
+
+        range_routed = routed_counts("range")
+        hash_routed = routed_counts("hash")
+        assert max(range_routed.values()) > 2 * max(hash_routed.values())
+
+    def test_lossy_run_stays_consistent(self):
+        result = run_simulation(
+            SimulationSpec(
+                directory_size=30,
+                operations=250,
+                seed=41,
+                shards=3,
+                shard_map="hash",
+                loss=0.03,
+                retries=4,
+                verify_model=True,
+                audit=True,
+                audit_interval=125,
+            )
+        )
+        assert result.model_mismatches == 0
+        assert result.audit_report is not None
+        assert result.audit_report.ok
+
+    def test_crash_isolates_to_one_shard(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=5)
+        sd.insert(0.2, "left")
+        sd.insert(0.8, "right")
+        # Lose shard 1's quorum entirely.
+        for rep in ("A", "B", "C"):
+            sd.shard(1).crash(rep)
+        # Shard 0 keeps serving.
+        assert sd.lookup(0.2) == (True, "left")
+        sd.insert(0.3, "still-works")
+        # Shard 1 is unavailable, not wrong.
+        from repro.core.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            sd.lookup(0.8)
+        for rep in ("A", "B", "C"):
+            sd.shard(1).recover(rep)
+        assert sd.lookup(0.8) == (True, "right")

@@ -1,0 +1,87 @@
+"""Property: a sharded directory matches the client model, always.
+
+For any seed, shard count, shard map, and (lossy) network, routing ops
+across N independent replica suites must be observationally identical to
+a single correct directory: every lookup answers what the model says,
+every write lands exactly once, and the merged authoritative state diffs
+clean at the end.  The driver's model oracle checks all three, so
+``model_mismatches == 0`` is the whole property; the audited variant
+additionally proves every per-shard replica invariant held at commit
+boundaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.driver import SimulationSpec, run_simulation
+from repro.sim.workload import OpMix
+
+CHURNY = OpMix(insert=2, update=2, delete=2, lookup=2)
+
+
+def _spec(seed, shards, shard_map, workload, loss=0.0, retries=0, **extra):
+    return SimulationSpec(
+        config="3-2-2",
+        directory_size=25,
+        operations=120,
+        seed=seed,
+        mix=CHURNY,
+        shards=shards,
+        shard_map=shard_map,
+        workload=workload,
+        loss=loss,
+        retries=retries,
+        verify_model=True,
+        **extra,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    shards=st.sampled_from([1, 3, 8]),
+    shard_map=st.sampled_from(["range", "hash"]),
+    workload=st.sampled_from(["uniform", "skewed"]),
+)
+def test_sharded_matches_model_clean_network(seed, shards, shard_map, workload):
+    result = run_simulation(_spec(seed, shards, shard_map, workload))
+    assert result.model_mismatches == 0
+    assert result.failed_operations == 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    shards=st.sampled_from([1, 3, 8]),
+    shard_map=st.sampled_from(["range", "hash"]),
+    loss=st.floats(min_value=0.01, max_value=0.05),
+)
+def test_sharded_matches_model_under_loss(seed, shards, shard_map, loss):
+    # 5% per-message loss with bounded retries: operations may *fail*
+    # (availability), but no client-visible answer may ever be wrong and
+    # no write may land twice — on any shard.
+    result = run_simulation(
+        _spec(seed, shards, shard_map, "uniform", loss=loss, retries=4)
+    )
+    assert result.model_mismatches == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    shard_map=st.sampled_from(["range", "hash"]),
+)
+def test_sharded_audit_holds_at_commit_boundaries(seed, shard_map):
+    result = run_simulation(
+        _spec(
+            seed,
+            shards=3,
+            shard_map=shard_map,
+            workload="uniform",
+            audit=True,
+            audit_interval=40,
+        )
+    )
+    assert result.model_mismatches == 0
+    assert result.audit_report is not None
+    assert result.audit_report.ok

@@ -1,0 +1,112 @@
+"""Conformance: every registered implementation honors the Directory contract.
+
+One operation sequence, every implementation in the registry — the suite,
+the retrying front-end, the sharded directory, and all the baselines.
+Keys are floats in [0, 1) because two implementations partition that key
+space (static-partitioned and the range-sharded directory); that choice
+costs the others nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
+from repro.core.interface import (
+    Directory,
+    directory_factories,
+    register_directory,
+)
+
+FACTORIES = directory_factories()
+
+#: Every implementation the codebase registers; keep in sync with the
+#: registration blocks in repro.cluster, repro.shard.sharded, and
+#: repro.baselines.  Listed explicitly so a silently lost registration
+#: fails this module rather than shrinking the matrix.
+EXPECTED = {
+    "suite",
+    "resilient",
+    "sharded-range",
+    "sharded-hash",
+    "directory-as-file",
+    "unanimous",
+    "primary-copy",
+    "naive-consult",
+    "tombstone",
+    "static-partitioned",
+}
+
+
+def test_registry_covers_every_implementation():
+    assert set(FACTORIES) == EXPECTED
+
+
+@pytest.fixture(params=sorted(FACTORIES), ids=sorted(FACTORIES))
+def directory(request):
+    return FACTORIES[request.param]()
+
+
+def test_satisfies_the_protocol(directory):
+    assert isinstance(directory, Directory)
+
+
+def test_conformance_sequence(directory):
+    d = directory
+
+    # Empty directory.
+    assert d.size() == 0
+    assert d.lookup(0.25) == (False, None)
+
+    # Inserts become visible; size tracks.
+    d.insert(0.25, "a")
+    d.insert(0.75, "b")
+    d.insert(0.5, "c")
+    assert d.lookup(0.25) == (True, "a")
+    assert d.lookup(0.75) == (True, "b")
+    assert d.size() == 3
+
+    # Update overwrites in place.
+    d.update(0.25, "a2")
+    assert d.lookup(0.25) == (True, "a2")
+    assert d.size() == 3
+
+    # Error contract: insert-present.
+    with pytest.raises(KeyAlreadyPresentError):
+        d.insert(0.25, "dup")
+    assert d.lookup(0.25) == (True, "a2")
+
+    # Delete removes exactly the target.
+    d.delete(0.75)
+    assert d.lookup(0.75) == (False, None)
+    assert d.lookup(0.25) == (True, "a2")
+    assert d.size() == 2
+
+    # Error contract: update/delete-absent.
+    with pytest.raises(KeyNotPresentError):
+        d.update(0.75, "x")
+    with pytest.raises(KeyNotPresentError):
+        d.delete(0.75)
+
+    # Reinsert after delete — the paper's hard case (stale copies must
+    # not resurrect the old incarnation).
+    d.insert(0.75, "b2")
+    assert d.lookup(0.75) == (True, "b2")
+    assert d.size() == 3
+
+    # Values are opaque: None is a legal stored value, distinct from absent.
+    d.insert(0.1, None)
+    assert d.lookup(0.1) == (True, None)
+    d.delete(0.1)
+    assert d.lookup(0.1) == (False, None)
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_directory("suite", lambda: None)
+
+
+def test_register_replace_allows_override_and_restores():
+    original = FACTORIES["suite"]
+    register_directory("suite", original, replace=True)
+    assert directory_factories()["suite"] is original

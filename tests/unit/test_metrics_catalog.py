@@ -20,11 +20,16 @@ from repro import (
     HintedDirectory,
     ResilientSuite,
     RetryPolicy,
+    ShardedDirectory,
     StickyQuorumPolicy,
     SuiteConfig,
 )
 from repro.net import FailureDetector, LossyLinks
 from repro.obs.audit import InvariantAuditor
+
+#: Shard suites publish through a ``shard<i>.``-scoped registry view; the
+#: catalog documents the unscoped names once, not per shard.
+_SHARD_PREFIX = re.compile(r"^shard\d+\.")
 
 DOC = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
 CATALOG_HEADER = "| name | kind | meaning |"
@@ -106,7 +111,17 @@ def runtime_names():
     front.delete("b")
 
     InvariantAuditor(cluster).run()
-    return sorted(cluster.metrics.snapshot())
+
+    # A sharded directory contributes the root-level routing metrics and
+    # shard<i>.-scoped copies of every per-cluster name.
+    sharded = ShardedDirectory.create("3-2-2", shards=2, seed=3)
+    sharded.insert(0.2, "x")
+    sharded.insert(0.8, "y")
+    sharded.make_auditor().run()
+    names = set(cluster.metrics.snapshot()) | set(
+        sharded.metrics.snapshot()
+    )
+    return sorted(names)
 
 
 class TestMetricsCatalogDrift:
@@ -115,7 +130,7 @@ class TestMetricsCatalogDrift:
         undocumented = [
             name
             for name in runtime_names
-            if not any(p.match(name) for p in patterns)
+            if not any(p.match(_SHARD_PREFIX.sub("", name)) for p in patterns)
         ]
         assert not undocumented, (
             "metrics registered at runtime but missing from the "
@@ -126,7 +141,10 @@ class TestMetricsCatalogDrift:
         stale = [
             name
             for name, _ in catalog_rows()
-            if not any(pattern_for(name).match(r) for r in runtime_names)
+            if not any(
+                pattern_for(name).match(_SHARD_PREFIX.sub("", r))
+                for r in runtime_names
+            )
         ]
         assert not stale, (
             "catalog rows in docs/OBSERVABILITY.md that no runtime path "

@@ -1,0 +1,348 @@
+"""Unit tests for shard maps, the ClusterSpec shim, scoped metrics, and
+the sharded directory's routing/wave mechanics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterSpec, DirectoryCluster
+from repro.core.errors import (
+    ConfigurationError,
+    KeyNotPresentError,
+    ReproError,
+)
+from repro.core.quorum import StickyQuorumPolicy
+from repro.net.network import Network, uniform_latency
+from repro.obs.metrics import MetricsRegistry
+from repro.shard import (
+    HashShardMap,
+    RangeShardMap,
+    ShardMap,
+    ShardedDirectory,
+    resolve_shard_map,
+)
+
+# -- shard maps -----------------------------------------------------------------
+
+
+class TestRangeShardMap:
+    def test_routing_by_boundaries(self):
+        m = RangeShardMap([0.25, 0.5, 0.75])
+        assert m.shards == 4
+        assert m.shard_of(0.0) == 0
+        assert m.shard_of(0.24) == 0
+        assert m.shard_of(0.25) == 1  # boundary belongs to the right range
+        assert m.shard_of(0.5) == 2
+        assert m.shard_of(0.99) == 3
+
+    def test_uniform_split_covers_evenly(self):
+        m = RangeShardMap.uniform(8)
+        counts = [0] * 8
+        rng = random.Random(0)
+        for _ in range(8000):
+            counts[m.shard_of(rng.random())] += 1
+        assert m.shards == 8
+        assert min(counts) > 800  # each ~1000, uniform keys
+
+    def test_single_shard_owns_everything(self):
+        m = RangeShardMap.uniform(1)
+        assert m.shards == 1
+        assert m.shard_of(0.0) == m.shard_of(0.999) == 0
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            RangeShardMap([0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            RangeShardMap([0.7, 0.2])
+
+    def test_uniform_validation(self):
+        with pytest.raises(ConfigurationError):
+            RangeShardMap.uniform(0)
+        with pytest.raises(ConfigurationError):
+            RangeShardMap.uniform(4, low=1.0, high=1.0)
+
+    def test_is_a_shard_map(self):
+        assert isinstance(RangeShardMap.uniform(2), ShardMap)
+
+
+class TestHashShardMap:
+    def test_stable_across_instances(self):
+        a, b = HashShardMap(8), HashShardMap(8)
+        keys = [random.Random(1).random() for _ in range(200)]
+        assert [a.shard_of(k) for k in keys] == [b.shard_of(k) for k in keys]
+
+    def test_in_range_and_spread(self):
+        m = HashShardMap(8)
+        rng = random.Random(2)
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[m.shard_of(rng.random())] += 1
+        assert all(0 <= m.shard_of(rng.random()) < 8 for _ in range(100))
+        assert min(counts) > 800
+
+    def test_spreads_skewed_keys_where_range_does_not(self):
+        # Keys concentrated near 0.0: a range split piles onto shard 0,
+        # the hash split stays balanced.  This asymmetry is the reason
+        # HashShardMap exists.
+        rng = random.Random(3)
+        keys = [rng.random() ** 4 for _ in range(4000)]
+        range_counts = [0] * 8
+        hash_counts = [0] * 8
+        rmap, hmap = RangeShardMap.uniform(8), HashShardMap(8)
+        for k in keys:
+            range_counts[rmap.shard_of(k)] += 1
+            hash_counts[hmap.shard_of(k)] += 1
+        assert max(range_counts) > 2 * max(hash_counts)
+        assert min(hash_counts) > 300
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HashShardMap(0)
+
+    def test_is_a_shard_map(self):
+        assert isinstance(HashShardMap(2), ShardMap)
+
+
+class TestResolveShardMap:
+    def test_names(self):
+        assert isinstance(resolve_shard_map("range", 4), RangeShardMap)
+        assert isinstance(resolve_shard_map("hash", 4), HashShardMap)
+        assert resolve_shard_map("range", None).shards == 4  # default
+
+    def test_instance_passthrough_and_mismatch(self):
+        m = HashShardMap(8)
+        assert resolve_shard_map(m, 8) is m
+        assert resolve_shard_map(m, None) is m
+        with pytest.raises(ConfigurationError):
+            resolve_shard_map(m, 4)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            resolve_shard_map("modulo", 4)
+
+
+# -- ClusterSpec and the keyword shim ------------------------------------------
+
+
+class TestClusterSpec:
+    def test_kwargs_shim_equals_spec(self):
+        a = DirectoryCluster.create("5-3-3", seed=11, store="btree")
+        b = DirectoryCluster.create(
+            ClusterSpec(config="5-3-3", seed=11, store="btree")
+        )
+        ops = [(0.1, "x"), (0.6, "y"), (0.3, "z")]
+        for key, value in ops:
+            a.suite.insert(key, value)
+            b.suite.insert(key, value)
+        assert (
+            a.suite.authoritative_state() == b.suite.authoritative_state()
+        )
+        assert a.network.stats.messages == b.network.stats.messages
+        assert a.network.clock.now() == b.network.clock.now()
+
+    def test_spec_plus_keywords_rejected(self):
+        with pytest.raises(TypeError, match="inside the ClusterSpec"):
+            DirectoryCluster.create(ClusterSpec(), seed=1)
+
+    def test_unknown_option_rejected_with_valid_list(self):
+        with pytest.raises(TypeError, match="store"):
+            DirectoryCluster.create("3-2-2", stor="sorted")
+
+    def test_network_and_latency_conflict(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(network=Network(), latency=uniform_latency(2.0))
+
+    def test_for_shard_offsets_seed_and_prefixes_nodes(self):
+        net = Network()
+        spec = ClusterSpec(seed=10)
+        shard2 = spec.for_shard(2, net, net.metrics.scoped("shard2"))
+        assert shard2.seed == 12
+        assert shard2.network is net
+        assert shard2.node_for_rep("A") == "s2:node-A"
+        assert shard2.latency is None
+
+    def test_for_shard_keeps_unseeded_unseeded(self):
+        net = Network()
+        spec = ClusterSpec(seed=None)
+        assert spec.for_shard(1, net, net.metrics.scoped("shard1")).seed is None
+
+    def test_for_shard_rejects_policy_instance(self):
+        net = Network()
+        spec = ClusterSpec(quorum_policy=StickyQuorumPolicy())
+        with pytest.raises(ConfigurationError, match="factory"):
+            spec.for_shard(0, net, net.metrics.scoped("shard0"))
+
+    def test_for_shard_calls_policy_factory(self):
+        net = Network()
+        spec = ClusterSpec(quorum_policy=StickyQuorumPolicy)
+        stamped = spec.for_shard(0, net, net.metrics.scoped("shard0"))
+        assert isinstance(stamped.quorum_policy, StickyQuorumPolicy)
+
+
+# -- scoped metrics -------------------------------------------------------------
+
+
+class TestScopedMetrics:
+    def test_prefixes_and_strips(self):
+        root = MetricsRegistry()
+        scope = root.scoped("shard0")
+        scope.counter("ops").inc()
+        scope.gauge("depth", lambda: 3)
+        scope.provider("table", lambda: {"a": 1})
+        root_snap = root.snapshot()
+        assert root_snap["shard0.ops"] == 1
+        assert root_snap["shard0.depth"] == 3
+        assert root_snap["shard0.table"] == {"a": 1}
+        assert scope.snapshot() == {"ops": 1, "depth": 3, "table": {"a": 1}}
+
+    def test_scopes_do_not_share_counters(self):
+        root = MetricsRegistry()
+        root.scoped("shard0").counter("ops").inc()
+        root.scoped("shard1").counter("ops").inc()
+        root.scoped("shard1").counter("ops").inc()
+        snap = root.snapshot()
+        assert snap["shard0.ops"] == 1
+        assert snap["shard1.ops"] == 2
+
+    def test_nested_scopes(self):
+        root = MetricsRegistry()
+        root.scoped("a").scoped("b").counter("x").inc()
+        assert root.snapshot()["a.b.x"] == 1
+
+    def test_bad_prefix(self):
+        root = MetricsRegistry()
+        with pytest.raises(ValueError):
+            root.scoped("")
+        with pytest.raises(ValueError):
+            root.scoped("a..b")
+
+
+# -- the sharded directory ------------------------------------------------------
+
+
+class TestShardedDirectory:
+    def test_routes_and_counts(self):
+        sd = ShardedDirectory.create("3-2-2", shards=4, seed=0)
+        keys = [0.1, 0.3, 0.6, 0.9]
+        for k in keys:
+            sd.insert(k, k)
+        assert sd.routed == [1, 1, 1, 1]
+        assert sd.last_routed_shard == 3
+        sd.lookup(0.1)
+        assert sd.routed == [2, 1, 1, 1]
+        assert sd.last_routed_shard == 0
+        snap = sd.metrics.snapshot()
+        assert snap["shard.count"] == 4
+        assert snap["shard.routed"] == {"s0": 2, "s1": 1, "s2": 1, "s3": 1}
+
+    def test_size_sums_shards(self):
+        sd = ShardedDirectory.create("3-2-2", shards=3, seed=0)
+        for i in range(9):
+            sd.insert(i / 9 + 0.01, i)
+        assert sd.size() == 9
+
+    def test_shared_network_and_disjoint_nodes(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        node_ids = {n.node_id for n in sd.network.nodes()}
+        assert "s0:node-A" in node_ids and "s1:node-A" in node_ids
+        assert all(c.network is sd.network for c in sd.clusters)
+
+    def test_representatives_merged_by_shard(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        names = set(sd.representatives)
+        assert {"s0/A", "s0/B", "s0/C", "s1/A", "s1/B", "s1/C"} == names
+
+    def test_op_counts_aggregate_across_shards(self):
+        sd = ShardedDirectory.create("3-2-2", shards=4, seed=0)
+        for k in (0.1, 0.3, 0.6, 0.9):
+            sd.insert(k, k)
+            sd.lookup(k)
+        assert sd.op_counts.inserts == 4
+        assert sd.op_counts.lookups == 4
+
+    def test_wave_pays_max_not_sum(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        clock = sd.network.clock
+
+        # Serial baseline: same ops one after another.
+        serial = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        t0 = serial.network.clock.now()
+        serial.insert(0.1, "a")
+        one_op = serial.network.clock.now() - t0
+        serial.insert(0.9, "b")
+        serial_ticks = serial.network.clock.now() - t0
+
+        t0 = clock.now()
+        outcomes = sd.execute_wave([("insert", 0.1, "a"), ("insert", 0.9, "b")])
+        wave_ticks = clock.now() - t0
+
+        assert all(o.ok for o in outcomes)
+        assert serial_ticks == pytest.approx(2 * one_op)
+        # The two inserts hit different shards, so the wave costs the
+        # slower one, not the sum.
+        assert wave_ticks == pytest.approx(one_op)
+        assert sd.authoritative_state() == serial.authoritative_state()
+
+    def test_wave_same_shard_stays_sequential(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        clock = sd.network.clock
+        t0 = clock.now()
+        sd.insert(0.05, "warm")
+        one_op = clock.now() - t0
+        t0 = clock.now()
+        outcomes = sd.execute_wave(
+            [("insert", 0.1, "a"), ("insert", 0.2, "b")]  # both shard 0
+        )
+        assert all(o.ok for o in outcomes)
+        assert clock.now() - t0 >= 2 * one_op * 0.9
+
+    def test_wave_captures_errors_without_aborting(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        outcomes = sd.execute_wave(
+            [("delete", 0.1), ("insert", 0.9, "b"), ("lookup", 0.9)]
+        )
+        assert isinstance(outcomes[0].error, KeyNotPresentError)
+        assert outcomes[1].ok
+        assert outcomes[2].ok and outcomes[2].value == (True, "b")
+        # Results come back in input order with shard attribution.
+        assert [o.kind for o in outcomes] == ["delete", "insert", "lookup"]
+        assert outcomes[1].shard == 1
+
+    def test_wave_unknown_kind(self):
+        sd = ShardedDirectory.create("3-2-2", shards=1, seed=0)
+        with pytest.raises(ValueError):
+            sd.execute_wave([("upsert", 0.1, "x")])
+
+    def test_mismatched_map_and_clusters_rejected(self):
+        net = Network()
+        spec = ClusterSpec(seed=0)
+        clusters = [
+            DirectoryCluster.create(
+                spec.for_shard(i, net, net.metrics.scoped(f"shard{i}"))
+            )
+            for i in range(2)
+        ]
+        with pytest.raises(ConfigurationError):
+            ShardedDirectory(RangeShardMap.uniform(3), clusters, net)
+
+    def test_foreign_network_rejected(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            ShardedDirectory(
+                RangeShardMap.uniform(2), sd.clusters, Network()
+            )
+
+    def test_spec_plus_keywords_rejected(self):
+        with pytest.raises(TypeError):
+            ShardedDirectory.create(ClusterSpec(), shards=2, seed=1)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="unknown cluster option"):
+            ShardedDirectory.create("3-2-2", shards=2, sede=1)
+
+    def test_errors_propagate_unwrapped(self):
+        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        with pytest.raises(ReproError):
+            sd.delete(0.5)
