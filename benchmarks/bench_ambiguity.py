@@ -13,7 +13,7 @@ import random
 
 from benchmarks.conftest import run_once
 from repro.baselines.naive_entry_versions import build_naive
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.sim.report import comparison_table
 
 
@@ -70,7 +70,7 @@ def test_ambiguity_cost(benchmark, scale):
 
         out = {}
         # (a) The paper's algorithm: churn + probe, everything exact.
-        cluster = DirectoryCluster.create("3-2-2", seed=20)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=20))
         model = churn(cluster.suite, {}, random.Random(21), n_ops)
         wrong_presence, wrong_value = probe_all(cluster.suite, model)
         out["gap versions (this paper)"] = {

@@ -21,7 +21,7 @@ and records the win as a BENCH artifact:
 """
 
 from benchmarks.conftest import emit_bench, run_once
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.obs.analyze import profile_spans
 from repro.obs.spans import RecordingTracer
 from repro.sim.driver import SimulationSpec, run_simulation
@@ -61,13 +61,7 @@ def _spec(ops: int, mode: str) -> SimulationSpec:
 def _run_mode(ops: int, mode: str):
     """One mode's run, returning (result, final authoritative state)."""
     spec = _spec(ops, mode)
-    cluster = DirectoryCluster.create(
-        spec.config,
-        seed=spec.seed,
-        tracer=RecordingTracer(),
-        fanout=mode,
-        hedge_extra=spec.hedge_extra,
-    )
+    cluster = DirectoryCluster.create(ClusterSpec(config=spec.config, seed=spec.seed, tracer=RecordingTracer(), fanout=mode, hedge_extra=spec.hedge_extra))
     result = run_simulation(spec, cluster=cluster)
     return result, cluster.suite.authoritative_state()
 

@@ -15,7 +15,7 @@ RPC traffic that crossed sites, and the balance of remote writes.
 import random
 
 from benchmarks.conftest import run_once
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.core.quorum import LocalityQuorumPolicy, RandomQuorumPolicy
 from repro.net.network import site_latency
@@ -37,12 +37,7 @@ def build_cluster(policy):
         read_quorum=2,
         write_quorum=3,
     )
-    return DirectoryCluster.create(
-        config,
-        seed=16,
-        quorum_policy=policy,
-        latency=site_latency(SITES, local=1.0, remote=25.0),
-    )
+    return DirectoryCluster.create(ClusterSpec(config=config, seed=16, quorum_policy=policy, latency=site_latency(SITES, local=1.0, remote=25.0)))
 
 
 def drive(cluster, n_ops):

@@ -11,7 +11,7 @@ deployment) are far smaller messages.
 import random
 
 from benchmarks.conftest import run_once
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.core.hints import HintedDirectory
 from repro.net.network import site_latency
@@ -32,11 +32,7 @@ def build(seed):
         read_quorum=2,
         write_quorum=2,
     )
-    return DirectoryCluster.create(
-        config,
-        seed=seed,
-        latency=site_latency(SITES, local=1.0, remote=20.0),
-    )
+    return DirectoryCluster.create(ClusterSpec(config=config, seed=seed, latency=site_latency(SITES, local=1.0, remote=20.0)))
 
 
 def drive(lookup_fn, cluster, n_lookups, keys, seed):

@@ -23,7 +23,7 @@ from repro.baselines.naive_entry_versions import build_naive
 from repro.baselines.static_partition import build_static_partitioned
 from repro.baselines.tombstone import build_tombstone
 from repro.baselines.unanimous import build_unanimous
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.sim.report import format_table
 
 
@@ -77,7 +77,7 @@ def test_scheme_cost_summary(benchmark, scale):
         ops = make_ops(18, n_ops)
         out = {}
 
-        cluster = DirectoryCluster.create("3-2-2", seed=19)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=19))
         out["gap versions (this paper)"] = drive(
             cluster.suite, cluster.network, ops
         )

@@ -22,6 +22,7 @@ This experiment replays the same seeded operation stream in fixed
 """
 
 from benchmarks.conftest import emit_bench, run_once
+from repro.cluster import ClusterSpec
 from repro.shard import ShardedDirectory
 from repro.sim.report import format_table
 from repro.sim.workload import OpMix, SkewedKeyWorkload, UniformWorkload
@@ -73,9 +74,7 @@ def _waves(ops):
 
 def _run_curve_point(shards, shard_map, preload, churn):
     """Replay the stream in waves at one shard count; measure the churn."""
-    sharded = ShardedDirectory.create(
-        CONFIG, shards=shards, shard_map=shard_map, seed=SEED
-    )
+    sharded = ShardedDirectory.create(ClusterSpec(config=CONFIG, seed=SEED), shards=shards, shard_map=shard_map)
     for wave in _waves(preload):
         sharded.execute_wave(wave)
 

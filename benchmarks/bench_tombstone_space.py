@@ -21,7 +21,7 @@ import random
 
 from benchmarks.conftest import run_once
 from repro.baselines.tombstone import build_tombstone
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.sim.driver import count_ghosts
 from repro.sim.report import format_table
 
@@ -70,7 +70,7 @@ def test_space_reclamation(benchmark, scale):
         ops = churn_ops(rng, {}, n_ops)
         deletes = sum(1 for kind, _, _ in ops if kind == "delete")
 
-        cluster = DirectoryCluster.create("3-2-2", seed=51)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=51))
         apply_ops(cluster.suite, ops)
         ours = count_ghosts(cluster)
 

@@ -16,6 +16,7 @@ writes.
 Run:  python examples/cluster_membership.py
 """
 
+from repro.cluster import ClusterSpec
 from repro import DirectoryCluster, HintedDirectory, ReplicatedSet
 from repro.core.config import SuiteConfig
 from repro.net.network import site_latency
@@ -47,11 +48,7 @@ def main() -> None:
         read_quorum=2,
         write_quorum=2,
     )
-    cluster = DirectoryCluster.create(
-        config,
-        seed=23,
-        latency=site_latency(SITES, local=1.0, remote=30.0),
-    )
+    cluster = DirectoryCluster.create(ClusterSpec(config=config, seed=23, latency=site_latency(SITES, local=1.0, remote=30.0)))
     hinted = HintedDirectory(cluster.suite, hint="H")
     members = HintedSet(cluster.suite, hinted)
 

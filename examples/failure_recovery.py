@@ -14,12 +14,13 @@ Walks through the durability machinery under the directory suite:
 Run:  python examples/failure_recovery.py
 """
 
+from repro.cluster import ClusterSpec
 from repro import DirectoryCluster
 from repro.core.keys import wrap
 
 
 def main() -> None:
-    cluster = DirectoryCluster.create("3-2-2", seed=11)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=11))
     directory = cluster.suite
 
     for i in range(5):

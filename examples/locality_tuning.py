@@ -11,6 +11,7 @@ quorums, half of everything crosses the slow inter-site link.
 Run:  python examples/locality_tuning.py
 """
 
+from repro.cluster import ClusterSpec
 from repro import DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.core.quorum import LocalityQuorumPolicy, RandomQuorumPolicy
@@ -32,12 +33,7 @@ def build(policy):
         read_quorum=2,
         write_quorum=3,
     )
-    return DirectoryCluster.create(
-        config,
-        seed=3,
-        quorum_policy=policy,
-        latency=site_latency(SITES, local=1.0, remote=25.0),
-    )
+    return DirectoryCluster.create(ClusterSpec(config=config, seed=3, quorum_policy=policy, latency=site_latency(SITES, local=1.0, remote=25.0)))
 
 
 def drive(cluster, n_ops=600):

@@ -16,13 +16,14 @@ Run:  python examples/name_service.py
 
 import random
 
+from repro.cluster import ClusterSpec
 from repro import DirectoryCluster, QuorumUnavailableError
 from repro.core.errors import TransactionError
 from repro.net.failures import RandomFailures
 
 
 def main() -> None:
-    cluster = DirectoryCluster.create("5-3-3", seed=42)
+    cluster = DirectoryCluster.create(ClusterSpec(config="5-3-3", seed=42))
     names = cluster.suite
 
     # Register an initial zone.

@@ -14,6 +14,7 @@ Reproduces, step by step and with replica-state printouts:
 Run:  python examples/paper_walkthrough.py
 """
 
+from repro.cluster import ClusterSpec
 from repro import DirectoryCluster
 from repro.core.quorum import QuorumPolicy
 
@@ -44,7 +45,7 @@ def use_quorums(cluster, read, write=None):
 
 
 def main() -> None:
-    cluster = DirectoryCluster.create("3-2-2", seed=0)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=0))
     directory = cluster.suite
 
     print("=== Figures 1-5: gap versions disambiguate lookups ===")
@@ -87,7 +88,7 @@ def main() -> None:
     print(" the section 2 ambiguity, see repro.baselines.naive_entry_versions.)")
 
     print("\n=== Figures 10-11: ghosts and the real successor ===")
-    cluster = DirectoryCluster.create("3-2-2", seed=0)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=0))
     directory = cluster.suite
     use_quorums(cluster, read=["A", "B"], write=["A", "B"])
     directory.insert("a", "value-a")

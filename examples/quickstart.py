@@ -9,11 +9,12 @@ representative crashed.
 Run:  python examples/quickstart.py
 """
 
+from repro.cluster import ClusterSpec
 from repro import DirectoryCluster
 
 
 def main() -> None:
-    cluster = DirectoryCluster.create("3-2-2", seed=7)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7))
     directory = cluster.suite
 
     # The four operations of the paper's abstract directory object.

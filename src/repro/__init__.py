@@ -9,9 +9,9 @@ per-entry ranges and per-gap ranges.
 
 Quick start::
 
-    from repro import DirectoryCluster
+    from repro import ClusterSpec, DirectoryCluster
 
-    cluster = DirectoryCluster.create("3-2-2", seed=7)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7))
     directory = cluster.suite
     directory.insert("alice", "room 4101")
     present, value = directory.lookup("alice")
@@ -32,6 +32,9 @@ Packages:
   naive per-entry versions, static partitioning.
 * :mod:`repro.sim` — workloads, simulation drivers, availability and
   concurrency analysis, paper-style table rendering.
+* :mod:`repro.service` — the wall-clock substrate: representatives as
+  asyncio socket servers, the networked front door, client library, and
+  load generator (``python -m repro serve`` / ``load``).
 """
 
 from repro.cluster import ClusterSpec, DirectoryCluster
@@ -78,6 +81,7 @@ from repro.core.resilient import ResilientSuite, RetryPolicy
 from repro.core.suite import DirectorySuite
 from repro.net.detector import FailureDetector
 from repro.net.failures import LossEvent, LossyLinks, ScriptedLoss
+from repro.net.transport import SimTransport, Transport, resolve_transport
 from repro.obs import (
     AuditReport,
     AuditViolation,
@@ -126,6 +130,10 @@ __all__ = [
     "HashShardMap",
     "ShardAuditor",
     "WaveOutcome",
+    # transports
+    "Transport",
+    "SimTransport",
+    "resolve_transport",
     # quorum policies
     "RandomQuorumPolicy",
     "StickyQuorumPolicy",

@@ -24,9 +24,10 @@ from typing import Any, Mapping
 
 from repro.baselines.file_voting import FileSuite, build_file_suite
 from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
+from repro.core.interface import DirectoryLifecycle
 
 
-class DirectoryAsFile:
+class DirectoryAsFile(DirectoryLifecycle):
     """Directory API on top of a replicated file suite."""
 
     def __init__(self, file_suite: FileSuite) -> None:

@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.core.config import SuiteConfig
 from repro.core.errors import QuorumUnavailableError
+from repro.core.interface import DirectoryLifecycle
 from repro.core.versions import LOWEST_VERSION, Version
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
@@ -71,7 +72,7 @@ class FileRepresentative:
 
 
 @dataclass
-class FileSuite:
+class FileSuite(DirectoryLifecycle):
     """A replicated file accessed through weighted voting."""
 
     config: SuiteConfig

@@ -51,6 +51,7 @@ from repro.core.errors import (
     KeyNotPresentError,
     QuorumUnavailableError,
 )
+from repro.core.interface import DirectoryLifecycle
 from repro.core.versions import Version
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
@@ -84,7 +85,7 @@ class NaiveReplica:
         return list(self.data)
 
 
-class NaiveReplicatedDirectory:
+class NaiveReplicatedDirectory(DirectoryLifecycle):
     """Weighted voting with per-entry versions only."""
 
     def __init__(

@@ -30,6 +30,7 @@ from repro.core.errors import (
     NodeDownError,
     QuorumUnavailableError,
 )
+from repro.core.interface import DirectoryLifecycle
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
 
@@ -102,7 +103,7 @@ class SecondaryReplica:
         return self.applied_seq
 
 
-class PrimaryCopyDirectory:
+class PrimaryCopyDirectory(DirectoryLifecycle):
     """Directory with one primary and n−1 asynchronous secondaries."""
 
     def __init__(

@@ -30,6 +30,7 @@ from repro.core.errors import (
     KeyNotPresentError,
     QuorumUnavailableError,
 )
+from repro.core.interface import DirectoryLifecycle
 from repro.core.versions import Version
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
@@ -57,7 +58,7 @@ class PartitionedReplica:
         self.partitions[index] = (version, dict(contents))
 
 
-class StaticPartitionedDirectory:
+class StaticPartitionedDirectory(DirectoryLifecycle):
     """Directory replicated as K statically partitioned mini-files.
 
     Keys must be floats in [0, 1) (the partition function is

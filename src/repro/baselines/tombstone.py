@@ -35,6 +35,7 @@ from repro.core.errors import (
     KeyNotPresentError,
     QuorumUnavailableError,
 )
+from repro.core.interface import DirectoryLifecycle
 from repro.core.versions import Version
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
@@ -92,7 +93,7 @@ class TombstoneReplica:
         return list(self.data)
 
 
-class TombstoneDirectory:
+class TombstoneDirectory(DirectoryLifecycle):
     """Weighted-voting directory whose deletes write tombstones."""
 
     def __init__(

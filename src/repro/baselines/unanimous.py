@@ -25,6 +25,7 @@ from repro.core.errors import (
     KeyNotPresentError,
     QuorumUnavailableError,
 )
+from repro.core.interface import DirectoryLifecycle
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
 
@@ -70,7 +71,7 @@ class PlainReplica:
         self.data = data
 
 
-class UnanimousDirectory:
+class UnanimousDirectory(DirectoryLifecycle):
     """Write-all / read-one replicated directory."""
 
     def __init__(

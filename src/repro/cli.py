@@ -6,6 +6,8 @@
     python -m repro simulate --config 3-2-2 --size 100 --ops 10000
     python -m repro simulate --loss 0.05 --retries 4
     python -m repro simulate --profile --audit --bench-json
+    python -m repro serve --config 3-2-2 --shards 4 --port 7379
+    python -m repro load --port 7379 --connections 256 --ops 20000
     python -m repro figure14 [--ops 10000]
     python -m repro figure15 [--ops 100000 --sizes 100,1000,10000]
     python -m repro availability [--p 0.8,0.9,0.95,0.99]
@@ -13,10 +15,13 @@
     python -m repro analytic [--configs 3-2-2,4-2-3,5-3-3]
     python -m repro bench-compare BASELINE.json CANDIDATE.json
 
-Every subcommand prints a paper-style plain-text table to stdout.
-``simulate --audit`` exits non-zero if any invariant violation is found,
-and ``bench-compare`` exits non-zero on a >5% regression, so both are
-CI-gate ready.
+Every simulation subcommand prints a paper-style plain-text table to
+stdout.  ``simulate --audit`` exits non-zero if any invariant violation
+is found, ``bench-compare`` exits non-zero on a >5% regression, and
+``load`` exits non-zero on any client-visible error, so all three are
+CI-gate ready.  ``serve`` runs the real asyncio directory service
+(``transport="asyncio"``) until interrupted; ``load`` drives it and
+writes ``BENCH_service.json``.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.cluster import STORE_FACTORIES, DirectoryCluster
+from repro.cluster import STORE_FACTORIES, ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.sim.analytic import predict_xyz
 from repro.sim.availability import analyze
@@ -54,7 +59,9 @@ def _parse_list(text: str, cast=str) -> list:
 
 def cmd_demo(args: argparse.Namespace) -> int:
     """A one-minute tour: operations, a crash, recovery."""
-    cluster = DirectoryCluster.create(args.config, seed=args.seed)
+    cluster = DirectoryCluster.create(
+        ClusterSpec(config=args.config, seed=args.seed)
+    )
     directory = cluster.suite
     print(f"created a {args.config} directory suite")
     directory.insert("alice", "room 4101")
@@ -278,6 +285,70 @@ def _emit_spans(destination: str, result, spec: SimulationSpec) -> None:
         print(f"span dump written to {destination}")
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio directory service until interrupted."""
+    from repro.service.server import DirectoryService
+    from repro.shard.sharded import ShardedDirectory
+
+    spec = ClusterSpec(
+        config=args.config,
+        seed=args.seed,
+        store=args.store,
+        transport="asyncio",
+    )
+    with ShardedDirectory.create(
+        spec, shards=args.shards, shard_map=args.shard_map
+    ) as directory:
+        service = DirectoryService(
+            directory, host=args.host, port=args.port
+        ).start()
+        with service:
+            # The line CI and scripts wait for / parse the port out of.
+            print(
+                f"repro-serve: listening on {service.host}:{service.port} "
+                f"({args.config} x {args.shards} shards, {args.shard_map} map)",
+                flush=True,
+            )
+            if args.ready_file is not None:
+                with open(args.ready_file, "w") as fh:
+                    fh.write(f"{service.host} {service.port}\n")
+            try:
+                import threading
+
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                print("repro-serve: shutting down", flush=True)
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """Drive a running service; non-zero exit on client-visible errors."""
+    from repro.service.loadgen import run_load
+
+    mix = (args.set_fraction, args.get_fraction, args.del_fraction)
+    result = run_load(
+        args.host,
+        args.port,
+        ops=args.ops,
+        connections=args.connections,
+        keyspace=args.keyspace,
+        mix=mix,
+        seed=args.seed,
+        bench_dir=args.bench_dir or None,
+    )
+    lat = result["latency_ms"]
+    print(
+        f"{result['ops']} ops over {args.connections} connections in "
+        f"{result['elapsed_seconds']:.1f}s: "
+        f"{result['ops_per_second']:.0f} ops/s; latency p50 "
+        f"{lat['p50']:.2f}ms p95 {lat['p95']:.2f}ms p99 {lat['p99']:.2f}ms "
+        f"max {lat['max']:.2f}ms; {result['errors']} client-visible errors"
+    )
+    if "bench_path" in result:
+        print(f"BENCH telemetry written to {result['bench_path']}")
+    return 1 if result["errors"] else 0
+
+
 def cmd_figure14(args: argparse.Namespace) -> int:
     """Regenerate Figure 14."""
     configs = _parse_list(args.configs) if args.configs else DEFAULT_FIGURE14_CONFIGS
@@ -422,16 +493,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_demo)
 
     p = sub.add_parser("simulate", help="one section-4 style simulation")
-    p.add_argument("--config", default="3-2-2")
-    p.add_argument("--size", type=int, default=100)
-    p.add_argument("--ops", type=int, default=10_000)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument(
+    g = p.add_argument_group("workload", "what to run and against what")
+    g.add_argument("--config", default="3-2-2")
+    g.add_argument("--size", type=int, default=100)
+    g.add_argument("--ops", type=int, default=10_000)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument(
         "--store", choices=sorted(STORE_FACTORIES), default="sorted"
     )
-    p.add_argument("--batch", type=int, default=1, help="neighbor batch size")
-    p.add_argument("--read-repair", action="store_true")
-    p.add_argument(
+    g.add_argument(
+        "--workload",
+        choices=["uniform", "skewed"],
+        default="uniform",
+        help="key generator: uniform over [0,1) (the paper's) or skewed "
+        "toward 0.0 (the range-map imbalance stressor)",
+    )
+    g = p.add_argument_group("faults", "message loss and fault masking")
+    g.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-message loss probability during the measured phase "
+        "(enables the fault model, failure detector, and model check)",
+    )
+    g.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="client retries per operation (0 = errors surface raw)",
+    )
+    g = p.add_argument_group("fan-out", "quorum RPC issue behaviour")
+    g.add_argument(
         "--fanout",
         choices=["serial", "parallel", "hedged"],
         default="serial",
@@ -440,41 +532,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(parallel + over-requested reads completing on first "
         "vote-sufficient replies)",
     )
-    p.add_argument(
+    g.add_argument(
+        "--batch", type=int, default=1, help="neighbor batch size"
+    )
+    g.add_argument("--read-repair", action="store_true")
+    g = p.add_argument_group("sharding", "many clusters on one substrate")
+    g.add_argument(
         "--shards",
         type=int,
         default=0,
         help="run against a ShardedDirectory of this many shards "
         "(0 = single unsharded cluster)",
     )
-    p.add_argument(
+    g.add_argument(
         "--shard-map",
         choices=["range", "hash"],
         default="range",
         help="key-to-shard split when --shards > 0: contiguous key "
         "ranges or stable hash buckets",
     )
-    p.add_argument(
-        "--workload",
-        choices=["uniform", "skewed"],
-        default="uniform",
-        help="key generator: uniform over [0,1) (the paper's) or skewed "
-        "toward 0.0 (the range-map imbalance stressor)",
-    )
-    p.add_argument(
-        "--loss",
-        type=float,
-        default=0.0,
-        help="per-message loss probability during the measured phase "
-        "(enables the fault model, failure detector, and model check)",
-    )
-    p.add_argument(
-        "--retries",
-        type=int,
-        default=0,
-        help="client retries per operation (0 = errors surface raw)",
-    )
-    p.add_argument(
+    g = p.add_argument_group("observability", "spans, audits, telemetry")
+    g.add_argument(
         "--spans",
         nargs="?",
         const="-",
@@ -483,26 +561,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-operation span trees and dump them as JSON lines "
         "to PATH (or stdout when no path is given)",
     )
-    p.add_argument(
+    g.add_argument(
         "--profile",
         action="store_true",
         help="record span trees and print the trace profile: per-op and "
         "per-phase latency percentiles, rounds, messages, retry attempts",
     )
-    p.add_argument(
+    g.add_argument(
         "--audit",
         action="store_true",
         help="audit the replica invariants at commit boundaries and at the "
         "end of the run; non-zero exit on any violation",
     )
-    p.add_argument(
+    g.add_argument(
         "--metrics",
         default=None,
         metavar="PATH",
         help="dump the final MetricsRegistry snapshot as JSON to PATH "
         "('-' for stdout)",
     )
-    p.add_argument(
+    g.add_argument(
         "--bench-json",
         nargs="?",
         const="BENCH_driver.json",
@@ -513,6 +591,70 @@ def build_parser() -> argparse.ArgumentParser:
         "and --audit are both on)",
     )
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve", help="run the asyncio directory service on loopback"
+    )
+    g = p.add_argument_group("cluster", "what each shard replicates")
+    g.add_argument("--config", default="3-2-2")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument(
+        "--store", choices=sorted(STORE_FACTORIES), default="sorted"
+    )
+    g = p.add_argument_group("sharding")
+    g.add_argument("--shards", type=int, default=4)
+    g.add_argument(
+        "--shard-map",
+        choices=["hash", "range"],
+        default="hash",
+        help="hash (default: string keys route stably) or range "
+        "(keys must be mutually comparable with the range boundaries)",
+    )
+    g = p.add_argument_group("listener")
+    g.add_argument("--host", default="127.0.0.1")
+    g.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listening port (0 = ephemeral; the chosen port is printed "
+        "and written to --ready-file)",
+    )
+    g.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write 'host port' to PATH once listening (for scripts/CI)",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "load", help="drive a running service; writes BENCH_service.json"
+    )
+    g = p.add_argument_group("target")
+    g.add_argument("--host", default="127.0.0.1")
+    g.add_argument("--port", type=int, required=True)
+    g = p.add_argument_group("offered load")
+    g.add_argument("--ops", type=int, default=20_000)
+    g.add_argument(
+        "--connections",
+        type=int,
+        default=256,
+        help="concurrent sockets, each closed-loop (one op in flight)",
+    )
+    g.add_argument("--keyspace", type=int, default=4096)
+    g.add_argument("--seed", type=int, default=1)
+    g.add_argument("--set-fraction", type=float, default=0.3)
+    g.add_argument("--get-fraction", type=float, default=0.6)
+    g.add_argument("--del-fraction", type=float, default=0.1)
+    g = p.add_argument_group("observability")
+    g.add_argument(
+        "--bench-dir",
+        default=".",
+        metavar="DIR",
+        help="directory to write BENCH_service.json into "
+        "('' to skip writing)",
+    )
+    p.set_defaults(fn=cmd_load)
 
     p = sub.add_parser("figure14", help="regenerate Figure 14")
     p.add_argument("--configs", default="", help="comma-separated x-y-z list")

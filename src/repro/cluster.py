@@ -1,27 +1,31 @@
-"""One-call construction of a simulated replicated-directory cluster.
+"""One-call construction of a replicated-directory cluster.
 
 :class:`DirectoryCluster` wires together everything a directory suite
-needs — a simulated network, one node per representative, representative
-services with stores / write-ahead logs / lock tables, a transaction
-manager, and the suite front-end — so examples and benchmarks can say::
+needs — a transport (simulated network or real asyncio sockets), one
+node per representative, representative services with stores /
+write-ahead logs / lock tables, a transaction manager, and the suite
+front-end — so examples and benchmarks can say::
 
-    cluster = DirectoryCluster.create("3-2-2", seed=7)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7))
     cluster.suite.insert("a", 1)
     present, value = cluster.suite.lookup("a")
 
 and tests can reach inside (``cluster.representative("A")``,
-``cluster.network.node("node-A").crash()``) to script failure scenarios.
+``cluster.crash("A")``) to script failure scenarios.
 
-Construction options live in :class:`ClusterSpec`; ``create`` accepts
-either a spec or the same fields as keywords (a thin shim over the
-spec).  A spec can also point at an *existing* :class:`Network`, which
-is how the sharded directory (:mod:`repro.shard`) places many
-independent replica suites on one simulated substrate.
+:class:`ClusterSpec` is the one construction path: every option,
+including which transport the cluster runs on (``transport="sim"`` /
+``"asyncio"`` / a :class:`~repro.net.transport.Transport` instance),
+lives on the spec.  ``create(config, **kwargs)`` survives as a
+deprecated shim over the spec.  A spec can also point at an *existing*
+:class:`Network`, which is how the sharded directory (:mod:`repro.shard`)
+places many independent replica suites on one simulated substrate.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Callable
 
@@ -34,7 +38,7 @@ from repro.core.resilient import ResilientSuite
 from repro.core.suite import DirectorySuite, Placement
 from repro.core.versions import UNBOUNDED, VersionSpace
 from repro.net.network import LatencyModel, Network
-from repro.net.rpc import RpcEndpoint
+from repro.net.transport import Transport, resolve_transport
 from repro.obs.spans import NULL_TRACER
 from repro.storage.btree import BTreeStore
 from repro.storage.interface import RepresentativeStore
@@ -100,12 +104,26 @@ class ClusterSpec:
     #: traffic stats) instead of creating one.  Node ids must not
     #: collide with nodes already on it — use ``node_for_rep``.
     network: Network | None = None
+    #: Substrate the cluster runs on: ``None``/``"sim"`` (simulated
+    #: network + simulated clock), ``"asyncio"`` (representatives as
+    #: real asyncio socket servers on loopback, wall clock), or a
+    #: :class:`~repro.net.transport.Transport` instance (shared
+    #: substrates, e.g. one transport hosting every shard).
+    transport: "str | Transport | None" = None
 
     def __post_init__(self) -> None:
         if self.network is not None and self.latency is not None:
             raise ConfigurationError(
                 "latency is fixed by the existing network; "
                 "set it where the network is created"
+            )
+        simulated = self.transport is None or self.transport == "sim"
+        if not simulated and (
+            self.network is not None or self.latency is not None
+        ):
+            raise ConfigurationError(
+                "network/latency are simulation-only options; "
+                f"transport={self.transport!r} owns its own substrate"
             )
 
     def suite_config(self) -> SuiteConfig:
@@ -115,15 +133,22 @@ class ClusterSpec:
         return self.config
 
     def for_shard(
-        self, index: int, network: Network, metrics: Any
+        self, index: int, transport: "Transport | Network", metrics: Any
     ) -> "ClusterSpec":
         """This spec restamped for shard ``index`` on a shared substrate.
 
-        Node names get an ``s<index>:`` prefix (one network hosts every
-        shard's nodes, and node ids must be unique), the quorum RNG seed
-        is offset per shard so shards draw independent streams, and the
-        latency field is cleared (the shared network already owns it).
+        Node names get an ``s<index>:`` prefix (one transport hosts
+        every shard's nodes, and node ids must be unique), the quorum
+        RNG seed is offset per shard so shards draw independent streams,
+        and the latency/network fields are cleared (the shared transport
+        already owns the substrate).  A bare :class:`Network` is
+        accepted and wrapped in a
+        :class:`~repro.net.transport.SimTransport`.
         """
+        if isinstance(transport, Network):
+            from repro.net.transport import SimTransport
+
+            transport = SimTransport(transport)
         base_node = self.node_for_rep or (lambda rep: f"node-{rep}")
         policy = self.quorum_policy
         if policy is not None:
@@ -141,7 +166,8 @@ class ClusterSpec:
             latency=None,
             node_for_rep=lambda rep: f"s{index}:{base_node(rep)}",
             metrics=metrics,
-            network=network,
+            network=None,
+            transport=transport,
         )
 
 
@@ -152,34 +178,46 @@ _SPEC_FIELDS = frozenset(
 
 
 class DirectoryCluster:
-    """A fully wired suite plus its simulated substrate."""
+    """A fully wired suite plus the substrate it runs on."""
 
     def __init__(
         self,
         config: SuiteConfig,
-        network: Network,
+        transport: "Transport | Network",
         suite: DirectorySuite,
         representatives: dict[str, DirectoryRepresentative],
         tracer: Any = None,
         metrics: Any = None,
     ) -> None:
         self.config = config
-        self.network = network
+        if isinstance(transport, Network):
+            transport = suite.transport
+        self.transport = transport
         self.suite = suite
         self.representatives = representatives
         self.tracer = tracer if tracer is not None else suite.tracer
         self._metrics = metrics
 
     @property
+    def network(self) -> Network:
+        """The simulated network, when this cluster runs on one.
+
+        Raises ``AttributeError`` on a non-simulated transport: fault
+        injection, traffic stats, and clock travel are simulation-only.
+        """
+        return self.suite.network
+
+    @property
     def metrics(self) -> Any:
         """Where this cluster publishes (``metrics.snapshot()``).
 
-        Normally the network-wide :class:`MetricsRegistry`; for a shard
-        built on a shared network it is that shard's scoped view.
+        Normally the transport-wide :class:`MetricsRegistry`; for a
+        shard built on a shared substrate it is that shard's scoped
+        view.
         """
         if self._metrics is not None:
             return self._metrics
-        return self.network.metrics
+        return self.transport.metrics
 
     # -- construction ----------------------------------------------------------
 
@@ -191,12 +229,16 @@ class DirectoryCluster:
     ) -> "DirectoryCluster":
         """Build a cluster from a :class:`ClusterSpec`.
 
-        ``spec`` may be the spec itself, or (the keyword shim) the
-        paper's ``"x-y-z"`` shorthand / a :class:`SuiteConfig` plus any
-        :class:`ClusterSpec` fields as keywords::
+        ``spec`` is the spec itself, or the paper's ``"x-y-z"``
+        shorthand / a bare :class:`SuiteConfig` (sugar for a spec with
+        only ``config`` set)::
 
             DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7))
-            DirectoryCluster.create("3-2-2", seed=7)          # same thing
+            DirectoryCluster.create("3-2-2")
+
+        Passing :class:`ClusterSpec` fields as keywords is the legacy
+        knob shim; it still works but emits a ``DeprecationWarning`` —
+        put the options inside a ``ClusterSpec``.
         """
         if isinstance(spec, ClusterSpec):
             if options:
@@ -210,6 +252,13 @@ class DirectoryCluster:
             raise TypeError(
                 f"unknown cluster option(s) {sorted(unknown)}; "
                 f"valid: {sorted(_SPEC_FIELDS)}"
+            )
+        if options:
+            warnings.warn(
+                f"{cls.__name__}.create(config, **options) is deprecated; "
+                f"pass {cls.__name__}.create(ClusterSpec(config=..., ...))",
+                DeprecationWarning,
+                stacklevel=2,
             )
         return cls._create(ClusterSpec(config=spec, **options))
 
@@ -225,16 +274,20 @@ class DirectoryCluster:
             ) from None
 
         tracer = spec.tracer if spec.tracer is not None else NULL_TRACER
-        if spec.network is not None:
-            network = spec.network
-        else:
-            network = Network(latency=spec.latency, metrics=spec.metrics)
-        metrics = spec.metrics if spec.metrics is not None else network.metrics
-        tracer.bind_clock(network.clock.now)
-        rpc = RpcEndpoint(network, origin="client", tracer=tracer)
+        transport = resolve_transport(
+            spec.transport,
+            network=spec.network,
+            latency=spec.latency,
+            metrics=spec.metrics,
+        )
+        metrics = (
+            spec.metrics if spec.metrics is not None else transport.metrics
+        )
+        tracer.bind_clock(transport.clock.now)
+        rpc = transport.endpoint(origin="client", tracer=tracer)
         txn_manager = TransactionManager(
             rpc,
-            clock_now=network.clock.now,
+            clock_now=transport.clock.now,
             parallel_commit=spec.fanout != "serial",
         )
 
@@ -243,8 +296,7 @@ class DirectoryCluster:
         node_name = spec.node_for_rep or (lambda rep: f"node-{rep}")
         for rep_name in config.names:
             node_id = node_name(rep_name)
-            if node_id not in {n.node_id for n in network.nodes()}:
-                network.add_node(node_id)
+            transport.ensure_node(node_id)
             rep = DirectoryRepresentative(
                 rep_name,
                 store_factory=store_factory,
@@ -255,14 +307,14 @@ class DirectoryCluster:
                 metrics=metrics,
             )
             service_name = f"dir:{rep_name}"
-            network.node(node_id).host(service_name, rep)
+            transport.host(node_id, service_name, rep)
             placements[rep_name] = Placement(node_id, service_name)
             representatives[rep_name] = rep
 
         suite = DirectorySuite(
             config,
             placements,
-            network,
+            transport,
             rpc,
             txn_manager,
             quorum_policy=spec.quorum_policy,
@@ -277,7 +329,7 @@ class DirectoryCluster:
         )
         return cls(
             config,
-            network,
+            transport,
             suite,
             representatives,
             tracer=tracer,
@@ -292,11 +344,27 @@ class DirectoryCluster:
 
     def crash(self, rep_name: str) -> None:
         """Crash the node hosting a representative."""
-        self.network.node(self.suite.placements[rep_name].node_id).crash()
+        self.transport.crash(self.suite.placements[rep_name].node_id)
 
     def recover(self, rep_name: str) -> None:
         """Recover the node hosting a representative."""
-        self.network.node(self.suite.placements[rep_name].node_id).recover()
+        self.transport.recover(self.suite.placements[rep_name].node_id)
+
+    # -- lifecycle (the Directory contract) -----------------------------------
+
+    def close(self) -> None:
+        """Release the cluster's substrate (idempotent).
+
+        A no-op for the simulated transport; for the asyncio transport
+        it stops every representative server and the event loop.
+        """
+        self.transport.close()
+
+    def __enter__(self) -> "DirectoryCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def check_invariants(self) -> None:
         """Structural invariants of every representative's store."""
@@ -317,12 +385,13 @@ class DirectoryCluster:
 # -- conformance registration (see repro.core.interface) -----------------------
 
 register_directory(
-    "suite", lambda: DirectoryCluster.create("3-2-2", seed=0).suite
+    "suite",
+    lambda: DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=0)).suite,
 )
 register_directory(
     "resilient",
     lambda: ResilientSuite(
-        DirectoryCluster.create("3-2-2", seed=0).suite,
+        DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=0)).suite,
         rng=random.Random(0),
     ),
 )

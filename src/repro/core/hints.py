@@ -152,7 +152,7 @@ class HintedDirectory:
         finally:
             # The hint participates in the transaction when reachable so
             # its locks release at commit.
-            if self.suite.network.node(place.node_id).is_up:
+            if self.suite.transport.is_up(place.node_id):
                 txn.enlist(self.hint, place.node_id, place.service_name)
 
     # -- modifications pass straight through to the suite ------------------------

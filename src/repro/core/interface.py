@@ -14,6 +14,13 @@ directory" without special cases:
 * ``update(key, value)`` / ``delete(key)`` — raise
   :class:`~repro.core.errors.KeyNotPresentError` if the key is absent;
 * ``size() -> int`` — the number of entries currently present;
+* ``close()`` — release the implementation's substrate: idempotent,
+  and the directory must not be used afterwards.  Every implementation
+  is also a context manager (``with build() as d: ...``) whose exit
+  calls ``close()``.  Simulated implementations hold no OS state, so
+  their ``close`` is a no-op — the contract exists so callers can tear
+  down a remote client or an asyncio-backed cluster (sockets, threads,
+  an event loop) the same way they tear down a simulation;
 * availability failures raise subclasses of
   :class:`~repro.core.errors.NetworkError` (quorum unreachable, node
   down, RPC timeout), transactional aborts subclasses of
@@ -66,6 +73,28 @@ class Directory(Protocol):
     def size(self) -> int:
         """Number of entries currently present."""
         ...
+
+    def close(self) -> None:
+        """Release the substrate (idempotent); the directory is dead after."""
+        ...
+
+
+class DirectoryLifecycle:
+    """Mixin supplying the protocol's default lifecycle.
+
+    For implementations whose substrate holds no OS state (the simulated
+    baselines): ``close`` is a no-op, ``with`` works.  Implementations
+    that own sockets or threads override :meth:`close`.
+    """
+
+    def close(self) -> None:
+        """Nothing to release by default."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 #: name -> zero-argument factory returning a fresh empty Directory.

@@ -101,7 +101,7 @@ class ResilientSuite:
         self.suite = suite
         self.policy = policy or RetryPolicy()
         self.rng = rng or random.Random()
-        self._clock = suite.network.clock
+        self._clock = suite.clock
         metrics = suite.metrics
         self._retries = metrics.counter("suite.retry.attempts")
         self._masked = metrics.counter("suite.retry.masked")
@@ -180,6 +180,18 @@ class ResilientSuite:
         delay = self.policy.backoff(retry_index, self.rng)
         self._backoff_hist.observe(delay)
         self._clock.advance(delay)
+
+    # -- lifecycle (the Directory contract) ---------------------------------
+
+    def close(self) -> None:
+        """Release the wrapped suite's substrate."""
+        self.suite.close()
+
+    def __enter__(self) -> "ResilientSuite":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self.suite, name)

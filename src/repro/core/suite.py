@@ -49,6 +49,7 @@ from repro.core.stats import DeleteOverheadStats, RunningStat, SuiteOpCounts
 from repro.core.versions import VersionSpace, UNBOUNDED
 from repro.net.network import Network
 from repro.net.rpc import RpcBatch, RpcCall, RpcEndpoint, RpcReply
+from repro.net.transport import SimTransport, Transport
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.txn.manager import TransactionManager
@@ -73,8 +74,12 @@ class DirectorySuite:
     placements:
         Representative name → (node, service) location map; must cover
         every name in ``config``.
-    network / rpc / txn_manager:
-        The simulated cluster substrate.
+    transport / rpc / txn_manager:
+        The cluster substrate: a :class:`~repro.net.transport.Transport`
+        (simulated or asyncio), the per-client calling endpoint it
+        issued, and the transaction manager sharing that endpoint.  A
+        bare :class:`~repro.net.network.Network` is also accepted and
+        wrapped in a :class:`~repro.net.transport.SimTransport`.
     quorum_policy:
         How quorum members are chosen; defaults to the paper's uniform
         random selection.
@@ -136,8 +141,8 @@ class DirectorySuite:
         self,
         config: SuiteConfig,
         placements: dict[str, Placement],
-        network: Network,
-        rpc: RpcEndpoint,
+        transport: "Transport | Network",
+        rpc: Any,
         txn_manager: TransactionManager,
         quorum_policy: QuorumPolicy | None = None,
         rng: random.Random | None = None,
@@ -164,7 +169,11 @@ class DirectorySuite:
             raise ValueError("hedge_extra must be >= 0")
         self.config = config
         self.placements = dict(placements)
-        self.network = network
+        if isinstance(transport, Network):
+            transport = SimTransport(transport)
+        self.transport = transport
+        #: The transport's clock (simulated ticks or wall-clock seconds).
+        self.clock = transport.clock
         self.rpc = rpc
         self.txn_manager = txn_manager
         self.quorum_policy = quorum_policy or RandomQuorumPolicy()
@@ -176,7 +185,7 @@ class DirectorySuite:
         self.delete_stats = DeleteOverheadStats()
         self.op_counts = SuiteOpCounts()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.metrics = metrics if metrics is not None else network.metrics
+        self.metrics = metrics if metrics is not None else transport.metrics
         #: In-transaction retries for a representative RPC that times out
         #: on a lossy network (see :meth:`_call` for why re-issue is
         #: safe).  0 keeps the perfect-network fast path.
@@ -196,6 +205,37 @@ class DirectorySuite:
         self._register_metrics()
         if detector is not None:
             self.attach_detector(detector)
+
+    @property
+    def network(self) -> Network:
+        """The simulated network, when this suite runs on one.
+
+        Simulation-only tooling (fault injection, traffic accounting,
+        partitions) reaches through here; on a non-simulated transport
+        there is no network to reach.
+        """
+        network = getattr(self.transport, "network", None)
+        if network is None:
+            raise AttributeError(
+                f"{type(self.transport).__name__} has no simulated "
+                "network; this surface is simulation-only"
+            )
+        return network
+
+    def close(self) -> None:
+        """Release the suite's substrate (see the Directory lifecycle).
+
+        Delegates to the transport, whose ``close`` is idempotent; for
+        the simulated transport this is a no-op, for the asyncio
+        transport it stops the representative servers and the loop.
+        """
+        self.transport.close()
+
+    def __enter__(self) -> "DirectorySuite":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def attach_detector(self, detector: Any) -> None:
         """Wire a :class:`~repro.net.detector.FailureDetector` in.
@@ -348,10 +388,13 @@ class DirectorySuite:
 
     def _available(self) -> list[str]:
         """Representatives that are up and reachable right now."""
+        transport = self.transport
+        origin = self.rpc.origin
         names = []
         for name, place in self.placements.items():
-            node = self.network.node(place.node_id)
-            if node.is_up and self.network.reachable(self.rpc.origin, place.node_id):
+            if transport.is_up(place.node_id) and transport.reachable(
+                origin, place.node_id
+            ):
                 names.append(name)
         return names
 
@@ -506,7 +549,7 @@ class DirectorySuite:
                     raise reply.error
             return waited  # pragma: no cover - quorum choice is sufficient
         deadline = batch.lock_deadline
-        now = self.network.clock.now()
+        now = self.clock.now()
         if deadline > now:
             self.straggler_ticks_saved += deadline - now
             txn.straggler_deadline = max(txn.straggler_deadline, deadline)
@@ -538,7 +581,7 @@ class DirectorySuite:
         already carried the clock past the deadline.
         """
         deadline = txn.straggler_deadline
-        clock = self.network.clock
+        clock = self.clock
         if deadline <= clock.now():
             return
         wait = deadline - clock.now()
@@ -892,19 +935,19 @@ class DirectorySuite:
         state: dict[Any, Any] = {}
         candidate_keys: set[BoundedKey] = set()
         for name, place in self.placements.items():
-            node = self.network.node(place.node_id)
-            if not node.is_up:
+            if not self.transport.is_up(place.node_id):
                 continue
-            rep = node.service(place.service_name)
+            rep = self.transport.local_service(place.node_id, place.service_name)
             for entry in rep.user_entries():  # type: ignore[attr-defined]
                 candidate_keys.add(entry.key)
         for bkey in candidate_keys:
             best: LookupReply | None = None
             for name, place in self.placements.items():
-                node = self.network.node(place.node_id)
-                if not node.is_up:
+                if not self.transport.is_up(place.node_id):
                     continue
-                rep = node.service(place.service_name)
+                rep = self.transport.local_service(
+                    place.node_id, place.service_name
+                )
                 reply = rep.store.lookup(bkey)  # type: ignore[attr-defined]
                 if reply.beats(best):
                     best = reply

@@ -1,0 +1,25 @@
+"""The wall-clock directory service: real sockets under the paper's algorithm.
+
+The simulated stack runs the quorum algorithm on virtual time; this
+package runs the *same* algorithm (same suite, same representatives,
+same 2PC) as a long-lived networked service:
+
+* :mod:`repro.service.wire` — JSON codec for the values that cross
+  sockets (bounded keys, entries, replies, errors);
+* :mod:`repro.service.protocol` — the redis-like RESP framing both wire
+  surfaces speak;
+* :mod:`repro.service.aio` — :class:`~repro.service.aio.AsyncioTransport`,
+  the :class:`~repro.net.transport.Transport` that hosts representatives
+  as asyncio socket servers on loopback;
+* :mod:`repro.service.server` — the client-facing front door
+  (``GET``/``SET``/``DEL``/``LOOKUP``/``INSERT``/...), one suite
+  front-end per shard;
+* :mod:`repro.service.client` — the client library
+  (:class:`~repro.service.client.DirectoryClient` and its asyncio twin);
+* :mod:`repro.service.loadgen` — the closed-loop load generator behind
+  ``python -m repro load`` and ``BENCH_service.json``.
+"""
+
+from repro.service.aio import AsyncioTransport, WallClock
+
+__all__ = ["AsyncioTransport", "WallClock"]

@@ -1,0 +1,192 @@
+"""Client library for the directory service front door.
+
+Two clients over the same wire protocol (:mod:`repro.service.protocol`):
+
+* :class:`DirectoryClient` — blocking, one socket, satisfies the
+  :class:`~repro.core.interface.Directory` protocol, so everything that
+  drives a simulated directory (conformance tests, benchmark loops)
+  drives a remote one unchanged;
+* :class:`AsyncDirectoryClient` — the asyncio twin the load generator
+  opens by the hundred.
+
+Both translate the strict error replies back into the repo's exception
+types (``-KEYEXISTS`` → :class:`KeyAlreadyPresentError`, ``-NOTFOUND``
+→ :class:`KeyNotPresentError`, ``-UNAVAILABLE`` →
+:class:`QuorumUnavailableError`-shaped :class:`ServiceUnavailableError`)
+so the error contract crosses the wire intact.  Any other ``-CODE``
+raises :class:`~repro.service.protocol.ReplyError`.
+
+Keys and values are strings on this surface — the service stores what
+you send and returns it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any
+
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    NetworkError,
+)
+from repro.service import protocol
+from repro.service.protocol import ReplyError
+
+
+class ServiceUnavailableError(NetworkError):
+    """The service answered ``-UNAVAILABLE`` (quorum loss, node down)."""
+
+
+def _raise_reply(reply: Any) -> Any:
+    """Map error replies onto the repo's exception types."""
+    if isinstance(reply, ReplyError):
+        if reply.code == "KEYEXISTS":
+            raise KeyAlreadyPresentError(reply.detail)
+        if reply.code == "NOTFOUND":
+            raise KeyNotPresentError(reply.detail)
+        if reply.code == "UNAVAILABLE":
+            raise ServiceUnavailableError(reply.detail)
+        raise reply
+    return reply
+
+
+class DirectoryClient:
+    """Blocking client; a remote :class:`Directory` on one socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7379,
+        *,
+        timeout: float | None = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._stream = self._sock.makefile("rb")
+        self._closed = False
+
+    def _request(self, *parts: str) -> Any:
+        self._sock.sendall(protocol.encode_command(*parts))
+        return _raise_reply(protocol.read_frame_sync(self._stream))
+
+    # -- the Directory surface ----------------------------------------------
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        present, value = self._request("LOOKUP", key)
+        return (present == "1", value)
+
+    def insert(self, key: str, value: str) -> None:
+        self._request("INSERT", key, value)
+
+    def update(self, key: str, value: str) -> None:
+        self._request("UPDATE", key, value)
+
+    def delete(self, key: str) -> None:
+        self._request("DELETE", key)
+
+    def size(self) -> int:
+        return self._request("SIZE")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DirectoryClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- service extras ------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self._request("PING") == "PONG"
+
+    def get(self, key: str) -> "str | None":
+        return self._request("GET", key)
+
+    def set(self, key: str, value: str) -> None:
+        self._request("SET", key, value)
+
+    def remove(self, key: str) -> bool:
+        """Lenient delete (``DEL``): True if the key was present."""
+        return self._request("DEL", key) == 1
+
+    def shards(self) -> int:
+        return self._request("SHARDS")
+
+
+class AsyncDirectoryClient:
+    """Asyncio client; open with :meth:`connect`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7379
+    ) -> "AsyncDirectoryClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _request(self, *parts: str) -> Any:
+        self._writer.write(protocol.encode_command(*parts))
+        await self._writer.drain()
+        return _raise_reply(await protocol.read_frame(self._reader))
+
+    async def lookup(self, key: str) -> tuple[bool, Any]:
+        present, value = await self._request("LOOKUP", key)
+        return (present == "1", value)
+
+    async def insert(self, key: str, value: str) -> None:
+        await self._request("INSERT", key, value)
+
+    async def update(self, key: str, value: str) -> None:
+        await self._request("UPDATE", key, value)
+
+    async def delete(self, key: str) -> None:
+        await self._request("DELETE", key)
+
+    async def size(self) -> int:
+        return await self._request("SIZE")
+
+    async def ping(self) -> bool:
+        return await self._request("PING") == "PONG"
+
+    async def get(self, key: str) -> "str | None":
+        return await self._request("GET", key)
+
+    async def set(self, key: str, value: str) -> None:
+        await self._request("SET", key, value)
+
+    async def remove(self, key: str) -> bool:
+        return await self._request("DEL", key) == 1
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncDirectoryClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

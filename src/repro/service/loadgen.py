@@ -1,0 +1,166 @@
+"""Closed-loop load generator for the directory service.
+
+Opens ``connections`` concurrent sockets (one
+:class:`~repro.service.client.AsyncDirectoryClient` each), and drives a
+keyed ``SET``/``GET``/``DEL`` mix through them closed-loop: every
+connection issues its next operation the moment the previous reply
+lands, so the offered load is exactly one outstanding request per
+connection and the measured latency is honest service time, not queue
+time at the generator.
+
+Latency is sampled per operation with ``time.perf_counter``; the run
+reports throughput over the full window plus p50/p95/p99/max, and
+counts *client-visible errors* — any exception surfacing from the
+client, which a healthy run must keep at zero (the lenient verbs never
+error for absent keys).  Results are written as ``BENCH_service.json``
+in the repo's BENCH schema (:mod:`repro.obs.bench`), so the trend
+tooling that reads the simulated benchmarks reads this one too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any
+
+from repro.obs.bench import bench_payload, write_bench
+from repro.service.client import AsyncDirectoryClient
+
+#: Operation mix: weights for (set, get, del).
+DEFAULT_MIX = (0.3, 0.6, 0.1)
+
+
+def _percentile(ordered: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 < q <= 100)."""
+    if not ordered:
+        return 0.0
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+async def _worker(
+    host: str,
+    port: int,
+    index: int,
+    budget: "list[int]",
+    keyspace: int,
+    mix: tuple[float, float, float],
+    seed: int,
+    latencies: "list[float]",
+    errors: "list[int]",
+) -> None:
+    rng = random.Random(seed * 100_003 + index)
+    set_w, get_w, _ = mix
+    client = await AsyncDirectoryClient.connect(host, port)
+    try:
+        while True:
+            if budget[0] <= 0:
+                return
+            budget[0] -= 1
+            key = f"k{rng.randrange(keyspace)}"
+            roll = rng.random()
+            started = time.perf_counter()
+            try:
+                if roll < set_w:
+                    await client.set(key, f"v{index}")
+                elif roll < set_w + get_w:
+                    await client.get(key)
+                else:
+                    await client.remove(key)
+            except Exception:
+                errors[0] += 1
+            else:
+                latencies.append(time.perf_counter() - started)
+    finally:
+        await client.close()
+
+
+async def _run(
+    host: str,
+    port: int,
+    ops: int,
+    connections: int,
+    keyspace: int,
+    mix: tuple[float, float, float],
+    seed: int,
+) -> dict[str, Any]:
+    latencies: list[float] = []
+    errors = [0]
+    budget = [ops]
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(
+                host, port, i, budget, keyspace, mix, seed, latencies, errors
+            )
+            for i in range(connections)
+        )
+    )
+    elapsed = time.perf_counter() - started
+    done = len(latencies)
+    ordered = sorted(latencies)
+    return {
+        "ops": done,
+        "errors": errors[0],
+        "elapsed_seconds": elapsed,
+        "ops_per_second": done / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": _percentile(ordered, 50) * 1000,
+            "p95": _percentile(ordered, 95) * 1000,
+            "p99": _percentile(ordered, 99) * 1000,
+            "max": (ordered[-1] if ordered else 0.0) * 1000,
+            "mean": (sum(ordered) / done if done else 0.0) * 1000,
+        },
+    }
+
+
+def run_load(
+    host: str = "127.0.0.1",
+    port: int = 7379,
+    *,
+    ops: int = 20_000,
+    connections: int = 256,
+    keyspace: int = 4096,
+    mix: tuple[float, float, float] = DEFAULT_MIX,
+    seed: int = 1,
+    bench_dir: "str | None" = None,
+    name: str = "service",
+) -> dict[str, Any]:
+    """Drive the service and return (and optionally write) the results.
+
+    With ``bench_dir`` set, also writes ``BENCH_<name>.json`` there and
+    records the path under ``result["bench_path"]``.
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1: {connections}")
+    if abs(sum(mix) - 1.0) > 1e-9:
+        raise ValueError(f"mix weights must sum to 1: {mix!r}")
+    result = asyncio.run(
+        _run(host, port, ops, connections, keyspace, mix, seed)
+    )
+    result["connections"] = connections
+    if bench_dir is not None:
+        payload = bench_payload(
+            name,
+            workload={
+                "ops": result["ops"],
+                "connections": connections,
+                "keyspace": keyspace,
+                "mix": {"set": mix[0], "get": mix[1], "del": mix[2]},
+                "seed": seed,
+            },
+            messages={"client_errors": result["errors"]},
+            latency={
+                "ops_per_second": result["ops_per_second"],
+                "elapsed_seconds": result["elapsed_seconds"],
+                "p50_ms": result["latency_ms"]["p50"],
+                "p95_ms": result["latency_ms"]["p95"],
+                "p99_ms": result["latency_ms"]["p99"],
+                "max_ms": result["latency_ms"]["max"],
+                "mean_ms": result["latency_ms"]["mean"],
+            },
+            extra={"host": host, "port": port},
+        )
+        result["bench_path"] = str(write_bench(payload, bench_dir))
+    return result

@@ -1,0 +1,190 @@
+"""The redis-like line protocol both service surfaces speak.
+
+A deliberately small subset of RESP (the Redis serialization protocol),
+chosen because it is trivial to frame, human-debuggable with ``nc``, and
+battle-tested for exactly this shape of workload:
+
+* ``*N\\r\\n`` — array header, then N elements;
+* ``$N\\r\\n<bytes>\\r\\n`` — bulk string (``$-1\\r\\n`` is null);
+* ``+text\\r\\n`` — simple string (``+OK``, ``+PONG``);
+* ``-CODE detail\\r\\n`` — error reply (``-NOTFOUND ...``, ``-ERR ...``);
+* ``:N\\r\\n`` — integer reply.
+
+Requests are always arrays of bulk strings (a command name plus its
+arguments); replies are any of the above.  The *internal* RPC surface
+(:mod:`repro.service.aio`) frames one JSON document per bulk string; the
+*front door* (:mod:`repro.service.server`) uses plain strings, so a
+session really does look like talking to a tiny redis.
+
+Encoders return ``bytes`` to hand to a transport; decoders are asyncio
+coroutines over a :class:`asyncio.StreamReader` plus synchronous twins
+over a buffered binary file (the blocking client), both returning the
+same Python shapes: ``list`` for arrays, ``str`` for bulk/simple
+strings, ``None`` for null, ``int`` for integers, and
+:class:`ReplyError` *instances* (returned, not raised — the caller
+decides) for error replies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, BinaryIO
+
+from repro.core.errors import ReproError
+
+#: Upper bound on one bulk string / array, a guard against a corrupt or
+#: hostile length header allocating unbounded memory (16 MiB).
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """The peer sent bytes that are not valid protocol frames."""
+
+
+class ReplyError(ReproError):
+    """An error reply (``-CODE detail``) from the peer.
+
+    ``code`` is the first token (``NOTFOUND``, ``KEYEXISTS``, ``ERR``,
+    ...); ``detail`` the rest of the line.
+    """
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(f"{code} {detail}".strip())
+        self.code = code
+        self.detail = detail
+
+
+# -- encoding (shared by client and server) ---------------------------------
+
+
+def encode_command(*parts: str) -> bytes:
+    """Frame a request: an array of bulk strings."""
+    chunks = [f"*{len(parts)}\r\n".encode()]
+    for part in parts:
+        data = part.encode("utf-8")
+        chunks.append(b"$%d\r\n%s\r\n" % (len(data), data))
+    return b"".join(chunks)
+
+
+def encode_bulk(text: "str | None") -> bytes:
+    """Frame a bulk-string reply (``None`` frames the null bulk)."""
+    if text is None:
+        return b"$-1\r\n"
+    data = text.encode("utf-8")
+    return b"$%d\r\n%s\r\n" % (len(data), data)
+
+
+def encode_simple(text: str) -> bytes:
+    """Frame a simple-string reply (``+OK``)."""
+    return f"+{text}\r\n".encode()
+
+
+def encode_error(code: str, detail: str = "") -> bytes:
+    """Frame an error reply (``-CODE detail``)."""
+    line = f"-{code} {detail}".rstrip()
+    return f"{line}\r\n".encode()
+
+
+def encode_integer(n: int) -> bytes:
+    """Frame an integer reply (``:N``)."""
+    return f":{n}\r\n".encode()
+
+
+def encode_array(parts: "list[str | None]") -> bytes:
+    """Frame an array-of-bulk-strings reply."""
+    return b"*%d\r\n" % len(parts) + b"".join(
+        encode_bulk(part) for part in parts
+    )
+
+
+# -- async decoding ----------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any:
+    """Read one frame; raises ``ConnectionError`` at clean EOF.
+
+    Error replies are *returned* as :class:`ReplyError` instances.
+    """
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("peer closed the connection")
+    return await _parse(line, reader)
+
+
+async def _parse(line: bytes, reader: asyncio.StreamReader) -> Any:
+    if not line.endswith(b"\r\n"):
+        raise ProtocolError(f"unterminated frame line: {line[:64]!r}")
+    kind, body = line[:1], line[1:-2]
+    if kind == b"+":
+        return body.decode("utf-8")
+    if kind == b"-":
+        code, _, detail = body.decode("utf-8").partition(" ")
+        return ReplyError(code, detail)
+    if kind == b":":
+        return int(body)
+    if kind == b"$":
+        n = int(body)
+        if n == -1:
+            return None
+        if not 0 <= n <= MAX_FRAME:
+            raise ProtocolError(f"bulk length out of range: {n}")
+        data = await reader.readexactly(n + 2)
+        return data[:-2].decode("utf-8")
+    if kind == b"*":
+        n = int(body)
+        if not 0 <= n <= MAX_FRAME:
+            raise ProtocolError(f"array length out of range: {n}")
+        items = []
+        for _ in range(n):
+            element = await reader.readline()
+            if not element:
+                raise ConnectionError("peer closed mid-array")
+            items.append(await _parse(element, reader))
+        return items
+    raise ProtocolError(f"unknown frame type {kind!r}")
+
+
+# -- blocking decoding (the synchronous client) ------------------------------
+
+
+def read_frame_sync(stream: BinaryIO) -> Any:
+    """Blocking twin of :func:`read_frame` over a buffered binary file."""
+    line = stream.readline()
+    if not line:
+        raise ConnectionError("peer closed the connection")
+    return _parse_sync(line, stream)
+
+
+def _parse_sync(line: bytes, stream: BinaryIO) -> Any:
+    if not line.endswith(b"\r\n"):
+        raise ProtocolError(f"unterminated frame line: {line[:64]!r}")
+    kind, body = line[:1], line[1:-2]
+    if kind == b"+":
+        return body.decode("utf-8")
+    if kind == b"-":
+        code, _, detail = body.decode("utf-8").partition(" ")
+        return ReplyError(code, detail)
+    if kind == b":":
+        return int(body)
+    if kind == b"$":
+        n = int(body)
+        if n == -1:
+            return None
+        if not 0 <= n <= MAX_FRAME:
+            raise ProtocolError(f"bulk length out of range: {n}")
+        data = stream.read(n + 2)
+        if len(data) != n + 2:
+            raise ConnectionError("peer closed mid-bulk")
+        return data[:-2].decode("utf-8")
+    if kind == b"*":
+        n = int(body)
+        if not 0 <= n <= MAX_FRAME:
+            raise ProtocolError(f"array length out of range: {n}")
+        items = []
+        for _ in range(n):
+            element = stream.readline()
+            if not element:
+                raise ConnectionError("peer closed mid-array")
+            items.append(_parse_sync(element, stream))
+        return items
+    raise ProtocolError(f"unknown frame type {kind!r}")

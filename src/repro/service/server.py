@@ -1,0 +1,309 @@
+"""The client-facing front door: a sharded directory behind one socket.
+
+:class:`DirectoryService` attaches a single listening socket to the
+event loop of an :class:`~repro.service.aio.AsyncioTransport` that is
+already hosting a :class:`~repro.shard.sharded.ShardedDirectory`'s
+representatives.  Clients speak the same redis-like protocol as the
+internal RPC surface (:mod:`repro.service.protocol`), but with plain
+string commands::
+
+    PING                     -> +PONG
+    LOOKUP key               -> *2  ("1"/"0", value or null bulk)
+    INSERT key value         -> +OK          | -KEYEXISTS key
+    UPDATE key value         -> +OK          | -NOTFOUND key
+    DELETE key               -> +OK          | -NOTFOUND key
+    GET key                  -> $value       | $-1
+    SET key value            -> +OK             (insert-or-update)
+    DEL key                  -> :1 / :0         (delete-if-present)
+    SIZE                     -> :N
+    SHARDS                   -> :N
+
+The strict verbs carry the paper's error contract across the wire; the
+lenient ``GET``/``SET``/``DEL`` triple is what load generators and
+casual ``nc`` sessions want.  Availability failures (quorum loss, node
+down) reply ``-UNAVAILABLE`` and any other server-side exception
+``-ERR`` — a client never sees a broken connection for an application
+error.
+
+Concurrency model: frames are parsed on the transport's loop, but the
+quorum algorithm underneath is synchronous and per-shard stateful, so
+each shard gets a dedicated single-worker executor thread.  Routing
+picks the shard on the loop (``shard_for`` is pure), then the whole
+operation — including the insert-or-update read-modify-write of ``SET``
+— runs on that shard's one thread, which serializes it against every
+other client touching the same shard.  Distinct shards proceed in
+parallel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.core.errors import (
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    NetworkError,
+    QuorumUnavailableError,
+    ReproError,
+    TransactionError,
+)
+from repro.service import protocol
+from repro.shard.sharded import ShardedDirectory
+
+
+class DirectoryService:
+    """Serve a :class:`ShardedDirectory` over one loopback socket."""
+
+    def __init__(
+        self,
+        directory: ShardedDirectory,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        transport = directory.transport
+        if not hasattr(transport, "submit"):
+            raise TypeError(
+                "DirectoryService needs a directory on an AsyncioTransport "
+                f"(got {type(transport).__name__})"
+            )
+        self.directory = directory
+        self.transport = transport
+        self.host = host
+        self.port: int | None = port or None
+        self._server: asyncio.AbstractServer | None = None
+        self._links: set[asyncio.StreamWriter] = set()
+        self._closed = False
+        self._executors = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"repro-shard{i}"
+            )
+            for i in range(len(directory.clusters))
+        ]
+        metrics = transport.metrics
+        self._ops = metrics.counter("service.front.ops")
+        self._failures = metrics.counter("service.front.errors")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "DirectoryService":
+        """Bind and listen; returns self with :attr:`port` resolved."""
+        self.transport.submit(self._start())
+        return self
+
+    async def _start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve, host=self.host, port=self.port or 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def close(self) -> None:
+        """Stop listening and drop live connections (idempotent).
+
+        Does *not* close the directory — the caller owns it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.transport.submit(self._stop())
+        except Exception:
+            pass
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+
+    async def _stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._links):
+            writer.close()
+
+    def __enter__(self) -> "DirectoryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the serving loop ----------------------------------------------------
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._links.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame(reader)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return
+                writer.write(await self._dispatch(frame))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._links.discard(writer)
+            writer.close()
+
+    async def _dispatch(self, frame: Any) -> bytes:
+        if (
+            not isinstance(frame, list)
+            or not frame
+            or not all(isinstance(p, str) for p in frame)
+        ):
+            return protocol.encode_error("ERR", "expected a command array")
+        self._ops.inc()
+        command, args = frame[0].upper(), frame[1:]
+        try:
+            handler = self._COMMANDS[command]
+        except KeyError:
+            self._failures.inc()
+            return protocol.encode_error("ERR", f"unknown command {command!r}")
+        try:
+            return await handler(self, args)
+        except _Arity as exc:
+            self._failures.inc()
+            return protocol.encode_error("ERR", str(exc))
+        except KeyAlreadyPresentError as exc:
+            return protocol.encode_error("KEYEXISTS", str(exc.key))
+        except KeyNotPresentError as exc:
+            return protocol.encode_error("NOTFOUND", str(exc.key))
+        except (QuorumUnavailableError, NetworkError, TransactionError) as exc:
+            self._failures.inc()
+            return protocol.encode_error(
+                "UNAVAILABLE", f"{type(exc).__name__}: {exc}"
+            )
+        except ReproError as exc:
+            self._failures.inc()
+            return protocol.encode_error(
+                "ERR", f"{type(exc).__name__}: {exc}"
+            )
+        except Exception as exc:  # the connection survives server bugs too
+            self._failures.inc()
+            return protocol.encode_error(
+                "ERR", f"internal {type(exc).__name__}: {exc}"
+            )
+
+    async def _on_shard(self, key: str, fn: Any, *args: Any) -> Any:
+        """Run ``fn(suite, *args)`` on the owning shard's worker thread."""
+        index = self.directory.shard_for(key)
+        suite = self.directory.clusters[index].suite
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executors[index], fn, suite, *args
+        )
+
+    # -- command handlers ----------------------------------------------------
+
+    async def _cmd_ping(self, args: list[str]) -> bytes:
+        _expect(args, 0, "PING")
+        return protocol.encode_simple("PONG")
+
+    async def _cmd_lookup(self, args: list[str]) -> bytes:
+        _expect(args, 1, "LOOKUP key")
+        key = args[0]
+        present, value = await self._on_shard(
+            key, lambda suite: suite.lookup(key)
+        )
+        return protocol.encode_array(
+            ["1" if present else "0", _text(value) if present else None]
+        )
+
+    async def _cmd_insert(self, args: list[str]) -> bytes:
+        _expect(args, 2, "INSERT key value")
+        key, value = args
+        await self._on_shard(key, lambda suite: suite.insert(key, value))
+        return protocol.encode_simple("OK")
+
+    async def _cmd_update(self, args: list[str]) -> bytes:
+        _expect(args, 2, "UPDATE key value")
+        key, value = args
+        await self._on_shard(key, lambda suite: suite.update(key, value))
+        return protocol.encode_simple("OK")
+
+    async def _cmd_delete(self, args: list[str]) -> bytes:
+        _expect(args, 1, "DELETE key")
+        key = args[0]
+        await self._on_shard(key, lambda suite: suite.delete(key))
+        return protocol.encode_simple("OK")
+
+    async def _cmd_get(self, args: list[str]) -> bytes:
+        _expect(args, 1, "GET key")
+        key = args[0]
+        present, value = await self._on_shard(
+            key, lambda suite: suite.lookup(key)
+        )
+        return protocol.encode_bulk(_text(value) if present else None)
+
+    async def _cmd_set(self, args: list[str]) -> bytes:
+        _expect(args, 2, "SET key value")
+        key, value = args
+
+        def upsert(suite: Any) -> None:
+            # Race-free: this closure owns the shard's only worker thread.
+            try:
+                suite.insert(key, value)
+            except KeyAlreadyPresentError:
+                suite.update(key, value)
+
+        await self._on_shard(key, upsert)
+        return protocol.encode_simple("OK")
+
+    async def _cmd_del(self, args: list[str]) -> bytes:
+        _expect(args, 1, "DEL key")
+        key = args[0]
+
+        def drop(suite: Any) -> int:
+            try:
+                suite.delete(key)
+            except KeyNotPresentError:
+                return 0
+            return 1
+
+        return protocol.encode_integer(await self._on_shard(key, drop))
+
+    async def _cmd_size(self, args: list[str]) -> bytes:
+        _expect(args, 0, "SIZE")
+        loop = asyncio.get_running_loop()
+        totals = await asyncio.gather(
+            *(
+                loop.run_in_executor(
+                    self._executors[i], cluster.suite.size
+                )
+                for i, cluster in enumerate(self.directory.clusters)
+            )
+        )
+        return protocol.encode_integer(sum(totals))
+
+    async def _cmd_shards(self, args: list[str]) -> bytes:
+        _expect(args, 0, "SHARDS")
+        return protocol.encode_integer(len(self.directory.clusters))
+
+    _COMMANDS = {
+        "PING": _cmd_ping,
+        "LOOKUP": _cmd_lookup,
+        "INSERT": _cmd_insert,
+        "UPDATE": _cmd_update,
+        "DELETE": _cmd_delete,
+        "GET": _cmd_get,
+        "SET": _cmd_set,
+        "DEL": _cmd_del,
+        "SIZE": _cmd_size,
+        "SHARDS": _cmd_shards,
+    }
+
+
+class _Arity(ReproError):
+    """Wrong number of arguments for a front-door command."""
+
+
+def _expect(args: list[str], n: int, usage: str) -> None:
+    if len(args) != n:
+        raise _Arity(f"usage: {usage}")
+
+
+def _text(value: Any) -> str:
+    """Stored values go back out as text (the front door stores strings)."""
+    return value if isinstance(value, str) else repr(value)

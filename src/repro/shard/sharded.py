@@ -33,6 +33,7 @@ unchanged on top of it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -40,6 +41,7 @@ from repro.cluster import _SPEC_FIELDS, ClusterSpec, DirectoryCluster
 from repro.core.errors import ConfigurationError, ReproError
 from repro.core.interface import register_directory
 from repro.net.network import Network
+from repro.net.transport import SimTransport, Transport, resolve_transport
 from repro.shard.maps import ShardMap, resolve_shard_map
 
 
@@ -109,7 +111,7 @@ class ShardedDirectory:
         self,
         shard_map: ShardMap,
         clusters: Sequence[DirectoryCluster],
-        network: Network,
+        transport: "Transport | Network",
         metrics: Any = None,
     ) -> None:
         if shard_map.shards != len(clusters):
@@ -119,14 +121,19 @@ class ShardedDirectory:
             )
         if not clusters:
             raise ConfigurationError("need at least one shard")
+        if isinstance(transport, Network):
+            transport = SimTransport(transport)
+        substrate = getattr(transport, "network", transport)
         for cluster in clusters:
-            if cluster.network is not network:
+            if getattr(cluster.transport, "network", cluster.transport) is not (
+                substrate
+            ):
                 raise ConfigurationError(
-                    "every shard must share the sharded directory's network"
+                    "every shard must share the sharded directory's substrate"
                 )
         self.shard_map = shard_map
         self.clusters = list(clusters)
-        self.network = network
+        self.transport = transport
         self._metrics = metrics
         #: Operations routed to each shard (by shard index).
         self.routed = [0] * len(self.clusters)
@@ -185,23 +192,65 @@ class ShardedDirectory:
                     f"unknown cluster option(s) {sorted(unknown)}; "
                     f"valid: {sorted(_SPEC_FIELDS)}"
                 )
+            if options:
+                warnings.warn(
+                    f"{cls.__name__}.create(config, **options) is deprecated; "
+                    f"pass {cls.__name__}.create(ClusterSpec(config=..., "
+                    "...))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
             base = ClusterSpec(config=spec, **options)
         resolved_map = resolve_shard_map(shard_map, shards)
 
-        if base.network is not None:
-            network = base.network
-        else:
-            network = Network(latency=base.latency, metrics=base.metrics)
+        transport = resolve_transport(
+            base.transport,
+            network=base.network,
+            latency=base.latency,
+            metrics=base.metrics,
+        )
         root_metrics = (
-            base.metrics if base.metrics is not None else network.metrics
+            base.metrics if base.metrics is not None else transport.metrics
         )
         clusters = [
             DirectoryCluster.create(
-                base.for_shard(i, network, root_metrics.scoped(f"shard{i}"))
+                base.for_shard(i, transport, root_metrics.scoped(f"shard{i}"))
             )
             for i in range(resolved_map.shards)
         ]
-        return cls(resolved_map, clusters, network, metrics=root_metrics)
+        return cls(resolved_map, clusters, transport, metrics=root_metrics)
+
+    # -- substrate ----------------------------------------------------------
+
+    @property
+    def clock(self) -> Any:
+        """The shared substrate's clock (simulated ticks or wall seconds)."""
+        return self.transport.clock
+
+    @property
+    def network(self) -> Network:
+        """The shared simulated network, when the shards run on one.
+
+        Raises ``AttributeError`` on a non-simulated transport: fault
+        injection, traffic stats, and wave replay are simulation-only.
+        """
+        network = getattr(self.transport, "network", None)
+        if network is None:
+            raise AttributeError(
+                f"{type(self.transport).__name__} has no simulated "
+                "network; this surface is simulation-only"
+            )
+        return network
+
+    def close(self) -> None:
+        """Release the shared substrate (see the Directory lifecycle)."""
+        self.transport.close()
+
+    def __enter__(self) -> "ShardedDirectory":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- routing ------------------------------------------------------------
 
@@ -324,7 +373,7 @@ class ShardedDirectory:
         cross-shard metrics (``shard.routed``, retry counters) unprefixed."""
         if self._metrics is not None:
             return self._metrics
-        return self.network.metrics
+        return self.transport.metrics
 
     @property
     def tracer(self) -> Any:
@@ -416,12 +465,12 @@ class ShardedDirectory:
 register_directory(
     "sharded-range",
     lambda: ShardedDirectory.create(
-        "3-2-2", shards=3, shard_map="range", seed=0
+        ClusterSpec(config="3-2-2", seed=0), shards=3, shard_map="range"
     ),
 )
 register_directory(
     "sharded-hash",
     lambda: ShardedDirectory.create(
-        "3-2-2", shards=3, shard_map="hash", seed=0
+        ClusterSpec(config="3-2-2", seed=0), shards=3, shard_map="hash"
     ),
 )

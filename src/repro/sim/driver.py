@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.errors import (
     KeyAlreadyPresentError,
     KeyNotPresentError,
@@ -170,7 +170,8 @@ def run_simulation(
     """
     started = time.perf_counter()
     if cluster is None:
-        options: dict[str, Any] = dict(
+        cluster_spec = ClusterSpec(
+            config=spec.config,
             store=spec.store,
             locking=spec.locking,
             seed=spec.seed,
@@ -185,13 +186,12 @@ def run_simulation(
             from repro.shard import ShardedDirectory
 
             cluster = ShardedDirectory.create(
-                spec.config,
+                cluster_spec,
                 shards=spec.shards,
                 shard_map=spec.shard_map,
-                **options,
             )
         else:
-            cluster = DirectoryCluster.create(spec.config, **options)
+            cluster = DirectoryCluster.create(cluster_spec)
     suite = cluster.suite
     workload_cls = {
         "uniform": UniformWorkload,

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro.baselines.directory_as_file import build_directory_as_file
 from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
 
@@ -58,7 +59,7 @@ class TestCost:
         # Contrast: the paper's algorithm ships only the touched entry.
         from repro.cluster import DirectoryCluster
 
-        cluster = DirectoryCluster.create("3-2-2", seed=6)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=6))
         for i in range(50):
             cluster.suite.insert(i, i)
         cluster.network.stats.reset()

@@ -9,6 +9,7 @@ import random
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro.baselines.naive_entry_versions import build_naive
 from repro.core.errors import (
     AmbiguousLookupError,
@@ -90,7 +91,7 @@ class TestPaperScenario:
             FixedQuorumPolicy,
         )
 
-        cluster = DirectoryCluster.create("3-2-2", seed=6)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=6))
         suite = cluster.suite
         suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
         suite.insert("a", "A-val")

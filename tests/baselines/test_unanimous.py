@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro.baselines.unanimous import build_unanimous
 from repro.core.errors import (
     KeyAlreadyPresentError,
@@ -63,7 +64,7 @@ class TestAvailability:
     def test_voting_suite_survives_what_unanimous_cannot(self):
         from repro.cluster import DirectoryCluster
 
-        cluster = DirectoryCluster.create("3-2-2", seed=6)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=6))
         cluster.suite.insert("a", 1)
         cluster.crash("C")
         cluster.suite.update("a", 2)  # weighted voting shrugs

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.keys import wrap
 from repro.storage.btree import BTreeStore
 from repro.storage.sorted_store import SortedStore
@@ -15,7 +15,7 @@ from repro.storage.sorted_store import SortedStore
 @pytest.fixture
 def cluster322():
     """A fresh 3-2-2 cluster with deterministic quorum selection."""
-    return DirectoryCluster.create("3-2-2", seed=1234)
+    return DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1234))
 
 
 @pytest.fixture(

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.resilient import ResilientSuite, RetryPolicy
 from repro.net.failures import LossEvent, LossyLinks, ScriptedLoss
 from repro.sim.driver import SimulationSpec, run_simulation
@@ -23,7 +23,7 @@ class TestCompletionRetries:
     def _single_rep_cluster(self):
         # One representative with one vote: every transaction touches A,
         # so scripted loss on dir:A.commit hits deterministically.
-        cluster = DirectoryCluster.create("1-1-1", seed=3)
+        cluster = DirectoryCluster.create(ClusterSpec(config="1-1-1", seed=3))
         cluster.suite.insert("k", 1)
         return cluster
 
@@ -69,7 +69,7 @@ class TestCompletionRetries:
 
 class TestRetryingFrontEndEndToEnd:
     def test_masks_random_loss_on_a_real_cluster(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=11)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=11))
         for i in range(20):
             cluster.suite.insert(f"k{i:02d}", i)
         cluster.network.install_faults(

@@ -6,7 +6,7 @@ only as bounded log length and unchanged recovery results.
 
 import random
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.storage.snapshot import EveryNCommits, LogSizeBound
 
 
@@ -30,26 +30,22 @@ def churn(cluster, n_ops, seed):
 
 class TestCheckpointingUnderLoad:
     def test_logs_stay_bounded(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=1, checkpoint_policy=LogSizeBound(60)
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1, checkpoint_policy=LogSizeBound(60)))
         churn(cluster, 400, seed=2)
         for rep in cluster.representatives.values():
             # Bound + at most one burst of records between checkpoints.
             assert len(rep.wal) < 150
 
     def test_unbounded_without_policy(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
         churn(cluster, 400, seed=2)
         assert any(
             len(rep.wal) > 300 for rep in cluster.representatives.values()
         )
 
     def test_semantics_identical_with_and_without(self):
-        plain = DirectoryCluster.create("3-2-2", seed=3)
-        checkpointed = DirectoryCluster.create(
-            "3-2-2", seed=3, checkpoint_policy=EveryNCommits(20)
-        )
+        plain = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=3))
+        checkpointed = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=3, checkpoint_policy=EveryNCommits(20)))
         model_a = churn(plain, 300, seed=4)
         model_b = churn(checkpointed, 300, seed=4)
         assert model_a == model_b
@@ -59,9 +55,7 @@ class TestCheckpointingUnderLoad:
         )
 
     def test_recovery_after_checkpointed_history(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=5, checkpoint_policy=EveryNCommits(10)
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=5, checkpoint_policy=EveryNCommits(10)))
         model = churn(cluster, 300, seed=6)
         for name in cluster.representatives:
             before = cluster.representative(name).store.snapshot()
@@ -71,9 +65,7 @@ class TestCheckpointingUnderLoad:
         assert cluster.suite.authoritative_state() == model
 
     def test_crash_between_checkpoints_replays_tail(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=7, checkpoint_policy=EveryNCommits(50)
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7, checkpoint_policy=EveryNCommits(50)))
         suite = cluster.suite
         for i in range(60):  # one checkpoint plus a tail
             suite.insert(i, i)

@@ -9,14 +9,14 @@ and the youngest victim's abort releases the survivor.
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.errors import WouldBlockError
 from repro.core.keys import wrap
 
 
 @pytest.fixture
 def cluster():
-    return DirectoryCluster.create("3-2-2", seed=99)
+    return DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=99))
 
 
 def rep_call(cluster, rep, method, *args):

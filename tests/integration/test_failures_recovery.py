@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.errors import (
     KeyAlreadyPresentError,
     KeyNotPresentError,
@@ -90,7 +90,7 @@ class TestAtomicity:
     def test_no_partial_insert_visible_after_mid_operation_crash(self):
         """Crash a representative mid-delete: the 2PC must abort and the
         suite must look untouched."""
-        cluster = DirectoryCluster.create("3-2-2", seed=13)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=13))
         suite = cluster.suite
         for key in ("a", "b", "c"):
             suite.insert(key, key)
@@ -121,7 +121,7 @@ class TestAtomicity:
             cluster.check_invariants()
 
     def test_prepare_refuses_after_crash_mid_transaction(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=14)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=14))
         suite = cluster.suite
         suite.insert("x", 1)
         # Crash + instant recovery of a representative between a rep-level
@@ -158,7 +158,7 @@ class TestAtomicity:
 
 class TestChurnWithRandomFailures:
     def test_workload_under_churn_stays_consistent(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=15)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=15))
         suite = cluster.suite
         injector = RandomFailures(
             cluster.network,

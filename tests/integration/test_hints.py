@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.core.hints import HintedDirectory
 
@@ -15,7 +15,7 @@ def hinted_cluster(seed=1, refresh_on_miss=True):
         read_quorum=2,
         write_quorum=2,
     )
-    cluster = DirectoryCluster.create(config, seed=seed)
+    cluster = DirectoryCluster.create(ClusterSpec(config=config, seed=seed))
     hinted = HintedDirectory(
         cluster.suite, hint="H", refresh_on_miss=refresh_on_miss
     )
@@ -24,12 +24,12 @@ def hinted_cluster(seed=1, refresh_on_miss=True):
 
 class TestValidation:
     def test_hint_requires_zero_votes(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
         with pytest.raises(ValueError):
             HintedDirectory(cluster.suite, hint="A")
 
     def test_unknown_hint_rejected(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
         with pytest.raises(ValueError):
             HintedDirectory(cluster.suite, hint="Z")
 

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
 from repro.core.quorum import StickyQuorumPolicy
 
@@ -58,7 +58,7 @@ def run_model_check(cluster, n_ops, seed, key_space=50):
     "spec", ["1-1-1", "2-1-2", "3-2-2", "3-1-3", "4-2-3", "5-3-3"]
 )
 def test_configurations_behave_like_dict(spec):
-    cluster = DirectoryCluster.create(spec, seed=hash(spec) % 1000)
+    cluster = DirectoryCluster.create(ClusterSpec(config=spec, seed=hash(spec) % 1000))
     run_model_check(cluster, n_ops=600, seed=17)
 
 
@@ -69,7 +69,7 @@ def test_weighted_votes_behave_like_dict():
     config = SuiteConfig(
         votes={"big": 3, "s1": 1, "s2": 1}, read_quorum=3, write_quorum=3
     )
-    cluster = DirectoryCluster.create(config, seed=11)
+    cluster = DirectoryCluster.create(ClusterSpec(config=config, seed=11))
     run_model_check(cluster, n_ops=500, seed=22)
     # The big replica saw every write; the small ones may lag.
     big = cluster.representatives["big"]
@@ -82,7 +82,7 @@ def test_weighted_votes_survive_small_replica_crashes():
     config = SuiteConfig(
         votes={"big": 3, "s1": 1, "s2": 1}, read_quorum=3, write_quorum=3
     )
-    cluster = DirectoryCluster.create(config, seed=12)
+    cluster = DirectoryCluster.create(ClusterSpec(config=config, seed=12))
     suite = cluster.suite
     suite.insert("k", 1)
     cluster.crash("s1")
@@ -101,25 +101,23 @@ def test_weighted_votes_survive_small_replica_crashes():
 
 
 def test_btree_store_behaves_like_dict():
-    cluster = DirectoryCluster.create("3-2-2", store="btree", seed=4)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", store="btree", seed=4))
     run_model_check(cluster, n_ops=800, seed=18)
 
 
 def test_batched_neighbor_search_behaves_like_dict():
-    cluster = DirectoryCluster.create("3-2-2", seed=5, neighbor_batch_size=3)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=5, neighbor_batch_size=3))
     run_model_check(cluster, n_ops=800, seed=19)
 
 
 def test_sticky_quorums_behave_like_dict():
-    cluster = DirectoryCluster.create(
-        "3-2-2", seed=6, quorum_policy=StickyQuorumPolicy(switch_prob=0.1)
-    )
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=6, quorum_policy=StickyQuorumPolicy(switch_prob=0.1)))
     run_model_check(cluster, n_ops=600, seed=20)
 
 
 def test_locking_enabled_behaves_like_dict():
     # Serial transactions with full lock bookkeeping enabled.
-    cluster = DirectoryCluster.create("3-2-2", seed=7, locking=True)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7, locking=True))
     run_model_check(cluster, n_ops=400, seed=21)
     # Everything committed: every lock table must be idle.
     for rep in cluster.representatives.values():
@@ -129,7 +127,7 @@ def test_locking_enabled_behaves_like_dict():
 def test_version_numbers_never_regress():
     # For every key ever touched, the best-known version over any read
     # is non-decreasing across operations.
-    cluster = DirectoryCluster.create("3-2-2", seed=8)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=8))
     suite = cluster.suite
     rng = random.Random(9)
     best_seen: dict[int, int] = {}

@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.core.keys import LOW, wrap
 from repro.core.quorum import QuorumPolicy
@@ -35,7 +35,7 @@ class FixedQuorumPolicy(QuorumPolicy):
 
 @pytest.fixture
 def cluster():
-    return DirectoryCluster.create("3-2-2", seed=0)
+    return DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=0))
 
 
 def set_quorums(cluster, read, write=None):

@@ -2,7 +2,7 @@
 
 import random
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.core.quorum import LocalityQuorumPolicy, StickyQuorumPolicy
 from repro.net.network import site_latency
@@ -32,9 +32,7 @@ class TestStickyQuorums:
         assert sticky.delete_stats.insertions_while_coalescing.avg < 0.05
 
     def test_sticky_behaves_correctly(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=6, quorum_policy=StickyQuorumPolicy()
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=6, quorum_policy=StickyQuorumPolicy()))
         suite = cluster.suite
         for i in range(30):
             suite.insert(i, i)
@@ -45,9 +43,7 @@ class TestStickyQuorums:
             assert present == (i % 2 == 1)
 
     def test_sticky_adapts_to_failure(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=7, quorum_policy=StickyQuorumPolicy()
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7, quorum_policy=StickyQuorumPolicy()))
         suite = cluster.suite
         suite.insert("k", 1)
         # Crash whichever rep the sticky write quorum used first.
@@ -73,12 +69,7 @@ class TestLocalityQuorums:
             "node-B1": "site-B",
             "node-B2": "site-B",
         }
-        return DirectoryCluster.create(
-            config,
-            seed=8,
-            quorum_policy=LocalityQuorumPolicy(local=["A1", "A2"]),
-            latency=site_latency(sites, local=1.0, remote=25.0),
-        )
+        return DirectoryCluster.create(ClusterSpec(config=config, seed=8, quorum_policy=LocalityQuorumPolicy(local=["A1", "A2"]), latency=site_latency(sites, local=1.0, remote=25.0)))
 
     def test_reads_stay_local(self):
         cluster = self._cluster()

@@ -4,14 +4,14 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.keys import wrap
 from tests.integration.test_paper_figures import FixedQuorumPolicy
 
 
 class TestReadRepair:
     def test_repair_copies_entry_to_stale_member(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=1, read_repair=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1, read_repair=True))
         suite = cluster.suite
         suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
         suite.insert("k", "v")  # C never saw it
@@ -25,7 +25,7 @@ class TestReadRepair:
     def test_repair_preserves_version(self):
         # Repair copies current data at its current version — it must not
         # invent a higher one.
-        cluster = DirectoryCluster.create("3-2-2", seed=2, read_repair=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=2, read_repair=True))
         suite = cluster.suite
         suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
         suite.insert("k", "v")
@@ -38,7 +38,7 @@ class TestReadRepair:
         )
 
     def test_no_repair_when_disabled(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=3, read_repair=False)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=3, read_repair=False))
         suite = cluster.suite
         suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
         suite.insert("k", "v")
@@ -49,7 +49,7 @@ class TestReadRepair:
 
     def test_repair_does_not_resurrect_deleted_keys(self):
         # A ghost's reply loses the vote; repair must not copy the ghost.
-        cluster = DirectoryCluster.create("3-2-2", seed=4, read_repair=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=4, read_repair=True))
         suite = cluster.suite
         suite.quorum_policy = FixedQuorumPolicy(read=["A", "B"], write=["A", "B"])
         suite.insert("k", "v")
@@ -64,7 +64,7 @@ class TestReadRepair:
     def test_repair_with_model_check(self):
         from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
 
-        cluster = DirectoryCluster.create("3-2-2", seed=5, read_repair=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=5, read_repair=True))
         suite = cluster.suite
         model = {}
         rng = random.Random(6)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.shard import ShardedDirectory
 from repro.sim import SimulationSpec, run_simulation
 from repro.sim.workload import UniformWorkload
@@ -39,7 +39,7 @@ class TestSingleShardBitIdentity:
     def test_direct_ops_identical(self):
         ops = _churn_ops(200, seed=17)
 
-        plain = DirectoryCluster.create("3-2-2", seed=99)
+        plain = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=99))
         r_plain = _run(plain.suite, ops)
         plain_obs = (
             plain.network.stats.messages,
@@ -50,9 +50,7 @@ class TestSingleShardBitIdentity:
             plain.suite.delete_stats.as_table(),
         )
 
-        sharded = ShardedDirectory.create(
-            "3-2-2", shards=1, shard_map="range", seed=99
-        )
+        sharded = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=99), shards=1, shard_map="range")
         r_sharded = _run(sharded, ops)
         sharded_obs = (
             sharded.network.stats.messages,
@@ -156,7 +154,7 @@ class TestMultiShard:
         assert result.audit_report.ok
 
     def test_crash_isolates_to_one_shard(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=5)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=5), shards=2)
         sd.insert(0.2, "left")
         sd.insert(0.8, "right")
         # Lose shard 1's quorum entirely.

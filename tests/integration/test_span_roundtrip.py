@@ -13,6 +13,7 @@ Three contracts from the observability layer:
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro import (
     DirectoryCluster,
     SimulationSpec,
@@ -74,15 +75,13 @@ class TestSpanDumpReplay:
         suite.lookup("bob")
 
     def test_dump_replays_to_identical_state(self):
-        traced = DirectoryCluster.create(
-            "3-2-2", seed=5, tracer=RecordingTracer()
-        )
+        traced = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=5, tracer=RecordingTracer()))
         self._drive(traced)
         # full serialisation round trip: dump text -> spans -> trace
         text = dump_spans(traced.tracer.finished_roots())
         trace = spans_to_trace(load_spans(text))
 
-        fresh = DirectoryCluster.create("3-2-2", seed=99)
+        fresh = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=99))
         replay(trace, fresh.suite)
         assert (
             fresh.suite.authoritative_state()
@@ -90,9 +89,7 @@ class TestSpanDumpReplay:
         )
 
     def test_failed_operations_are_not_replayed(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=5, tracer=RecordingTracer()
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=5, tracer=RecordingTracer()))
         cluster.suite.insert("a", 1)
         cluster.crash("B")
         cluster.crash("C")  # only A up: no quorum, writes abort
@@ -105,7 +102,7 @@ class TestSpanDumpReplay:
         cluster.suite.insert("c", 3)
 
         trace = spans_to_trace(cluster.tracer.finished_roots())
-        fresh = DirectoryCluster.create("3-2-2", seed=1)
+        fresh = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
         replay(trace, fresh.suite)
         assert (
             fresh.suite.authoritative_state()
@@ -120,16 +117,14 @@ class TestSpanDumpReplay:
             seed=21,
             trace_spans=True,
         )
-        traced = DirectoryCluster.create(
-            spec.config, seed=spec.seed, tracer=RecordingTracer()
-        )
+        traced = DirectoryCluster.create(ClusterSpec(config=spec.config, seed=spec.seed, tracer=RecordingTracer()))
         result = run_simulation(spec, cluster=traced)
         # The tracer resets when measurement starts, so the dump covers
         # the measured stream only; give the fresh cluster the same load
         # phase (deterministic from the workload seed), then replay.
         from repro.sim.workload import UniformWorkload
 
-        fresh = DirectoryCluster.create(spec.config, seed=1)
+        fresh = DirectoryCluster.create(ClusterSpec(config=spec.config, seed=1))
         workload = UniformWorkload(
             target_size=spec.directory_size, seed=spec.seed + 1
         )
@@ -146,7 +141,7 @@ class TestSpanDumpReplay:
 
 class TestMetricCatalog:
     def test_documented_names_are_registered(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=2)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=2))
         cluster.suite.insert("a", 1)
         cluster.suite.lookup("a")
         names = set(cluster.metrics.names())
@@ -190,7 +185,7 @@ class TestZeroCostWhenDisabled:
         assert result.spans == []
 
     def test_default_cluster_uses_the_null_tracer(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
         assert cluster.tracer is NULL_TRACER
         cluster.suite.insert("a", 1)
         cluster.suite.delete("a")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.errors import (
     KeyAlreadyPresentError,
     KeyNotPresentError,
@@ -89,9 +89,7 @@ class TestDirectorySemantics:
 
 class TestVersionSpaceIntegration:
     def test_version_overflow_surfaces(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=2, version_space=VersionSpace(bits=3)
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=2, version_space=VersionSpace(bits=3)))
         suite = cluster.suite
         suite.insert("k", 0)
         with pytest.raises(VersionOverflowError):
@@ -99,9 +97,7 @@ class TestVersionSpaceIntegration:
                 suite.update("k", i)
 
     def test_48bit_space_practically_unbounded(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=3, version_space=PAPER_48BIT
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=3, version_space=PAPER_48BIT))
         suite = cluster.suite
         suite.insert("k", 0)
         for i in range(50):

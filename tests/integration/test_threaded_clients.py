@@ -8,7 +8,7 @@ directory must be exactly the union of what the clients committed.
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.sim.threads import ThreadedClients
 
 
@@ -16,7 +16,7 @@ class TestPartitionedClients:
     """Each client owns a key interval: exact final-state checking."""
 
     def test_final_state_equals_union_of_models(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=5, locking=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=5, locking=True))
         harness = ThreadedClients(
             cluster, n_clients=4, ops_per_client=60, seed=6
         )
@@ -28,7 +28,7 @@ class TestPartitionedClients:
         cluster.check_invariants()
 
     def test_lock_tables_drain(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=7, locking=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7, locking=True))
         ThreadedClients(cluster, n_clients=3, ops_per_client=40, seed=8).run()
         for rep in cluster.representatives.values():
             assert rep.locks.is_idle()
@@ -37,7 +37,7 @@ class TestPartitionedClients:
         # Deletes read-lock across gap boundaries into neighbors'
         # territory, so some conflicts are expected even with disjoint
         # ownership (this is what makes the test non-trivial).
-        cluster = DirectoryCluster.create("3-2-2", seed=9, locking=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=9, locking=True))
         result = ThreadedClients(
             cluster, n_clients=6, ops_per_client=80, seed=10
         ).run()
@@ -47,9 +47,7 @@ class TestPartitionedClients:
         # in practice more often than never across the suite of runs.
 
     def test_btree_store_under_concurrency(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", store="btree", seed=11, locking=True
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", store="btree", seed=11, locking=True))
         result = ThreadedClients(
             cluster, n_clients=4, ops_per_client=50, seed=12
         ).run()
@@ -62,7 +60,7 @@ class TestContendedClients:
     """All clients share one key space: rejections are legitimate."""
 
     def test_shared_keyspace_stays_coherent(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=13, locking=True)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=13, locking=True))
         result = ThreadedClients(
             cluster,
             n_clients=4,
@@ -87,6 +85,6 @@ class TestContendedClients:
 
 class TestHarnessValidation:
     def test_requires_locking(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=15, locking=False)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=15, locking=False))
         with pytest.raises(ValueError):
             ThreadedClients(cluster)

@@ -1,0 +1,201 @@
+"""One behavioural contract, two substrates.
+
+The whole point of the Transport seam is that the paper's algorithm
+cannot tell whether its RPCs ride the simulated network or real asyncio
+sockets.  This suite runs the same operation/error/chaos sequences over
+a cluster built on each transport and demands identical *behaviour*
+(answers, error types, quorum availability) — timing, of course,
+differs: one substrate is a virtual clock, the other is the wall.
+
+The asyncio half doubles as the loopback integration test for the
+service stack: representatives really are socket servers here, every
+suite operation really crosses TCP, and the front-door/client pair gets
+its own end-to-end pass at the bottom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, DirectoryCluster
+from repro.core.errors import (
+    ConfigurationError,
+    KeyAlreadyPresentError,
+    KeyNotPresentError,
+    QuorumUnavailableError,
+)
+from repro.core.interface import Directory
+from repro.net.network import Network, uniform_latency
+from repro.net.transport import SimTransport, resolve_transport
+
+TRANSPORTS = ["sim", "asyncio"]
+
+
+@pytest.fixture(params=TRANSPORTS)
+def cluster(request):
+    with DirectoryCluster.create(
+        ClusterSpec(config="3-2-2", seed=9, transport=request.param)
+    ) as c:
+        yield c
+
+
+class TestOperationContract:
+    def test_crud_sequence(self, cluster):
+        d = cluster.suite
+        assert d.size() == 0
+        assert d.lookup("a") == (False, None)
+        d.insert("a", 1)
+        d.insert("b", 2)
+        d.insert("c", 3)
+        assert d.lookup("b") == (True, 2)
+        assert d.size() == 3
+        d.update("b", 20)
+        assert d.lookup("b") == (True, 20)
+        d.delete("a")
+        assert d.lookup("a") == (False, None)
+        assert d.size() == 2
+        # Reinsert after delete: the paper's stale-copy hard case.
+        d.insert("a", 10)
+        assert d.lookup("a") == (True, 10)
+
+    def test_error_contract(self, cluster):
+        d = cluster.suite
+        d.insert("k", 1)
+        with pytest.raises(KeyAlreadyPresentError):
+            d.insert("k", 2)
+        with pytest.raises(KeyNotPresentError):
+            d.update("missing", 1)
+        with pytest.raises(KeyNotPresentError):
+            d.delete("missing")
+        assert d.lookup("k") == (True, 1)
+
+    def test_replicas_agree_after_churn(self, cluster):
+        d = cluster.suite
+        for i in range(12):
+            d.insert(f"k{i}", i)
+        for i in range(0, 12, 3):
+            d.delete(f"k{i}")
+        for i in range(1, 12, 3):
+            d.update(f"k{i}", -i)
+        expected = {}
+        for i in range(12):
+            if i % 3 == 0:
+                continue
+            expected[f"k{i}"] = -i if i % 3 == 1 else i
+        assert d.authoritative_state() == expected
+
+
+class TestChaosContract:
+    def test_single_crash_is_masked(self, cluster):
+        d = cluster.suite
+        d.insert("x", 1)
+        cluster.crash("B")
+        d.update("x", 2)  # 2-of-3 quorum still assembles
+        assert d.lookup("x") == (True, 2)
+        cluster.recover("B")
+        assert d.lookup("x") == (True, 2)
+        assert d.authoritative_state() == {"x": 2}
+
+    def test_quorum_loss_raises_not_corrupts(self, cluster):
+        d = cluster.suite
+        d.insert("x", 1)
+        cluster.crash("A")
+        cluster.crash("B")
+        with pytest.raises(QuorumUnavailableError):
+            d.update("x", 2)
+        cluster.recover("A")
+        cluster.recover("B")
+        assert d.lookup("x") == (True, 1)
+        d.update("x", 2)
+        assert d.lookup("x") == (True, 2)
+
+    def test_crashed_replica_catches_up_on_recovery(self, cluster):
+        d = cluster.suite
+        for i in range(6):
+            d.insert(f"k{i}", i)
+        cluster.crash("C")
+        d.update("k0", 100)
+        d.delete("k1")
+        cluster.recover("C")
+        # Weighted voting needs no explicit anti-entropy: the recovered
+        # replica is simply outvoted until writes refresh it.
+        assert d.lookup("k0") == (True, 100)
+        assert d.lookup("k1") == (False, None)
+
+
+class TestTransportSurface:
+    def test_protocol_surface(self, cluster):
+        t = cluster.transport
+        node = cluster.suite.placements["A"].node_id
+        assert t.is_up(node)
+        assert t.reachable("client", node)
+        before = t.clock.now()
+        cluster.suite.insert("k", 1)
+        assert t.clock.now() >= before
+        t.crash(node)
+        assert not t.is_up(node)
+        t.recover(node)
+        assert t.is_up(node)
+        assert t.reachable("client", node)
+
+    def test_cluster_close_is_idempotent(self, cluster):
+        cluster.suite.insert("k", 1)
+        cluster.close()
+        cluster.close()
+
+    def test_suite_satisfies_directory_protocol(self, cluster):
+        assert isinstance(cluster.suite, Directory)
+
+
+class TestResolution:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_transport("carrier-pigeon", network=None, latency=None)
+
+    def test_asyncio_rejects_simulation_options(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(config="3-2-2", transport="asyncio", latency=uniform_latency())
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(
+                config="3-2-2", transport="asyncio", network=Network()
+            )
+
+    def test_instance_passes_through(self):
+        net = Network()
+        transport = SimTransport(net)
+        resolved = resolve_transport(transport, network=None, latency=None)
+        assert resolved is transport
+
+
+class TestServiceLoopback:
+    """The front door + client library, over real sockets end to end."""
+
+    def test_client_conformance_and_errors(self):
+        from repro.service.client import DirectoryClient
+        from repro.service.server import DirectoryService
+        from repro.shard.sharded import ShardedDirectory
+
+        spec = ClusterSpec(config="3-2-2", seed=4, transport="asyncio")
+        with ShardedDirectory.create(spec, shards=2, shard_map="hash") as d:
+            with DirectoryService(d).start() as service:
+                with DirectoryClient(port=service.port) as client:
+                    assert isinstance(client, Directory)
+                    assert client.ping()
+                    assert client.shards() == 2
+                    client.insert("a", "1")
+                    with pytest.raises(KeyAlreadyPresentError):
+                        client.insert("a", "2")
+                    with pytest.raises(KeyNotPresentError):
+                        client.update("zz", "0")
+                    client.update("a", "2")
+                    assert client.lookup("a") == (True, "2")
+                    client.set("b", "3")
+                    assert client.get("b") == "3"
+                    assert client.remove("b") is True
+                    assert client.remove("b") is False
+                    assert client.get("b") is None
+                    assert client.size() == 1
+                    client.delete("a")
+                    assert client.size() == 0
+                # close is idempotent on the client too
+                client.close()

@@ -1,0 +1,105 @@
+"""SimTransport must be a zero-cost veneer over the simulated Network.
+
+The Transport seam (PR 6) rehosted every RPC the suite issues.  These
+tests pin the refactor three ways:
+
+* the three pre-refactor serial baselines (captured before the seam
+  existed, shared with ``tests/unit/test_fanout.py``) reproduce
+  bit-for-bit through an *explicitly* requested ``transport="sim"`` —
+  same message counts, same simulated latency, same final directory;
+* the default (no transport named) and the explicit ``"sim"`` string
+  and a hand-built :class:`SimTransport` instance all produce identical
+  runs — three spellings, one substrate;
+* the delegation surface really is the network underneath (same clock
+  object, same stats object), so no test can pass by accident of a
+  parallel bookkeeping copy drifting in step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, DirectoryCluster
+from repro.net.network import Network
+from repro.net.transport import SimTransport
+from repro.sim.driver import run_simulation
+from tests.unit.test_fanout import SERIAL_BASELINES
+
+
+def _drive(spec, transport):
+    cluster = DirectoryCluster.create(
+        ClusterSpec(
+            config=spec.config,
+            seed=spec.seed,
+            neighbor_batch_size=spec.neighbor_batch_size,
+            read_repair=spec.read_repair,
+            transport=transport,
+        )
+    )
+    return run_simulation(spec, cluster=cluster), cluster
+
+
+class TestPinnedBaselines:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        SERIAL_BASELINES,
+        ids=["perfect", "lossy", "batched-neighbors"],
+    )
+    def test_sim_transport_reproduces_pre_refactor_run(self, spec, expected):
+        result, _ = _drive(spec, "sim")
+        for key, value in expected.items():
+            if key in ("sim_ticks", "final_size"):
+                assert getattr(result, key) == value, key
+            else:
+                assert result.traffic[key] == value, key
+        assert result.failed_operations == 0
+        assert result.model_mismatches == 0
+
+    def test_three_spellings_one_substrate(self):
+        spec, expected = SERIAL_BASELINES[0]
+        runs = {}
+        for label, transport in [
+            ("default", None),
+            ("named", "sim"),
+            ("instance", SimTransport(Network())),
+        ]:
+            result, _ = _drive(spec, transport)
+            runs[label] = (
+                result.traffic["messages"],
+                result.traffic["rpc_rounds"],
+                result.sim_ticks,
+                result.final_size,
+            )
+        assert runs["default"] == runs["named"] == runs["instance"]
+        assert runs["default"][0] == expected["messages"]
+
+
+class TestDelegation:
+    def test_sim_transport_is_the_network(self):
+        cluster = DirectoryCluster.create(
+            ClusterSpec(config="3-2-2", seed=1, transport="sim")
+        )
+        transport = cluster.transport
+        assert isinstance(transport, SimTransport)
+        net = transport.network
+        assert cluster.network is net
+        assert transport.clock is net.clock
+        assert transport.metrics is net.metrics
+        # Liveness answers come straight from the network's node table.
+        node = cluster.suite.placements["A"].node_id
+        assert transport.is_up(node)
+        cluster.crash("A")
+        assert not transport.is_up(node)
+        assert not net.node(node).is_up
+        cluster.recover("A")
+        assert transport.is_up(node)
+
+    def test_suite_clock_is_the_simulated_clock(self):
+        cluster = DirectoryCluster.create(
+            ClusterSpec(config="3-2-2", seed=2)
+        )
+        before = cluster.suite.clock.now()
+        cluster.suite.insert("k", 1)
+        after = cluster.suite.clock.now()
+        assert after > before
+        assert cluster.network.clock.now() == after

@@ -12,7 +12,7 @@ from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.errors import KeyAlreadyPresentError, KeyNotPresentError
 
 key_payloads = st.integers(min_value=0, max_value=25)
@@ -21,7 +21,7 @@ key_payloads = st.integers(min_value=0, max_value=25)
 class SuiteVsDict(RuleBasedStateMachine):
     def __init__(self):
         super().__init__()
-        self.cluster = DirectoryCluster.create("3-2-2", seed=77)
+        self.cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=77))
         self.suite = self.cluster.suite
         self.model: dict[int, int] = {}
         self.counter = 0
@@ -112,13 +112,7 @@ class SuiteVsDictExtensions(SuiteVsDict):
 
     def __init__(self):
         super().__init__()
-        self.cluster = DirectoryCluster.create(
-            "3-2-2",
-            seed=78,
-            store="btree",
-            read_repair=True,
-            neighbor_batch_size=3,
-        )
+        self.cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=78, store="btree", read_repair=True, neighbor_batch_size=3))
         self.suite = self.cluster.suite
 
 

@@ -1,10 +1,11 @@
-"""Docs drift: every import the API guide shows must actually work.
+"""Docs drift: every import the user guides show must actually work.
 
-docs/API.md is the contract users copy-paste from.  This test extracts
-every ``import repro...`` / ``from repro... import ...`` statement out of
-its fenced python blocks and executes them, so renaming or un-exporting
-a symbol fails CI instead of silently breaking the docs.  It also pins
-``repro.__all__`` to reality in both directions.
+docs/API.md and docs/SERVICE.md are the contracts users copy-paste
+from.  This test extracts every ``import repro...`` /
+``from repro... import ...`` statement out of their fenced python
+blocks and executes them, so renaming or un-exporting a symbol fails CI
+instead of silently breaking the docs.  It also pins ``repro.__all__``
+to reality in both directions.
 """
 
 from __future__ import annotations
@@ -16,7 +17,8 @@ import pytest
 
 import repro
 
-API_MD = Path(__file__).resolve().parents[2] / "docs" / "API.md"
+_DOCS = Path(__file__).resolve().parents[2] / "docs"
+GUIDES = [_DOCS / "API.md", _DOCS / "SERVICE.md"]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 # A repro import statement, including parenthesized multiline forms.
@@ -27,32 +29,38 @@ _IMPORT = re.compile(
 )
 
 
-def _doc_import_statements() -> list[str]:
-    text = API_MD.read_text()
-    statements: list[str] = []
-    for block in _FENCE.findall(text):
-        # Strip comments first: they may contain parentheses that would
-        # derail the parenthesized-import match.
-        stripped = "\n".join(
-            line.split("#")[0].rstrip() for line in block.splitlines()
-        )
-        statements.extend(m.group(0) for m in _IMPORT.finditer(stripped))
+def _doc_import_statements() -> list[tuple[str, str]]:
+    statements: list[tuple[str, str]] = []
+    for guide in GUIDES:
+        for block in _FENCE.findall(guide.read_text()):
+            # Strip comments first: they may contain parentheses that
+            # would derail the parenthesized-import match.
+            stripped = "\n".join(
+                line.split("#")[0].rstrip() for line in block.splitlines()
+            )
+            statements.extend(
+                (guide.name, m.group(0)) for m in _IMPORT.finditer(stripped)
+            )
     return statements
 
 
 STATEMENTS = _doc_import_statements()
 
 
-def test_api_md_has_import_examples():
-    # The guide leans on imports throughout; an empty extraction means
+@pytest.mark.parametrize("guide", GUIDES, ids=[g.name for g in GUIDES])
+def test_guide_has_import_examples(guide):
+    # The guides lean on imports throughout; an empty extraction means
     # the regex (or the doc) broke, not that there is nothing to check.
-    assert len(STATEMENTS) >= 10
+    count = sum(1 for name, _ in STATEMENTS if name == guide.name)
+    assert count >= (10 if guide.name == "API.md" else 3)
 
 
 @pytest.mark.parametrize(
-    "statement", STATEMENTS, ids=[s.replace("\n", " ")[:60] for s in STATEMENTS]
+    "guide,statement",
+    STATEMENTS,
+    ids=[f"{g}: {s.replace(chr(10), ' ')[:60]}" for g, s in STATEMENTS],
 )
-def test_documented_import_works(statement):
+def test_documented_import_works(guide, statement):
     exec(statement, {})
 
 
@@ -71,6 +79,9 @@ def test_key_surface_is_exported():
         "HashShardMap",
         "ShardAuditor",
         "WaveOutcome",
+        "Transport",
+        "SimTransport",
+        "resolve_transport",
         "register_directory",
         "directory_factories",
     ):

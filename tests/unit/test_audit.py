@@ -8,13 +8,13 @@ to catch.
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.keys import HIGH, LOW, wrap
 from repro.obs.audit import AuditReport, AuditViolation, InvariantAuditor
 
 
 def make_cluster(**kw):
-    return DirectoryCluster.create("3-2-2", seed=11, **kw)
+    return DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=11, **kw))
 
 
 def violations_by_check(report):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.config import SuiteConfig
 from repro.core.quorum import StickyQuorumPolicy
 from repro.storage.btree import BTreeStore
@@ -11,7 +11,7 @@ from repro.storage.sorted_store import SortedStore
 
 class TestCreate:
     def test_from_xyz_spec(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
         assert set(cluster.representatives) == {"A", "B", "C"}
         assert len(cluster.network.nodes()) == 3
 
@@ -19,30 +19,28 @@ class TestCreate:
         config = SuiteConfig(
             votes={"X": 2, "Y": 1, "Z": 1}, read_quorum=2, write_quorum=3
         )
-        cluster = DirectoryCluster.create(config, seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config=config, seed=1))
         assert set(cluster.representatives) == {"X", "Y", "Z"}
 
     def test_btree_store_selected(self):
-        cluster = DirectoryCluster.create("3-2-2", store="btree", seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", store="btree", seed=1))
         assert isinstance(cluster.representative("A").store, BTreeStore)
 
     def test_sorted_store_default(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
         assert isinstance(cluster.representative("A").store, SortedStore)
 
     def test_unknown_store_rejected(self):
         with pytest.raises(ValueError):
-            DirectoryCluster.create("3-2-2", store="rocksdb")
+            DirectoryCluster.create(ClusterSpec(config="3-2-2", store="rocksdb"))
 
     def test_custom_quorum_policy_installed(self):
         policy = StickyQuorumPolicy()
-        cluster = DirectoryCluster.create("3-2-2", quorum_policy=policy, seed=1)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", quorum_policy=policy, seed=1))
         assert cluster.suite.quorum_policy is policy
 
     def test_colocated_reps_share_node(self):
-        cluster = DirectoryCluster.create(
-            "3-2-2", seed=1, node_for_rep=lambda rep: "shared"
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1, node_for_rep=lambda rep: "shared"))
         assert len(cluster.network.nodes()) == 1
         # Crashing the one node takes every representative down.
         cluster.network.node("shared").crash()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro.net.failures import RandomFailures
 from repro.sim.driver import (
     SimulationSpec,
@@ -65,7 +66,7 @@ class TestRunSimulation:
     def test_failures_counted_not_raised(self):
         from repro.cluster import DirectoryCluster
 
-        cluster = DirectoryCluster.create("3-2-2", seed=5)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=5))
         injector = RandomFailures(
             cluster.network, crash_prob=0.05, recover_prob=0.1
         )
@@ -82,7 +83,7 @@ class TestRunSimulation:
         # authoritative size must match the workload's belief.
         from repro.cluster import DirectoryCluster
 
-        cluster = DirectoryCluster.create("3-2-2", seed=6)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=6))
         injector = RandomFailures(
             cluster.network, crash_prob=0.03, recover_prob=0.2
         )

@@ -15,6 +15,7 @@ Three layers are covered here:
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro.core.errors import NodeDownError, RpcTimeoutError
 from repro.net.failures import LossEvent, ScriptedLoss
 from repro.net.network import Network, uniform_latency
@@ -325,13 +326,7 @@ def _run_with_state(mode, **overrides):
     from repro.cluster import DirectoryCluster
 
     spec = _mode_spec(mode, **overrides)
-    cluster = DirectoryCluster.create(
-        spec.config,
-        seed=spec.seed,
-        tracer=RecordingTracer() if spec.trace_spans else None,
-        fanout=mode,
-        hedge_extra=spec.hedge_extra,
-    )
+    cluster = DirectoryCluster.create(ClusterSpec(config=spec.config, seed=spec.seed, tracer=RecordingTracer() if spec.trace_spans else None, fanout=mode, hedge_extra=spec.hedge_extra))
     result = run_simulation(spec, cluster=cluster)
     return result, cluster.suite.authoritative_state()
 
@@ -380,4 +375,4 @@ class TestFanoutModes:
         from repro.cluster import DirectoryCluster
 
         with pytest.raises(ValueError):
-            DirectoryCluster.create("3-2-2", fanout="sideways")
+            DirectoryCluster.create(ClusterSpec(config="3-2-2", fanout="sideways"))

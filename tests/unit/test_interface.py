@@ -101,6 +101,17 @@ def test_conformance_sequence(directory):
     assert d.lookup(0.1) == (False, None)
 
 
+def test_lifecycle_contract(directory):
+    # Every implementation is a context manager whose exit closes it,
+    # and close is idempotent.
+    with directory as d:
+        assert d is directory
+        d.insert(0.5, "x")
+        assert d.lookup(0.5) == (True, "x")
+    directory.close()
+    directory.close()
+
+
 def test_register_rejects_duplicates():
     with pytest.raises(ValueError):
         register_directory("suite", lambda: None)

@@ -15,6 +15,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro import (
     DirectoryCluster,
     HintedDirectory,
@@ -82,9 +83,7 @@ def runtime_names():
         read_quorum=2,
         write_quorum=2,
     )
-    cluster = DirectoryCluster.create(
-        config, seed=3, quorum_policy=StickyQuorumPolicy()
-    )
+    cluster = DirectoryCluster.create(ClusterSpec(config=config, seed=3, quorum_policy=StickyQuorumPolicy()))
     suite = cluster.suite
     HintedDirectory(suite, hint="cache")
     # Loss counters register eagerly when a fault model is installed.
@@ -114,7 +113,7 @@ def runtime_names():
 
     # A sharded directory contributes the root-level routing metrics and
     # shard<i>.-scoped copies of every per-cluster name.
-    sharded = ShardedDirectory.create("3-2-2", shards=2, seed=3)
+    sharded = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=3), shards=2)
     sharded.insert(0.2, "x")
     sharded.insert(0.8, "y")
     sharded.make_auditor().run()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cluster import ClusterSpec
 from repro.core.config import SuiteConfig
 from repro.sim.availability import placement_availability, quorum_availability
 
@@ -53,11 +54,7 @@ class TestPlacementAvailability:
         from repro.cluster import DirectoryCluster
         from repro.core.errors import QuorumUnavailableError
 
-        cluster = DirectoryCluster.create(
-            "3-2-2",
-            seed=1,
-            node_for_rep=lambda rep: "shared" if rep in ("A", "B") else "solo",
-        )
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1, node_for_rep=lambda rep: "shared" if rep in ("A", "B") else "solo"))
         cluster.suite.insert("k", 1)
         cluster.network.node("shared").crash()
         with pytest.raises(QuorumUnavailableError):

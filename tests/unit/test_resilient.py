@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.errors import (
     KeyAlreadyPresentError,
     KeyNotPresentError,
@@ -64,7 +64,7 @@ def make(**policy_kw):
     policy_kw.setdefault("max_attempts", 3)
     policy_kw.setdefault("base_backoff", 5.0)
     policy_kw.setdefault("jitter", 0.0)
-    cluster = DirectoryCluster.create("3-2-2", seed=7)
+    cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=7))
     front = ResilientSuite(
         cluster.suite,
         policy=RetryPolicy(**policy_kw),

@@ -1,11 +1,11 @@
 """Unit tests for the replicated set abstraction."""
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.core.setdir import ReplicatedSet
 
 
 def fresh_set(seed=1):
-    return ReplicatedSet.over(DirectoryCluster.create("3-2-2", seed=seed))
+    return ReplicatedSet.over(DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=seed)))
 
 
 class TestSetSemantics:
@@ -52,7 +52,7 @@ class TestSetSemantics:
         assert s.elements() == sorted(model)
 
     def test_survives_replica_crash(self):
-        cluster = DirectoryCluster.create("3-2-2", seed=4)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=4))
         s = ReplicatedSet.over(cluster)
         s.add_all(range(10))
         cluster.crash("B")

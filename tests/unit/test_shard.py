@@ -128,7 +128,8 @@ class TestResolveShardMap:
 
 class TestClusterSpec:
     def test_kwargs_shim_equals_spec(self):
-        a = DirectoryCluster.create("5-3-3", seed=11, store="btree")
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            a = DirectoryCluster.create("5-3-3", seed=11, store="btree")
         b = DirectoryCluster.create(
             ClusterSpec(config="5-3-3", seed=11, store="btree")
         )
@@ -159,7 +160,8 @@ class TestClusterSpec:
         spec = ClusterSpec(seed=10)
         shard2 = spec.for_shard(2, net, net.metrics.scoped("shard2"))
         assert shard2.seed == 12
-        assert shard2.network is net
+        assert shard2.network is None
+        assert shard2.transport.network is net
         assert shard2.node_for_rep("A") == "s2:node-A"
         assert shard2.latency is None
 
@@ -224,7 +226,7 @@ class TestScopedMetrics:
 
 class TestShardedDirectory:
     def test_routes_and_counts(self):
-        sd = ShardedDirectory.create("3-2-2", shards=4, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=4)
         keys = [0.1, 0.3, 0.6, 0.9]
         for k in keys:
             sd.insert(k, k)
@@ -238,24 +240,24 @@ class TestShardedDirectory:
         assert snap["shard.routed"] == {"s0": 2, "s1": 1, "s2": 1, "s3": 1}
 
     def test_size_sums_shards(self):
-        sd = ShardedDirectory.create("3-2-2", shards=3, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=3)
         for i in range(9):
             sd.insert(i / 9 + 0.01, i)
         assert sd.size() == 9
 
     def test_shared_network_and_disjoint_nodes(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         node_ids = {n.node_id for n in sd.network.nodes()}
         assert "s0:node-A" in node_ids and "s1:node-A" in node_ids
         assert all(c.network is sd.network for c in sd.clusters)
 
     def test_representatives_merged_by_shard(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         names = set(sd.representatives)
         assert {"s0/A", "s0/B", "s0/C", "s1/A", "s1/B", "s1/C"} == names
 
     def test_op_counts_aggregate_across_shards(self):
-        sd = ShardedDirectory.create("3-2-2", shards=4, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=4)
         for k in (0.1, 0.3, 0.6, 0.9):
             sd.insert(k, k)
             sd.lookup(k)
@@ -263,11 +265,11 @@ class TestShardedDirectory:
         assert sd.op_counts.lookups == 4
 
     def test_wave_pays_max_not_sum(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         clock = sd.network.clock
 
         # Serial baseline: same ops one after another.
-        serial = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        serial = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         t0 = serial.network.clock.now()
         serial.insert(0.1, "a")
         one_op = serial.network.clock.now() - t0
@@ -286,7 +288,7 @@ class TestShardedDirectory:
         assert sd.authoritative_state() == serial.authoritative_state()
 
     def test_wave_same_shard_stays_sequential(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         clock = sd.network.clock
         t0 = clock.now()
         sd.insert(0.05, "warm")
@@ -299,7 +301,7 @@ class TestShardedDirectory:
         assert clock.now() - t0 >= 2 * one_op * 0.9
 
     def test_wave_captures_errors_without_aborting(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         outcomes = sd.execute_wave(
             [("delete", 0.1), ("insert", 0.9, "b"), ("lookup", 0.9)]
         )
@@ -311,7 +313,7 @@ class TestShardedDirectory:
         assert outcomes[1].shard == 1
 
     def test_wave_unknown_kind(self):
-        sd = ShardedDirectory.create("3-2-2", shards=1, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=1)
         with pytest.raises(ValueError):
             sd.execute_wave([("upsert", 0.1, "x")])
 
@@ -328,7 +330,7 @@ class TestShardedDirectory:
             ShardedDirectory(RangeShardMap.uniform(3), clusters, net)
 
     def test_foreign_network_rejected(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         with pytest.raises(ConfigurationError):
             ShardedDirectory(
                 RangeShardMap.uniform(2), sd.clusters, Network()
@@ -343,6 +345,6 @@ class TestShardedDirectory:
             ShardedDirectory.create("3-2-2", shards=2, sede=1)
 
     def test_errors_propagate_unwrapped(self):
-        sd = ShardedDirectory.create("3-2-2", shards=2, seed=0)
+        sd = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=0), shards=2)
         with pytest.raises(ReproError):
             sd.delete(0.5)

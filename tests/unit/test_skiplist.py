@@ -7,6 +7,7 @@ differential check against SortedStore.
 
 import random
 
+from repro.cluster import ClusterSpec
 from repro.core.keys import HIGH, LOW, wrap
 from repro.storage.skiplist import _MAX_LEVEL, SkipListStore
 from repro.storage.sorted_store import SortedStore
@@ -96,7 +97,7 @@ class TestClusterIntegration:
     def test_cluster_with_skiplist_store(self):
         from repro.cluster import DirectoryCluster
 
-        cluster = DirectoryCluster.create("3-2-2", store="skiplist", seed=6)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", store="skiplist", seed=6))
         suite = cluster.suite
         for i in range(30):
             suite.insert(i, i)
@@ -109,7 +110,7 @@ class TestClusterIntegration:
     def test_crash_recovery_with_skiplist(self):
         from repro.cluster import DirectoryCluster
 
-        cluster = DirectoryCluster.create("3-2-2", store="skiplist", seed=7)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", store="skiplist", seed=7))
         for i in range(15):
             cluster.suite.insert(i, i)
         before = cluster.representative("A").store.snapshot()

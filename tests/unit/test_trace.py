@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import DirectoryCluster
+from repro.cluster import ClusterSpec, DirectoryCluster
 from repro.sim.trace import Trace, replay
 from repro.sim.workload import Operation, UniformWorkload
 
@@ -55,8 +55,8 @@ class TestSerialization:
 class TestReplay:
     def test_replay_reproduces_state(self):
         trace = sample_trace()
-        a = DirectoryCluster.create("3-2-2", seed=1)
-        b = DirectoryCluster.create("3-2-2", seed=999)  # different quorums
+        a = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=1))
+        b = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=999))  # different quorums
         counts_a = replay(trace, a.suite)
         counts_b = replay(trace, b.suite)
         assert counts_a == counts_b
@@ -69,7 +69,7 @@ class TestReplay:
         trace.record(Operation("lookup", 0.5))
         trace.record(Operation("update", 0.5, "w"))
         trace.record(Operation("delete", 0.5))
-        cluster = DirectoryCluster.create("3-2-2", seed=2)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=2))
         counts = replay(trace, cluster.suite)
         assert counts == {
             "insert": 1, "update": 1, "delete": 1, "lookup": 1, "failed": 0,
@@ -80,10 +80,10 @@ class TestReplay:
 
         trace = Trace()
         trace.record(Operation("delete", 0.5))  # key never inserted
-        cluster = DirectoryCluster.create("3-2-2", seed=3)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=3))
         with pytest.raises(KeyNotPresentError):
             replay(trace, cluster.suite, on_error="raise")
-        cluster = DirectoryCluster.create("3-2-2", seed=3)
+        cluster = DirectoryCluster.create(ClusterSpec(config="3-2-2", seed=3))
         counts = replay(trace, cluster.suite, on_error="count")
         assert counts["failed"] == 1
 
