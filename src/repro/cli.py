@@ -94,11 +94,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         trace_spans=args.spans is not None or args.profile,
         loss=args.loss,
         retries=args.retries,
-        verify_model=args.loss > 0.0 or args.audit,
+        verify_model=args.loss > 0.0 or args.audit or args.rejoin_at > 0,
         audit=args.audit,
         shards=args.shards,
         shard_map=args.shard_map,
         workload=args.workload,
+        crash_at=args.crash_at,
+        rejoin_at=args.rejoin_at,
+        rejoin_replica=args.rejoin_replica,
+        wipe=args.wipe,
+        antientropy_every=args.antientropy,
     )
     result = run_simulation(spec)
     rows = []
@@ -126,6 +131,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(
             f"shards: {args.shards} ({args.shard_map} map); routed "
             + ", ".join(f"{k}={v}" for k, v in sorted(routed.items()))
+        )
+    if args.rejoin_at > 0:
+        taken = (
+            result.rejoin_completed_at - args.rejoin_at
+            if result.rejoin_completed_at >= 0
+            else -1
+        )
+        join_audit = result.join_audit or {}
+        print(
+            f"rejoin: {args.rejoin_replica or 'last replica'} "
+            f"{'wiped and ' if args.wipe else ''}rejoined at op "
+            f"{args.rejoin_at}, caught up "
+            + (
+                f"after {taken} ops (op {result.rejoin_completed_at}); "
+                if taken >= 0
+                else "NEVER; "
+            )
+            + f"join audit: {join_audit.get('violations', '?')} violations "
+            f"over {join_audit.get('checks', '?')} checks"
         )
     if args.loss > 0.0:
         metrics = result.metrics
@@ -521,6 +545,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="client retries per operation (0 = errors surface raw)",
+    )
+    g = p.add_argument_group(
+        "lifecycle", "crash, wipe, and rejoin a replica mid-run"
+    )
+    g.add_argument(
+        "--crash-at",
+        type=int,
+        default=0,
+        metavar="N",
+        help="crash one replica just before operation N (0 = never)",
+    )
+    g.add_argument(
+        "--rejoin-at",
+        type=int,
+        default=0,
+        metavar="N",
+        help="start an online rejoin of the crashed replica just before "
+        "operation N: snapshot pull, WAL catch-up, and cutover to full "
+        "voting membership interleave with the client workload",
+    )
+    g.add_argument(
+        "--rejoin-replica",
+        default=None,
+        metavar="NAME",
+        help="which replica to crash/rejoin (default: the last one)",
+    )
+    g.add_argument(
+        "--wipe",
+        action="store_true",
+        help="erase the crashed replica's store and WAL before the rejoin "
+        "(amnesiac restart: the snapshot is its only seed)",
+    )
+    g.add_argument(
+        "--antientropy",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run one background anti-entropy pair sweep every N "
+        "operations (0 = off)",
     )
     g = p.add_argument_group("fan-out", "quorum RPC issue behaviour")
     g.add_argument(

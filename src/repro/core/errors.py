@@ -106,6 +106,24 @@ class RecoveryError(StorageError):
     """A write-ahead log could not be replayed into a consistent store."""
 
 
+class SnapshotUnavailableError(StorageError):
+    """A consistent snapshot cannot be exported right now.
+
+    Raised by a representative asked to export its state while
+    transactions are in flight on it (uncommitted effects would leak
+    into the copy).  Transient: the caller retries after the
+    representative quiesces.
+    """
+
+    def __init__(self, rep_name: str, in_flight: int) -> None:
+        self.rep_name = rep_name
+        self.in_flight = in_flight
+        super().__init__(
+            f"representative {rep_name} has {in_flight} transaction(s) "
+            "in flight; snapshot export would leak uncommitted effects"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Transaction errors
 # ---------------------------------------------------------------------------

@@ -22,11 +22,13 @@ real successor will often be located using one remote procedure call."
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import threading
 from typing import Any, Callable
 
 from repro.core.entries import Entry, LookupReply, NeighborReply
-from repro.core.errors import WouldBlockError
+from repro.core.errors import SnapshotUnavailableError, WouldBlockError
 from repro.core.keys import BoundedKey, KeyRange
 from repro.core.versions import Version
 from repro.obs.metrics import MetricsRegistry
@@ -355,6 +357,168 @@ class DirectoryRepresentative:
             )
         self.wal.log_checkpoint(self.store.snapshot())
         self._commits_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # replica lifecycle (snapshot export, log shipping, reconcile)
+    # ------------------------------------------------------------------
+
+    @_latched
+    def rep_export_snapshot(self):
+        """A consistent (snapshot, watermark) pair for replica bootstrap.
+
+        The watermark is the LSN of the last log record the snapshot
+        reflects; a joiner catches up by polling :meth:`rep_wal_since`
+        from it.  Export refuses while transactions are in flight here —
+        their uncommitted effects are in the store and would leak into
+        the copy — so callers retry after the representative quiesces.
+        """
+        if self._undo:
+            raise SnapshotUnavailableError(self.name, len(self._undo))
+        return (self.store.snapshot(), self.wal.next_lsn - 1)
+
+    @_latched
+    def rep_wal_since(self, lsn: int):
+        """Log records appended after ``lsn``, for shipping to a joiner.
+
+        Returns ``(watermark, records)`` where ``watermark`` is the new
+        high-water mark and ``records`` are plain
+        ``(lsn, txn_id, kind, payload)`` tuples (wire-friendly).
+        Checkpoint records are elided — a consumer polling from a valid
+        watermark already holds everything a checkpoint folds up.  Raises
+        :class:`~repro.core.errors.RecoveryError` when checkpoint
+        truncation discarded records past ``lsn``; the caller must fall
+        back to a fresh snapshot.
+        """
+        from repro.storage.wal import OP_CHECKPOINT
+
+        records = self.wal.records_since(lsn)
+        shipped = [
+            (r.lsn, r.txn_id, r.kind, r.payload)
+            for r in records
+            if r.kind != OP_CHECKPOINT
+        ]
+        return (self.wal.next_lsn - 1, shipped)
+
+    @_latched
+    def rep_reconcile(self, pieces) -> tuple[int, int]:
+        """Monotone-merge peer facts into this replica; returns counts.
+
+        ``pieces`` are ``("entry", key, version, value)`` and
+        ``("gap", low, high, version)`` tuples applied in order.  Every
+        piece is guarded so the merge can only move this replica toward
+        strictly newer information:
+
+        * an entry is installed only when its version is strictly newer
+          than whatever fact (entry or containing gap) this replica
+          holds for the key — a stale or ghost entry never propagates;
+        * a gap is adopted only over exactly its own interval, only when
+          both bounding entries are stored here, and only when every
+          fact strictly inside the interval is strictly older than the
+          gap's version — an absence fact never outruns the interval
+          that created it.
+
+        Pieces whose range a live transaction has locked are skipped
+        (counted, retried by the next sweep) rather than waited on, so
+        reconciliation can never deadlock with client traffic.  Applied
+        mutations are redo-logged under a fresh negative *admin*
+        transaction id and sealed with a commit record, so a later crash
+        replays them like any committed work.
+
+        Returns ``(applied, skipped)`` — pieces merged vs. skipped for
+        lock contention.  Pieces that are simply not newer count as
+        neither.
+        """
+        admin_txn = -self.wal.next_lsn
+        applied = 0
+        skipped = 0
+        wrote = False
+        try:
+            for piece in pieces:
+                kind = piece[0]
+                if kind == "entry":
+                    _, key, version, value = piece
+                    try:
+                        self._lock(
+                            admin_txn, LockMode.REP_MODIFY, KeyRange.point(key)
+                        )
+                    except WouldBlockError:
+                        skipped += 1
+                        continue
+                    fact = self.store.lookup(key)
+                    if version > fact.version:
+                        self.wal.log_insert(admin_txn, key, version, value)
+                        self.store.insert(key, version, value)
+                        wrote = True
+                        applied += 1
+                elif kind == "gap":
+                    _, low, high, version = piece
+                    try:
+                        self._lock(
+                            admin_txn, LockMode.REP_MODIFY, KeyRange(low, high)
+                        )
+                    except WouldBlockError:
+                        skipped += 1
+                        continue
+                    if not (
+                        self.store.contains(low) and self.store.contains(high)
+                    ):
+                        continue
+                    if not self._gap_dominates(low, high, version):
+                        continue
+                    self.wal.log_coalesce(admin_txn, low, high, version)
+                    self.store.coalesce(low, high, version)
+                    wrote = True
+                    applied += 1
+                else:
+                    raise ValueError(f"unknown reconcile piece kind {kind!r}")
+        finally:
+            if wrote:
+                self.wal.log_commit(admin_txn)
+            if self.locking:
+                self.locks.release_all(admin_txn)
+            self._seen_txns.discard(admin_txn)
+        return (applied, skipped)
+
+    def _gap_dominates(self, low: BoundedKey, high: BoundedKey, version) -> bool:
+        """True when every fact strictly inside (low, high) is < version.
+
+        Walks the stored successor chain from ``low`` to ``high`` (both
+        must be stored entries), checking each interior entry version and
+        each covered gap version.  Equal versions do NOT dominate, which
+        makes re-applying the same gap a no-op.
+        """
+        cursor = low
+        while True:
+            reply = self.store.successor(cursor)
+            if reply.gap_version >= version:
+                return False
+            if reply.key >= high:
+                return reply.key == high
+            if reply.entry_version >= version:
+                return False
+            cursor = reply.key
+
+    @_latched
+    def rep_tiling_digest(self) -> str:
+        """A digest of the full entry/gap tiling, for anti-entropy.
+
+        Two replicas whose stores hold identical entries *and* identical
+        gap versions produce identical digests; any divergence — a stale
+        entry, a ghost, a lagging gap version — changes it.  Comparing
+        digests is how the anti-entropy sweep finds pairs worth
+        reconciling without shipping state.
+        """
+        snap = self.store.snapshot()
+        canon = (
+            tuple(
+                (e.key.rank.value, e.key.payload, e.version, e.value)
+                for e in snap.entries
+            ),
+            tuple(snap.gap_versions),
+        )
+        return hashlib.blake2b(
+            pickle.dumps(canon), digest_size=16
+        ).hexdigest()
 
     # ------------------------------------------------------------------
     # crash / recovery (see repro.net.node.CrashAware)

@@ -52,6 +52,7 @@ from repro.net.rpc import RpcBatch, RpcCall, RpcEndpoint, RpcReply
 from repro.net.transport import SimTransport, Transport
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_SPAN, NULL_TRACER
+from repro.repl.lifecycle import SuiteMembership
 from repro.txn.manager import TransactionManager
 from repro.txn.transaction import Transaction
 
@@ -169,6 +170,11 @@ class DirectorySuite:
             raise ValueError("hedge_extra must be >= 0")
         self.config = config
         self.placements = dict(placements)
+        #: Lifecycle states (see :mod:`repro.repl.lifecycle`): a replica
+        #: mid-bootstrap receives every write but contributes no votes.
+        #: ``membership.all_up`` guards every consultation, keeping the
+        #: no-join-in-progress path bit-identical to the static suite.
+        self.membership = SuiteMembership(config.names)
         if isinstance(transport, Network):
             transport = SimTransport(transport)
         self.transport = transport
@@ -293,6 +299,7 @@ class DirectorySuite:
             "suite.fanout.straggler_ticks_saved",
             lambda: self.straggler_ticks_saved,
         )
+        metrics.provider("repl.membership", lambda: self.membership.counts())
         self.quorum_policy.bind_metrics(metrics)
 
     # ------------------------------------------------------------------
@@ -398,20 +405,47 @@ class DirectorySuite:
                 names.append(name)
         return names
 
+    def _eligible(self) -> list[str]:
+        """Available representatives whose votes may count right now.
+
+        With no join in progress this *is* :meth:`_available` (the flag
+        check is the whole cost, keeping the static-suite path
+        bit-identical); mid-join it additionally drops members still
+        bootstrapping, whose stale stores must not supply votes.
+        """
+        available = self._available()
+        if self.membership.all_up:
+            return available
+        return self.membership.voting(available)
+
     def _collect_quorum(self, kind: str) -> list[str]:
-        """CollectReadQuorum / CollectWriteQuorum."""
+        """CollectReadQuorum / CollectWriteQuorum.
+
+        Mid-join, a write quorum is additionally *widened* with every
+        available non-voting (bootstrapping) member: they receive the
+        write — so no operation committed during a join can miss the
+        joiner — but their votes are not what satisfied W, so quorum
+        intersection still rests on fully-caught-up replicas only.
+        """
         tracer = self.tracer
         if tracer.enabled:
             with tracer.span(f"quorum:{kind}") as span:
                 members = self.quorum_policy.choose(
-                    kind, self._available(), self.config, self.rng
+                    kind, self._eligible(), self.config, self.rng
                 )
                 span.set("members", list(members))
         else:
             members = self.quorum_policy.choose(
-                kind, self._available(), self.config, self.rng
+                kind, self._eligible(), self.config, self.rng
             )
         self._quorum_members[kind].add(len(members))
+        if kind == "write" and not self.membership.all_up:
+            available = set(self._available())
+            members = members + [
+                name
+                for name in self.membership.non_voting()
+                if name in available and name not in members
+            ]
         return members
 
     def _call(self, txn: Transaction, rep: str, method: str, *args: Any, **kw: Any) -> Any:
@@ -564,7 +598,7 @@ class DirectorySuite:
         chosen = set(quorum)
         extras = [
             name
-            for name in self._available()
+            for name in self._eligible()
             if name not in chosen and self.config.votes[name] > 0
         ]
         return extras[: self.hedge_extra]

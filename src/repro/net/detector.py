@@ -93,6 +93,17 @@ class FailureDetector:
             if self._recoveries is not None:
                 self._recoveries.inc()
 
+    def recover(self, node_id: str) -> None:
+        """Administrative heal: the node provably rejoined; clear everything.
+
+        Quorum screening keeps a suspect node out of selection, so it may
+        never get the successful call that would :meth:`record_ok` it —
+        a healed replica could sit out its full probation after an
+        explicit rejoin.  Lifecycle code (replica bootstrap, a successful
+        probe) calls this to clear probation *and* strikes at once.
+        """
+        self.record_ok(node_id)
+
     def _mark(self, node_id: str) -> None:
         self._strikes.pop(node_id, None)
         already = self.is_suspect(node_id)

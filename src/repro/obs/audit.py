@@ -165,7 +165,15 @@ class InvariantAuditor:
         reps = self._up_replicas()
         votes = self.cluster.config.votes
         write_quorum = self.cluster.config.write_quorum
-        quorum_checkable = self._all_voting_up()
+        # Quorum intersection is also suspended while a replica is
+        # rejoining: a joiner's store legitimately trails until cutover
+        # (that trailing is the very thing the join is repairing), and
+        # its votes are not being counted meanwhile.  audit_join() is
+        # the check that proves the gap closed.
+        membership = getattr(self.cluster.suite, "membership", None)
+        quorum_checkable = self._all_voting_up() and (
+            membership is None or membership.all_up
+        )
 
         # Invariant 1: each replica's entries+gaps tile [LOW, HIGH].
         for name, rep in reps.items():
@@ -282,6 +290,97 @@ class InvariantAuditor:
                         f"quorums say {derived[payload]!r}, "
                         f"model says {model[payload]!r}",
                     )
+
+        self._checks.inc(report.checks)
+        self.report.merge(report)
+        return report
+
+    def audit_join(self, joiner: str) -> AuditReport:
+        """Prove a completed join lost nothing and double-applied nothing.
+
+        Stricter than :meth:`run`'s quorum checks, which only constrain
+        the voting set: cutover reconciled the joiner against *every* up
+        peer, so the joiner must now be byte-equivalent to the
+        authoritative state — for every key any up replica stores it
+        holds the maximum version with the same verdict and value, and
+        every empty interval carries the maximum gap version.  A missing
+        or stale fact means an operation was lost across the join; a
+        version *above* the maximum means something was applied twice
+        (versions are never invented, so no legal history produces one).
+        All failures are flagged under the ``join`` check.
+        """
+        report = AuditReport(runs=1)
+        reps = self._up_replicas()
+        if joiner not in reps:
+            report.checks += 1
+            self._flag(
+                report, "join", joiner, "", "joiner is not up after join"
+            )
+            self._checks.inc(report.checks)
+            self.report.merge(report)
+            return report
+        store = reps[joiner].store
+
+        report.checks += 1
+        try:
+            store.check_invariants()
+        except StoreCorruptionError as exc:
+            self._flag(report, "join", joiner, "[LOW .. HIGH]", str(exc))
+
+        union: set[BoundedKey] = set()
+        for rep in reps.values():
+            for entry in rep.store.user_entries():
+                union.add(entry.key)
+        ordered = sorted(union)
+        report.keys_audited = len(ordered)
+
+        for key in ordered if len(reps) > 1 else []:
+            mine = store.lookup(key)
+            peers = {
+                name: rep.store.lookup(key)
+                for name, rep in reps.items()
+                if name != joiner
+            }
+            vmax = max(r.version for r in peers.values())
+            report.checks += 1
+            if mine.version > vmax:
+                self._flag(
+                    report, "join", joiner, repr(key),
+                    f"version {mine.version} above authoritative {vmax}: "
+                    "something was applied twice or invented",
+                )
+            elif mine.version < vmax:
+                self._flag(
+                    report, "join", joiner, repr(key),
+                    f"stale after join: version {mine.version} "
+                    f"< authoritative {vmax}",
+                )
+            else:
+                best = next(
+                    r for r in peers.values() if r.version == vmax
+                )
+                if (mine.present, mine.value) != (best.present, best.value):
+                    self._flag(
+                        report, "join", joiner, repr(key),
+                        f"version {vmax} disagrees with peers: "
+                        f"{'present' if mine.present else 'absent'}"
+                        f"/{mine.value!r}",
+                    )
+
+        bounds = [LOW, *ordered, HIGH]
+        for a, b in zip(bounds, bounds[1:]):
+            report.intervals_audited += 1
+            report.checks += 1
+            gaps = {
+                name: rep.store.successor(a).gap_version
+                for name, rep in reps.items()
+            }
+            gmax = max(gaps.values())
+            if gaps[joiner] != gmax:
+                self._flag(
+                    report, "join", joiner, f"({a!r} .. {b!r})",
+                    f"gap version {gaps[joiner]} != authoritative {gmax}",
+                )
 
         self._checks.inc(report.checks)
         self.report.merge(report)

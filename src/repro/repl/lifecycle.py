@@ -1,0 +1,121 @@
+"""Replica membership states: who votes, who merely receives writes.
+
+The paper fixes the representative suite at creation time; this module
+is the small piece of bookkeeping that lets a suite change a member's
+*role* at runtime without changing its vote assignment.  A replica that
+is bootstrapping (new, or back from a crash that also lost its log)
+moves through a three-state machine:
+
+* ``UP`` — full member: its votes count toward read and write quorums.
+* ``JOINING`` — pulling its initial snapshot.  It receives every write
+  (so no committed operation can miss it) but contributes no votes: its
+  stale store must not supply read verdicts, and counting its vote
+  toward W would let a write "succeed" on data the replica is about to
+  overwrite.
+* ``CATCHING_UP`` — snapshot installed, draining the donor's log tail.
+  Same voting rules as JOINING; the distinction is observability and
+  the legal-transition check.
+
+Legal transitions: ``UP → JOINING`` (a wiped or brand-new replica starts
+bootstrapping), ``JOINING → CATCHING_UP`` (snapshot installed),
+``CATCHING_UP → UP`` (caught up and reconciled — the cutover), and
+``CATCHING_UP → JOINING`` (the donor truncated its log past our
+watermark; fall back to a fresh snapshot).  Everything else raises.
+
+The suite consults :meth:`SuiteMembership.all_up` before filtering
+anything, so the no-join-in-progress fast path stays bit-identical to
+the pre-lifecycle code (pinned by the transport/fan-out baselines).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+
+
+class ReplicaState(enum.Enum):
+    """Membership role of one representative within its suite."""
+
+    UP = "up"
+    JOINING = "joining"
+    CATCHING_UP = "catching_up"
+
+
+#: The legal edges of the lifecycle state machine (see module docstring).
+_LEGAL_TRANSITIONS = frozenset(
+    {
+        (ReplicaState.UP, ReplicaState.JOINING),
+        (ReplicaState.JOINING, ReplicaState.CATCHING_UP),
+        (ReplicaState.CATCHING_UP, ReplicaState.UP),
+        (ReplicaState.CATCHING_UP, ReplicaState.JOINING),
+    }
+)
+
+
+class SuiteMembership:
+    """Per-representative lifecycle states for one directory suite.
+
+    Tracks *roles*, not liveness: a crashed replica keeps its membership
+    state (the suite's availability filter already excludes down nodes);
+    what changes here is whether an up replica's votes count.
+    """
+
+    def __init__(self, names: Iterable[str]) -> None:
+        self._states: dict[str, ReplicaState] = {
+            name: ReplicaState.UP for name in names
+        }
+        if not self._states:
+            raise ConfigurationError("membership needs at least one replica")
+        #: Cheap flag the suite checks on every quorum collection; True
+        #: whenever no join is in progress (the bit-identical fast path).
+        self.all_up = True
+
+    # -- transitions -------------------------------------------------------
+
+    def state(self, name: str) -> ReplicaState:
+        """Current lifecycle state of ``name``."""
+        return self._states[name]
+
+    def set_state(self, name: str, state: ReplicaState) -> None:
+        """Move ``name`` to ``state``; illegal transitions raise."""
+        current = self._states[name]
+        if state is current:
+            return
+        if (current, state) not in _LEGAL_TRANSITIONS:
+            raise ConfigurationError(
+                f"illegal membership transition for {name}: "
+                f"{current.value} -> {state.value}"
+            )
+        self._states[name] = state
+        self.all_up = all(
+            s is ReplicaState.UP for s in self._states.values()
+        )
+
+    # -- queries the suite makes on the hot path ---------------------------
+
+    def can_vote(self, name: str) -> bool:
+        """True when ``name``'s votes may count toward quorums."""
+        return self._states[name] is ReplicaState.UP
+
+    def voting(self, names: Iterable[str]) -> list[str]:
+        """Filter ``names`` down to full (voting) members."""
+        return [n for n in names if self.can_vote(n)]
+
+    def non_voting(self) -> list[str]:
+        """Members currently bootstrapping (write recipients, no votes)."""
+        return [n for n, s in self._states.items() if s is not ReplicaState.UP]
+
+    def counts(self) -> dict[str, int]:
+        """State census for the ``repl.membership`` metrics provider."""
+        out = {state.value: 0 for state in ReplicaState}
+        for state in self._states.values():
+            out[state.value] += 1
+        return out
+
+    def __repr__(self) -> str:
+        states = ", ".join(
+            f"{n}={s.value}" for n, s in sorted(self._states.items())
+        )
+        return f"SuiteMembership({states})"

@@ -124,6 +124,11 @@ class DirectoryClient:
     def shards(self) -> int:
         return self._request("SHARDS")
 
+    def rejoin(self, replica: str, shard: int = 0) -> str:
+        """Admin verb: rejoin ``replica`` on ``shard``; returns its state."""
+        target = f"s{shard}/{replica}" if shard else replica
+        return self._request("REJOIN", target)
+
 
 class AsyncDirectoryClient:
     """Asyncio client; open with :meth:`connect`."""

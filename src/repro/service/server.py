@@ -17,6 +17,14 @@ string commands::
     DEL key                  -> :1 / :0         (delete-if-present)
     SIZE                     -> :N
     SHARDS                   -> :N
+    REJOIN [s<i>/]replica    -> +UP          | -ERR unknown replica ...
+
+``REJOIN`` is the operator verb for the replica lifecycle
+(:mod:`repro.repl`): it recovers the named representative on shard
+``i`` (default 0) and drives a full snapshot + catch-up + cutover join
+against its peers, replying ``+UP`` once the replica votes again.  It
+runs on the owning shard's worker thread, so it serializes against
+client operations on that shard and needs no extra locking.
 
 The strict verbs carry the paper's error contract across the wire; the
 lenient ``GET``/``SET``/``DEL`` triple is what load generators and
@@ -281,6 +289,40 @@ class DirectoryService:
         _expect(args, 0, "SHARDS")
         return protocol.encode_integer(len(self.directory.clusters))
 
+    async def _cmd_rejoin(self, args: list[str]) -> bytes:
+        _expect(args, 1, "REJOIN [s<i>/]replica")
+        prefix, _, replica = args[0].rpartition("/")
+        try:
+            index = int(prefix.lstrip("s")) if prefix else 0
+        except ValueError:
+            return protocol.encode_error(
+                "ERR", f"bad shard prefix {prefix!r} (want s<i>/replica)"
+            )
+        if not 0 <= index < len(self.directory.clusters):
+            return protocol.encode_error("ERR", f"no shard {index}")
+        cluster = self.directory.clusters[index]
+        if replica not in cluster.representatives:
+            return protocol.encode_error(
+                "ERR",
+                f"unknown replica {replica!r} on shard {index} "
+                f"(have {sorted(cluster.representatives)})",
+            )
+
+        def rejoin() -> str:
+            from repro.repl import ReplicaJoin
+
+            join = ReplicaJoin(
+                cluster,
+                replica,
+                detector=getattr(cluster.suite, "_detector", None),
+            )
+            join.run()
+            return cluster.suite.membership.state(replica).name
+
+        loop = asyncio.get_running_loop()
+        state = await loop.run_in_executor(self._executors[index], rejoin)
+        return protocol.encode_simple(state)
+
     _COMMANDS = {
         "PING": _cmd_ping,
         "LOOKUP": _cmd_lookup,
@@ -292,6 +334,7 @@ class DirectoryService:
         "DEL": _cmd_del,
         "SIZE": _cmd_size,
         "SHARDS": _cmd_shards,
+        "REJOIN": _cmd_rejoin,
     }
 
 

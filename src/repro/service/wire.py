@@ -26,7 +26,7 @@ from typing import Any
 from repro.core import errors as _errors
 from repro.core.entries import Entry, LookupReply, NeighborReply
 from repro.core.keys import BoundedKey, _Sentinel
-from repro.storage.interface import CoalesceResult, Segment
+from repro.storage.interface import CoalesceResult, Segment, StoreSnapshot
 
 
 class RemoteError(_errors.ReproError):
@@ -74,6 +74,13 @@ def encode_value(value: Any) -> Any:
                 list(value.gap_versions),
             ]
         }
+    if isinstance(value, StoreSnapshot):
+        return {
+            "__snap": [
+                [encode_value(e) for e in value.entries],
+                list(value.gap_versions),
+            ]
+        }
     if isinstance(value, CoalesceResult):
         return {"__cr": [encode_value(value.removed), value.new_version]}
     if isinstance(value, tuple):
@@ -106,6 +113,10 @@ def decode_value(value: Any) -> Any:
                 return Segment(
                     tuple(decode_value(e) for e in body[0]), tuple(body[1])
                 )
+            if tag == "__snap":
+                return StoreSnapshot(
+                    tuple(decode_value(e) for e in body[0]), tuple(body[1])
+                )
             if tag == "__cr":
                 return CoalesceResult(decode_value(body[0]), body[1])
             if tag == "__t":
@@ -131,6 +142,7 @@ _CTOR_ARGS: dict[type, Any] = {
     _errors.NodeDownError: lambda e: (e.node_id,),
     _errors.OriginDownError: lambda e: (e.node_id,),
     _errors.RpcTimeoutError: lambda e: (e.node_id, e.method, e.lost),
+    _errors.SnapshotUnavailableError: lambda e: (e.rep_name, e.in_flight),
     _errors.QuorumUnavailableError: lambda e: (e.needed, e.available, e.kind),
 }
 

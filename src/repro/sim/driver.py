@@ -112,6 +112,24 @@ class SimulationSpec:
     #: Key generator: ``"uniform"`` (the paper's) or ``"skewed"``
     #: (concentrated near 0.0 — the shard-imbalance stressor).
     workload: str = "uniform"
+    #: Crash ``rejoin_replica``'s node after this many measured
+    #: operations (0 = never).  The replica lifecycle script; see
+    #: :mod:`repro.repl`.  Single-cluster runs only (``shards == 0``).
+    crash_at: int = 0
+    #: Start an online rejoin (:class:`~repro.repl.bootstrap.ReplicaJoin`)
+    #: of the crashed replica after this many measured operations; the
+    #: join is then stepped once per operation until cutover, with the
+    #: client workload flowing throughout.  0 = never.
+    rejoin_at: int = 0
+    #: Which replica the crash/rejoin script targets; defaults to the
+    #: last representative in configuration order.
+    rejoin_replica: str | None = None
+    #: Erase the crashed replica's write-ahead log before rejoining
+    #: (total storage loss — the bootstrap-from-peers scenario).
+    wipe: bool = False
+    #: Run one background anti-entropy sweep step every this many
+    #: measured operations (0 = off); see :mod:`repro.repl.antientropy`.
+    antientropy_every: int = 0
 
 
 @dataclass
@@ -143,6 +161,12 @@ class SimulationResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     #: Cumulative invariant-audit outcome, when ``spec.audit``.
     audit_report: "AuditReport | None" = None
+    #: Measured-operation index at which the rejoining replica reached
+    #: UP (-1 when no rejoin was scripted or it never finished).
+    rejoin_completed_at: int = -1
+    #: ``audit_join`` summary taken at the cutover instant, when both
+    #: ``spec.audit`` and a rejoin script ran.
+    join_audit: dict[str, int] | None = None
 
     def stats_table(self) -> dict[str, dict[str, float]]:
         """The Figure 14/15 row block for this run."""
@@ -250,6 +274,16 @@ def run_simulation(
     # cluster returns the per-shard merging one).
     auditor = cluster.make_auditor() if spec.audit else None
 
+    lifecycle: _LifecycleScript | None = None
+    if spec.crash_at or spec.rejoin_at or spec.antientropy_every:
+        if spec.shards > 0:
+            raise ValueError(
+                "replica lifecycle scripting (crash_at / rejoin_at / "
+                "antientropy_every) needs a single cluster; got shards="
+                f"{spec.shards}"
+            )
+        lifecycle = _LifecycleScript(spec, cluster)
+
     # Measurement phase starts from clean statistics.  The tracer resets
     # with the traffic counters so span message counts reconcile exactly
     # against ``result.traffic``.
@@ -265,6 +299,8 @@ def run_simulation(
     for index, op in enumerate(workload.operations(spec.operations)):
         if failure_stepper is not None:
             failure_stepper.step()
+        if lifecycle is not None:
+            lifecycle.step(index, auditor)
         try:
             outcome = _apply(front, op)
         except (KeyAlreadyPresentError, KeyNotPresentError):
@@ -340,7 +376,78 @@ def run_simulation(
         spans=cluster.tracer.finished_roots(),
         metrics=cluster.metrics.snapshot(),
         audit_report=auditor.report if auditor is not None else None,
+        rejoin_completed_at=(
+            lifecycle.completed_at if lifecycle is not None else -1
+        ),
+        join_audit=(
+            lifecycle.join_report.summary()
+            if lifecycle is not None and lifecycle.join_report is not None
+            else None
+        ),
     )
+
+
+class _LifecycleScript:
+    """Scripted crash → wipe → rejoin → anti-entropy for one run.
+
+    Stepped once per measured operation, between operations — the same
+    cadence as ``failure_stepper`` — so the join races a live workload
+    exactly as it would in production.  The join audit runs at the
+    cutover instant (the only moment the joiner is provably
+    byte-identical to the authoritative state; one operation later it
+    may legitimately trail again like any replica outside a quorum).
+    """
+
+    def __init__(self, spec: SimulationSpec, cluster: DirectoryCluster) -> None:
+        from repro.repl import AntiEntropySweeper
+
+        self.spec = spec
+        self.cluster = cluster
+        self.suite = cluster.suite
+        names = list(cluster.suite.config.names)
+        self.replica = spec.rejoin_replica or names[-1]
+        if self.replica not in names:
+            raise ValueError(f"unknown rejoin_replica {self.replica!r}")
+        self.join: Any = None
+        self.completed_at = -1
+        self.join_report: AuditReport | None = None
+        self.sweeper = (
+            AntiEntropySweeper(cluster) if spec.antientropy_every else None
+        )
+
+    def step(self, index: int, auditor: "InvariantAuditor | None") -> None:
+        from repro.repl import ReplicaJoin, wipe_replica
+
+        spec = self.spec
+        if spec.crash_at and index == spec.crash_at:
+            self.cluster.crash(self.replica)
+            if spec.wipe:
+                wipe_replica(self.cluster, self.replica)
+        if spec.rejoin_at and index == spec.rejoin_at:
+            self.join = ReplicaJoin(
+                self.cluster, self.replica, detector=self.suite._detector
+            )
+            self.join.start()
+        if self.join is not None and not self.join.done:
+            # Undelivered 2PC decisions hold peer snapshots hostage
+            # (export refuses while transactions are in flight), so
+            # drain them while the join is running.
+            manager = self.suite.txn_manager
+            if manager.pending_completions:
+                manager.resolve_pending()
+            if self.join.step():
+                self.completed_at = index
+                if auditor is not None:
+                    for _ in range(5):
+                        manager.resolve_pending()
+                        if not manager.pending_completions:
+                            break
+                    self.join_report = auditor.audit_join(self.replica)
+        if (
+            self.sweeper is not None
+            and index % spec.antientropy_every == 0
+        ):
+            self.sweeper.step()
 
 
 def _audit_boundary(

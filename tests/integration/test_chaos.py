@@ -11,8 +11,10 @@ import random
 import pytest
 
 from repro.cluster import ClusterSpec, DirectoryCluster
+from repro.core.errors import ReproError
 from repro.core.resilient import ResilientSuite, RetryPolicy
 from repro.net.failures import LossEvent, LossyLinks, ScriptedLoss
+from repro.repl import ReplicaJoin, wipe_replica
 from repro.sim.driver import SimulationSpec, run_simulation
 from repro.sim.workload import OpMix
 
@@ -65,6 +67,108 @@ class TestCompletionRetries:
     def test_resolve_pending_is_safe_when_nothing_pending(self):
         cluster = self._single_rep_cluster()
         assert cluster.suite.txn_manager.resolve_pending() == 0
+
+
+#: Crash-at-every-2PC-state scenarios, on a 2-1-2 suite (writes are
+#: unanimous, so participant B deterministically joins every write).
+#: ``events`` builds the scripted loss that freezes the protocol in the
+#: named state at B; ``committed`` is the outcome the client must see.
+#: 9 drops of the same message = 1 initial try + 8 completion retries.
+_TWO_PC_STATES = {
+    # B logged its prepare and applied (volatile) effects, but its vote
+    # never arrives (the idempotent re-issues are dropped too): the
+    # coordinator times out and aborts.  B crashes holding an in-doubt
+    # prepare that must resolve by presumed abort.
+    "prepare-logged": {
+        "events": lambda: [
+            LossEvent("reply", method="dir:B.prepare") for _ in range(9)
+        ]
+        + [LossEvent("request", method="dir:B.abort") for _ in range(9)],
+        "committed": False,
+    },
+    # The commit decision is durable at the coordinator but reaches no
+    # participant: the client saw success, yet nobody applied it.
+    "decided-uncommitted": {
+        "events": lambda: [
+            LossEvent("request", method="dir:A.commit") for _ in range(9)
+        ]
+        + [LossEvent("request", method="dir:B.commit") for _ in range(9)],
+        "committed": True,
+    },
+    # A committed, B never heard the decision and crashes in doubt.
+    "partially-committed": {
+        "events": lambda: [
+            LossEvent("request", method="dir:B.commit") for _ in range(9)
+        ],
+        "committed": True,
+    },
+}
+
+
+class TestCrashAtEvery2PCState:
+    """Crash participant B at each 2PC state; the suite must converge.
+
+    Convergence = the client-visible outcome is honored everywhere:
+    after ``resolve_pending()`` re-delivers parked decisions and the
+    crashed participant rejoins, both replicas hold exactly the
+    committed state and every invariant audit is clean.
+    """
+
+    def _run_to_crash(self, state):
+        case = _TWO_PC_STATES[state]
+        cluster = DirectoryCluster.create(ClusterSpec(config="2-1-2", seed=21))
+        suite = cluster.suite
+        suite.insert("k", "old")
+        faults = ScriptedLoss(case["events"]())
+        cluster.network.install_faults(faults)
+        try:
+            suite.update("k", "new")
+            saw_commit = True
+        except ReproError:
+            saw_commit = False
+        assert saw_commit == case["committed"]
+        cluster.network.install_faults(None)
+        cluster.crash("B")  # all volatile state lost, WAL survives
+        return cluster, "new" if case["committed"] else "old"
+
+    def _assert_converged(self, cluster, expected):
+        suite = cluster.suite
+        suite.txn_manager.resolve_pending()
+        assert suite.txn_manager.pending_completions == {}
+        assert suite.lookup("k") == (True, expected)
+        assert suite.authoritative_state() == {"k": expected}
+        # Writes are unanimous in 2-1-2: after resolution both replicas
+        # must hold the decided value, byte for byte.
+        for rep in cluster.representatives.values():
+            entries = rep.user_entries()
+            assert [(e.key.payload, e.value) for e in entries] == [
+                ("k", expected)
+            ]
+        cluster.check_invariants()
+
+    @pytest.mark.parametrize("state", sorted(_TWO_PC_STATES))
+    def test_wal_rejoin_converges(self, state):
+        cluster, expected = self._run_to_crash(state)
+        cluster.recover("B")  # WAL replay + decision-log resolution
+        cluster.suite.txn_manager.resolve_pending()
+        self._assert_converged(cluster, expected)
+
+    @pytest.mark.parametrize("state", sorted(_TWO_PC_STATES))
+    def test_wipe_and_online_rejoin_converges(self, state):
+        # The harsher variant: B's log is wiped too, so nothing about
+        # the in-doubt transaction survives; the online join must still
+        # land B on the decided state.
+        cluster, expected = self._run_to_crash(state)
+        wipe_replica(cluster, "B")
+        # The donor must quiesce first: an undelivered decision keeps
+        # locks (and undo) alive at A, which blocks its snapshot export
+        # until the parked completion is re-delivered.  B's own parked
+        # delivery stays pending while it is down and drains after the
+        # join (inside _assert_converged).
+        cluster.suite.txn_manager.resolve_pending()
+        ReplicaJoin(cluster, "B").run()
+        assert cluster.suite.membership.all_up
+        self._assert_converged(cluster, expected)
 
 
 class TestRetryingFrontEndEndToEnd:

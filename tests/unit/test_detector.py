@@ -83,6 +83,54 @@ class TestProbation:
         assert not det.is_suspect("n1")
 
 
+class TestAdministrativeRecover:
+    """Regression: an explicit recover() must fully forgive the node.
+
+    A suspect node is screened out of quorum selection, so it can never
+    earn the successful call that would record_ok() it — without the
+    administrative heal, a wiped-and-rejoined replica sat out its whole
+    probation window after the join had already proven it alive.
+    """
+
+    def test_recover_clears_probation(self):
+        _, det = make(probation=10_000.0)
+        det.record_down("n1")
+        assert det.is_suspect("n1")
+        det.recover("n1")
+        assert not det.is_suspect("n1")
+        assert det.suspects() == set()
+
+    def test_recover_clears_strikes_too(self):
+        _, det = make(threshold=2)
+        det.record_timeout("n1")  # one strike short of suspicion
+        det.recover("n1")
+        det.record_timeout("n1")  # must be a *fresh* first strike
+        assert not det.is_suspect("n1")
+
+    def test_recover_clears_both_at_once(self):
+        _, det = make(probation=10_000.0, threshold=2)
+        det.record_timeout("n1")
+        det.record_down("n1")
+        det.recover("n1")
+        assert not det.is_suspect("n1")
+        det.record_timeout("n1")
+        assert not det.is_suspect("n1")
+
+    def test_recover_on_a_clean_node_is_harmless(self):
+        registry = MetricsRegistry()
+        _, det = make(metrics=registry)
+        det.recover("n1")
+        assert not det.is_suspect("n1")
+        assert registry.snapshot()["detector.recoveries"] == 0
+
+    def test_recover_counts_as_a_recovery(self):
+        registry = MetricsRegistry()
+        _, det = make(metrics=registry)
+        det.record_down("n1")
+        det.recover("n1")
+        assert registry.snapshot()["detector.recoveries"] == 1
+
+
 class TestMetricsAndValidation:
     def test_metrics_published(self):
         registry = MetricsRegistry()

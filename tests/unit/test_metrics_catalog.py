@@ -111,6 +111,16 @@ def runtime_names():
 
     InvariantAuditor(cluster).run()
 
+    # Replica lifecycle: a wipe + online rejoin and one anti-entropy
+    # sweep register every repl.* counter (repl.membership is automatic
+    # on any suite).
+    from repro.repl import AntiEntropySweeper, ReplicaJoin, wipe_replica
+
+    cluster.crash("C")
+    wipe_replica(cluster, "C")
+    ReplicaJoin(cluster, "C", detector=detector).run()
+    AntiEntropySweeper(cluster).sweep_all(rounds=1)
+
     # A sharded directory contributes the root-level routing metrics and
     # shard<i>.-scoped copies of every per-cluster name.
     sharded = ShardedDirectory.create(ClusterSpec(config="3-2-2", seed=3), shards=2)
