@@ -1,0 +1,187 @@
+"""Acceptance gate for the live telemetry plane.
+
+Boots the real asyncio service (4 hash shards), drives a skewed
+closed-loop workload through the load generator, and enforces the three
+end-to-end claims the telemetry plane makes:
+
+1. **Rate consistency** — the per-shard windowed ops/s that ``STATS``
+   reports, summed, match the load generator's own measured throughput
+   within 10% (and the cumulative routed counts match the generator's
+   completed-op count exactly).
+2. **Tiling** — every span tree ``SLOW`` returns obeys the
+   ``TraceProfile`` invariant: per-phase self-times tile each ``op:``
+   span's latency exactly.
+3. **Hot-shard identification** — with half the workload aimed at one
+   key, the owning shard is identifiable from ``STATS`` output alone
+   (dominant windowed rate) and the hot key tops that shard's sketch.
+
+Emits ``BENCH_live.json`` with the measured numbers; CI's ``live-smoke``
+job re-validates the document.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from benchmarks.conftest import emit_bench, run_once
+from repro.cluster import ClusterSpec
+from repro.obs.analyze import PHASES, _credit_phases, iter_op_spans
+from repro.obs.spans import Span
+from repro.service.client import DirectoryClient
+from repro.service.loadgen import run_load
+from repro.service.server import DirectoryService
+from repro.shard.sharded import ShardedDirectory
+
+SHARDS = 4
+HOT_FRACTION = 0.5
+
+
+def test_live_telemetry(benchmark, scale):
+    ops = scale["generic_ops"]
+    spec = ClusterSpec(config="3-2-2", seed=0, transport="asyncio")
+    with ShardedDirectory.create(spec, shards=SHARDS, shard_map="hash") as d:
+        with DirectoryService(d).start() as service:
+            result = run_once(
+                benchmark, lambda: _drive(service, d, ops)
+            )
+    _report(result)
+    _enforce(result)
+
+
+def _drive(service, directory, ops):
+    admin = DirectoryClient(service.host, service.port)
+    admin.stats()  # window baseline: sampled before the load starts
+    outcome = {}
+
+    def load():
+        outcome.update(
+            run_load(
+                service.host,
+                service.port,
+                ops=ops,
+                connections=32,
+                keyspace=512,
+                seed=7,
+                hot_fraction=HOT_FRACTION,
+                hot_keys=1,
+            )
+        )
+
+    loader = threading.Thread(target=load)
+    loader.start()
+    # Poll STATS mid-load: windowed rates must be live while the
+    # workload runs, not only in a final accounting pass.
+    mid_rates = []
+    while loader.is_alive():
+        stats = admin.stats(60)
+        if stats["ops_per_s"] > 0:
+            mid_rates.append(stats["ops_per_s"])
+        loader.join(timeout=0.2)
+    loader.join()
+
+    # Final accounting over a window covering the whole run: the
+    # baseline sample above predates the load, so the measured rates
+    # and the generator's throughput cover the same interval.
+    final = admin.stats(3600)
+    slow = admin.slow(16)
+    admin.close()
+    return {
+        "load": outcome,
+        "mid_rates": mid_rates,
+        "final": final,
+        "slow": slow,
+        "routed": list(directory.routed),
+        "hot_shard_expected": directory.shard_for("h0"),
+    }
+
+
+def _tiling_errors(slow_entries):
+    """(ops_checked, worst_abs_error) across every SLOW span tree."""
+    checked, worst = 0, 0.0
+    for entry in slow_entries:
+        root = Span.from_dict(entry["span"])
+        for op in iter_op_spans([root]):
+            sums = dict.fromkeys(PHASES, 0.0)
+            _credit_phases(op, sums)
+            worst = max(worst, abs(sum(sums.values()) - op.duration))
+            checked += 1
+    return checked, worst
+
+
+def _enforce(result):
+    load, final = result["load"], result["final"]
+    per_shard = final["per_shard"]
+
+    # Zero client-visible errors, or nothing else is trustworthy.
+    assert load["errors"] == 0, load
+
+    # 1a. Cumulative routed counts match the generator's op count.
+    assert sum(result["routed"]) == load["ops"], (result["routed"], load)
+
+    # 1b. Windowed rates within 10% of the generator's throughput.
+    stats_rate = sum(row["ops_per_s"] for row in per_shard.values())
+    assert stats_rate == pytest.approx(load["ops_per_second"], rel=0.10), (
+        stats_rate,
+        load["ops_per_second"],
+    )
+    assert result["mid_rates"], "STATS never reported a live rate mid-load"
+
+    # 2. Exact per-phase tiling of every SLOW span tree.
+    checked, worst = _tiling_errors(result["slow"])
+    assert checked > 0
+    assert worst <= 1e-9, worst
+
+    # 3. The hot shard is identifiable from STATS output alone.
+    rates = {name: row["ops_per_s"] for name, row in per_shard.items()}
+    hottest = max(rates, key=rates.get)
+    assert hottest == f"s{result['hot_shard_expected']}", rates
+    runner_up = max(v for k, v in rates.items() if k != hottest)
+    assert rates[hottest] > 2 * runner_up, rates
+    assert per_shard[hottest]["hot_keys"][0][0] == "h0", per_shard[hottest]
+
+
+def _report(result):
+    load, final = result["load"], result["final"]
+    per_shard = final["per_shard"]
+    stats_rate = sum(row["ops_per_s"] for row in per_shard.values())
+    checked, worst = _tiling_errors(result["slow"])
+    rates = {name: row["ops_per_s"] for name, row in per_shard.items()}
+    hottest = max(rates, key=rates.get)
+    print()
+    print(
+        f"loadgen {load['ops_per_second']:.1f} ops/s vs STATS "
+        f"{stats_rate:.1f} ops/s over {final['window_seconds']:.1f}s window; "
+        f"hot shard {hottest} at {rates[hottest]:.1f} ops/s; "
+        f"{checked} slow ops tiled (worst error {worst:.2e}s)"
+    )
+    emit_bench(
+        "live",
+        workload={
+            "ops": load["ops"],
+            "connections": load["connections"],
+            "shards": SHARDS,
+            "hot_fraction": HOT_FRACTION,
+            "seed": 7,
+        },
+        messages={"client_errors": load["errors"]},
+        latency={
+            "ops_per_second": load["ops_per_second"],
+            "stats_ops_per_second": stats_rate,
+            "p50_ms": load["latency_ms"]["p50"],
+            "p99_ms": load["latency_ms"]["p99"],
+            "window_seconds": final["window_seconds"],
+        },
+        extra={
+            "per_shard_ops_per_second": rates,
+            "hot_shard": hottest,
+            "hot_shard_expected": f"s{result['hot_shard_expected']}",
+            "hot_key_top": per_shard[hottest]["hot_keys"][0][0],
+            "routed": result["routed"],
+            "mid_load_samples": len(result["mid_rates"]),
+            "slow_ops_checked": checked,
+            "tiling_worst_error_seconds": worst,
+            "timeline": load["timeline"],
+        },
+    )

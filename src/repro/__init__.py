@@ -89,8 +89,13 @@ from repro.obs import (
     MetricsRegistry,
     NullTracer,
     RecordingTracer,
+    RingTracer,
+    RollingHistogram,
+    SlowLog,
+    SpaceSaving,
     Span,
     TraceProfile,
+    WindowedView,
     compare_benches,
     critical_path,
     dump_spans,
@@ -153,8 +158,13 @@ __all__ = [
     # observability
     "MetricsRegistry",
     "RecordingTracer",
+    "RingTracer",
     "NullTracer",
     "Span",
+    "WindowedView",
+    "RollingHistogram",
+    "SpaceSaving",
+    "SlowLog",
     "dump_spans",
     "load_spans",
     "spans_to_trace",

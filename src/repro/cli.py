@@ -358,6 +358,8 @@ def cmd_load(args: argparse.Namespace) -> int:
         keyspace=args.keyspace,
         mix=mix,
         seed=args.seed,
+        hot_fraction=args.hot_fraction,
+        hot_keys=args.hot_keys,
         bench_dir=args.bench_dir or None,
     )
     lat = result["latency_ms"]
@@ -371,6 +373,37 @@ def cmd_load(args: argparse.Namespace) -> int:
     if "bench_path" in result:
         print(f"BENCH telemetry written to {result['bench_path']}")
     return 1 if result["errors"] else 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live console view of a running service, polled via ``STATS``."""
+    import time as _time
+
+    from repro.obs.live import format_stats
+    from repro.service.client import DirectoryClient
+
+    try:
+        client = DirectoryClient(args.host, args.port)
+    except OSError as exc:
+        print(f"repro-top: cannot connect to {args.host}:{args.port}: {exc}")
+        return 1
+    interval = max(0.1, args.interval)
+    with client:
+        # Each STATS request samples the registry server-side, so the
+        # first request seeds the window the second one reports over.
+        client.stats(args.window)
+        try:
+            while True:
+                _time.sleep(min(interval, 0.5) if args.once else interval)
+                frame = format_stats(client.stats(args.window))
+                if not args.once:
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                if args.once:
+                    return 0
+        except KeyboardInterrupt:
+            pass
+    return 0
 
 
 def cmd_figure14(args: argparse.Namespace) -> int:
@@ -709,6 +742,18 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--set-fraction", type=float, default=0.3)
     g.add_argument("--get-fraction", type=float, default=0.6)
     g.add_argument("--del-fraction", type=float, default=0.1)
+    g.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of ops aimed at the hot keys (skewed workloads)",
+    )
+    g.add_argument(
+        "--hot-keys",
+        type=int,
+        default=1,
+        help="number of hot keys (h0..hN-1) the hot fraction draws from",
+    )
     g = p.add_argument_group("observability")
     g.add_argument(
         "--bench-dir",
@@ -718,6 +763,32 @@ def build_parser() -> argparse.ArgumentParser:
         "('' to skip writing)",
     )
     p.set_defaults(fn=cmd_load)
+
+    p = sub.add_parser(
+        "top", help="live per-shard view of a running service (STATS poll)"
+    )
+    g = p.add_argument_group("target")
+    g.add_argument("--host", default="127.0.0.1")
+    g.add_argument("--port", type=int, required=True)
+    g = p.add_argument_group("refresh")
+    g.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between STATS polls (min 0.1)",
+    )
+    g.add_argument(
+        "--window",
+        type=float,
+        default=15.0,
+        help="trailing window the displayed rates are computed over",
+    )
+    g.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (for scripts/CI)",
+    )
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("figure14", help="regenerate Figure 14")
     p.add_argument("--configs", default="", help="comma-separated x-y-z list")

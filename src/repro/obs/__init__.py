@@ -15,7 +15,11 @@ registry.
 * :mod:`repro.obs.audit` — online checking of the paper's replica
   invariants (:class:`InvariantAuditor`);
 * :mod:`repro.obs.bench` — the shared ``BENCH_<name>.json`` telemetry
-  schema and regression comparison.
+  schema and regression comparison;
+* :mod:`repro.obs.live` — live telemetry over a *running* registry:
+  windowed rates (:class:`WindowedView`), rolling latency windows,
+  space-saving hot-key sketches, and the slow-op ring behind the
+  service's ``STATS``/``SLOW`` admin verbs.
 
 See docs/OBSERVABILITY.md for the span and metric catalogs, the
 profiling/auditing guides, and the BENCH schema.
@@ -47,13 +51,30 @@ from repro.obs.export import (
     total_messages,
     total_rpc_rounds,
 )
+from repro.obs.live import (
+    RollingHistogram,
+    SlowLog,
+    SlowOp,
+    SpaceSaving,
+    WindowedView,
+    WindowRates,
+    flatten_numeric,
+    format_stats,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
-from repro.obs.spans import NULL_TRACER, NullTracer, RecordingTracer, Span
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    RingTracer,
+    Span,
+)
 
 __all__ = [
     "Span",
     "NullTracer",
     "RecordingTracer",
+    "RingTracer",
     "NULL_TRACER",
     "Counter",
     "Histogram",
@@ -80,4 +101,12 @@ __all__ = [
     "load_bench",
     "validate_bench",
     "write_bench",
+    "WindowedView",
+    "WindowRates",
+    "RollingHistogram",
+    "SpaceSaving",
+    "SlowLog",
+    "SlowOp",
+    "flatten_numeric",
+    "format_stats",
 ]

@@ -7,7 +7,7 @@ RPCs it issues are its children, and the representative work each RPC
 performs nests below that, so one traced operation yields one tree
 showing exactly where its messages and simulated time went.
 
-Two tracers implement the same small surface:
+Three tracers implement the same small surface:
 
 * :class:`NullTracer` — the default.  ``span()`` returns a shared no-op
   context manager; the only per-call cost at an instrumented site is an
@@ -17,6 +17,9 @@ Two tracers implement the same small surface:
   (so concurrent client threads, as in
   :class:`~repro.sim.threads.ThreadedClients`, each build their own
   trees) and collects finished root spans under a lock.
+* :class:`RingTracer` — a :class:`RecordingTracer` whose finished-root
+  store is a bounded ring, for long-lived processes such as the asyncio
+  directory service where an unbounded trace log would leak.
 
 Timestamps come from the simulated clock a cluster binds via
 :meth:`bind_clock`, so span durations are deterministic simulated time,
@@ -28,6 +31,7 @@ cleanly read ``"ok"``.
 
 from __future__ import annotations
 
+import collections
 import itertools
 import threading
 from typing import Any, Callable, Iterator
@@ -264,3 +268,26 @@ class RecordingTracer:
         """Drop all finished roots (open spans keep accumulating)."""
         with self._lock:
             self._roots.clear()
+
+
+class RingTracer(RecordingTracer):
+    """A :class:`RecordingTracer` whose finished roots form a bounded ring.
+
+    Long-lived processes (the asyncio directory service) cannot keep
+    every span tree ever recorded; this variant retains only the most
+    recent ``capacity`` root spans, evicting the oldest.  Open-span
+    bookkeeping, clock binding, and ``finished_roots()`` behave exactly
+    like the parent class, so trace analysis (``profile_spans``,
+    ``render_span``) works unchanged on whatever the ring still holds.
+    """
+
+    def __init__(
+        self, now: Callable[[], float] | None = None, *, capacity: int = 512
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("RingTracer capacity must be >= 1")
+        super().__init__(now)
+        self.capacity = capacity
+        # deque(maxlen=...) supports every _roots operation the parent
+        # uses (append / clear / list(...)), plus bounded eviction.
+        self._roots = collections.deque(maxlen=capacity)  # type: ignore[assignment]

@@ -13,7 +13,8 @@ same 2PC) as a long-lived networked service:
   as asyncio socket servers on loopback;
 * :mod:`repro.service.server` — the client-facing front door
   (``GET``/``SET``/``DEL``/``LOOKUP``/``INSERT``/...), one suite
-  front-end per shard;
+  front-end per shard, plus its live-telemetry plane (the
+  ``STATS``/``SLOW``/``METRICS`` admin verbs behind ``repro top``);
 * :mod:`repro.service.client` — the client library
   (:class:`~repro.service.client.DirectoryClient` and its asyncio twin);
 * :mod:`repro.service.loadgen` — the closed-loop load generator behind

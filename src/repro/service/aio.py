@@ -462,6 +462,16 @@ class AsyncioEndpoint:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.attempt = 0
 
+    def bind_tracer(self, tracer: Any) -> None:
+        """Install a tracer after construction.
+
+        The front door builds its per-shard ring tracers only once it
+        owns the directory, well after the cluster wired this endpoint;
+        ``call`` reads ``self.tracer`` on every invocation, so rebinding
+        takes effect immediately.
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
     def _check_origin(self) -> None:
         node = self.transport._nodes.get(self.origin)
         if node is not None and not node.up:

@@ -18,12 +18,29 @@ raises :class:`~repro.service.protocol.ReplyError`.
 
 Keys and values are strings on this surface — the service stores what
 you send and returns it byte-for-byte.
+
+Both clients stamp a unique trace id onto every request as a trailing
+``@trace=<id>`` metadata element (disable with ``trace=False``).  The
+server adopts the id onto the root span of the work the request
+triggers, so ``SLOW`` output can be correlated back to the exact client
+call that caused it; the last stamped id is kept on
+``client.last_trace``.  Servers that predate the field simply strip or
+ignore it — metadata is reserved, never an argument.
+
+The admin plane rides the same socket: :meth:`DirectoryClient.stats`
+(windowed rates and per-shard breakdown), :meth:`DirectoryClient.slow`
+(slowest recent ops with their span trees), and
+:meth:`DirectoryClient.metrics` (raw registry snapshot) decode the
+JSON bulk replies of ``STATS`` / ``SLOW`` / ``METRICS``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
 import socket
+import uuid
 from typing import Any
 
 from repro.core.errors import (
@@ -37,6 +54,17 @@ from repro.service.protocol import ReplyError
 
 class ServiceUnavailableError(NetworkError):
     """The service answered ``-UNAVAILABLE`` (quorum loss, node down)."""
+
+
+class _TraceStamper:
+    """Per-connection trace-id source: ``<8 hex chars>-<seq>``."""
+
+    def __init__(self) -> None:
+        self._prefix = uuid.uuid4().hex[:8]
+        self._seq = itertools.count(1)
+
+    def next(self) -> str:
+        return f"{self._prefix}-{next(self._seq)}"
 
 
 def _raise_reply(reply: Any) -> Any:
@@ -61,6 +89,7 @@ class DirectoryClient:
         port: int = 7379,
         *,
         timeout: float | None = 30.0,
+        trace: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -68,8 +97,14 @@ class DirectoryClient:
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._stream = self._sock.makefile("rb")
         self._closed = False
+        self._stamper = _TraceStamper() if trace else None
+        #: The trace id stamped onto the most recent request, if any.
+        self.last_trace: "str | None" = None
 
     def _request(self, *parts: str) -> Any:
+        if self._stamper is not None:
+            self.last_trace = self._stamper.next()
+            parts = parts + (f"@trace={self.last_trace}",)
         self._sock.sendall(protocol.encode_command(*parts))
         return _raise_reply(protocol.read_frame_sync(self._stream))
 
@@ -129,25 +164,50 @@ class DirectoryClient:
         target = f"s{shard}/{replica}" if shard else replica
         return self._request("REJOIN", target)
 
+    # -- the admin/telemetry plane -------------------------------------------
+
+    def stats(self, window: "float | None" = None) -> dict[str, Any]:
+        """``STATS [window]``: windowed rates + per-shard breakdown."""
+        parts = ("STATS",) if window is None else ("STATS", str(window))
+        return json.loads(self._request(*parts))
+
+    def slow(self, n: int = 10) -> list[dict[str, Any]]:
+        """``SLOW n``: the slowest recent ops, each with its span tree."""
+        return json.loads(self._request("SLOW", str(n)))
+
+    def metrics(self) -> dict[str, Any]:
+        """``METRICS``: the server's raw registry snapshot."""
+        return json.loads(self._request("METRICS"))
+
 
 class AsyncDirectoryClient:
     """Asyncio client; open with :meth:`connect`."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        trace: bool = True,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._closed = False
+        self._stamper = _TraceStamper() if trace else None
+        #: The trace id stamped onto the most recent request, if any.
+        self.last_trace: "str | None" = None
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 7379
+        cls, host: str = "127.0.0.1", port: int = 7379, *, trace: bool = True
     ) -> "AsyncDirectoryClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, trace=trace)
 
     async def _request(self, *parts: str) -> Any:
+        if self._stamper is not None:
+            self.last_trace = self._stamper.next()
+            parts = parts + (f"@trace={self.last_trace}",)
         self._writer.write(protocol.encode_command(*parts))
         await self._writer.drain()
         return _raise_reply(await protocol.read_frame(self._reader))
@@ -179,6 +239,16 @@ class AsyncDirectoryClient:
 
     async def remove(self, key: str) -> bool:
         return await self._request("DEL", key) == 1
+
+    async def stats(self, window: "float | None" = None) -> dict[str, Any]:
+        parts = ("STATS",) if window is None else ("STATS", str(window))
+        return json.loads(await self._request(*parts))
+
+    async def slow(self, n: int = 10) -> list[dict[str, Any]]:
+        return json.loads(await self._request("SLOW", str(n)))
+
+    async def metrics(self) -> dict[str, Any]:
+        return json.loads(await self._request("METRICS"))
 
     async def close(self) -> None:
         if self._closed:

@@ -9,12 +9,19 @@ connection and the measured latency is honest service time, not queue
 time at the generator.
 
 Latency is sampled per operation with ``time.perf_counter``; the run
-reports throughput over the full window plus p50/p95/p99/max, and
-counts *client-visible errors* — any exception surfacing from the
-client, which a healthy run must keep at zero (the lenient verbs never
-error for absent keys).  Results are written as ``BENCH_service.json``
-in the repo's BENCH schema (:mod:`repro.obs.bench`), so the trend
-tooling that reads the simulated benchmarks reads this one too.
+reports throughput over the full window plus p50/p95/p99/max, counts
+*client-visible errors* — any exception surfacing from the client,
+which a healthy run must keep at zero (the lenient verbs never error
+for absent keys) — and keeps a per-second timeline of completions and
+errors, so warm-up and mid-run degradation are visible instead of being
+averaged away.  Results are written as ``BENCH_service.json`` in the
+repo's BENCH schema (:mod:`repro.obs.bench`), so the trend tooling that
+reads the simulated benchmarks reads this one too.
+
+A skew knob makes hot-shard experiments one flag: with
+``hot_fraction=0.5, hot_keys=1``, half of all operations hit the single
+key ``h0``, which hashes to one shard — the shard the service's
+``STATS`` verb must then identify as hot.
 """
 
 from __future__ import annotations
@@ -47,8 +54,12 @@ async def _worker(
     keyspace: int,
     mix: tuple[float, float, float],
     seed: int,
+    hot_fraction: float,
+    hot_keys: int,
     latencies: "list[float]",
     errors: "list[int]",
+    timeline: "dict[int, list[int]]",
+    t0: float,
 ) -> None:
     rng = random.Random(seed * 100_003 + index)
     set_w, get_w, _ = mix
@@ -58,7 +69,10 @@ async def _worker(
             if budget[0] <= 0:
                 return
             budget[0] -= 1
-            key = f"k{rng.randrange(keyspace)}"
+            if hot_fraction and rng.random() < hot_fraction:
+                key = f"h{rng.randrange(hot_keys)}"
+            else:
+                key = f"k{rng.randrange(keyspace)}"
             roll = rng.random()
             started = time.perf_counter()
             try:
@@ -70,8 +84,16 @@ async def _worker(
                     await client.remove(key)
             except Exception:
                 errors[0] += 1
+                failed = 1
             else:
                 latencies.append(time.perf_counter() - started)
+                failed = 0
+            # Single-threaded event loop: plain dict/list updates are safe.
+            bucket = timeline.setdefault(
+                int(time.perf_counter() - t0), [0, 0]
+            )
+            bucket[0] += 1
+            bucket[1] += failed
     finally:
         await client.close()
 
@@ -84,15 +106,30 @@ async def _run(
     keyspace: int,
     mix: tuple[float, float, float],
     seed: int,
+    hot_fraction: float,
+    hot_keys: int,
 ) -> dict[str, Any]:
     latencies: list[float] = []
     errors = [0]
     budget = [ops]
+    timeline: dict[int, list[int]] = {}
     started = time.perf_counter()
     await asyncio.gather(
         *(
             _worker(
-                host, port, i, budget, keyspace, mix, seed, latencies, errors
+                host,
+                port,
+                i,
+                budget,
+                keyspace,
+                mix,
+                seed,
+                hot_fraction,
+                hot_keys,
+                latencies,
+                errors,
+                timeline,
+                started,
             )
             for i in range(connections)
         )
@@ -112,6 +149,10 @@ async def _run(
             "max": (ordered[-1] if ordered else 0.0) * 1000,
             "mean": (sum(ordered) / done if done else 0.0) * 1000,
         },
+        "timeline": [
+            {"second": s, "ops": n, "errors": e}
+            for s, (n, e) in sorted(timeline.items())
+        ],
     }
 
 
@@ -124,6 +165,8 @@ def run_load(
     keyspace: int = 4096,
     mix: tuple[float, float, float] = DEFAULT_MIX,
     seed: int = 1,
+    hot_fraction: float = 0.0,
+    hot_keys: int = 1,
     bench_dir: "str | None" = None,
     name: str = "service",
 ) -> dict[str, Any]:
@@ -136,8 +179,22 @@ def run_load(
         raise ValueError(f"connections must be >= 1: {connections}")
     if abs(sum(mix) - 1.0) > 1e-9:
         raise ValueError(f"mix weights must sum to 1: {mix!r}")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1]: {hot_fraction}")
+    if hot_keys < 1:
+        raise ValueError(f"hot_keys must be >= 1: {hot_keys}")
     result = asyncio.run(
-        _run(host, port, ops, connections, keyspace, mix, seed)
+        _run(
+            host,
+            port,
+            ops,
+            connections,
+            keyspace,
+            mix,
+            seed,
+            hot_fraction,
+            hot_keys,
+        )
     )
     result["connections"] = connections
     if bench_dir is not None:
@@ -149,6 +206,8 @@ def run_load(
                 "keyspace": keyspace,
                 "mix": {"set": mix[0], "get": mix[1], "del": mix[2]},
                 "seed": seed,
+                "hot_fraction": hot_fraction,
+                "hot_keys": hot_keys,
             },
             messages={"client_errors": result["errors"]},
             latency={
@@ -160,7 +219,11 @@ def run_load(
                 "max_ms": result["latency_ms"]["max"],
                 "mean_ms": result["latency_ms"]["mean"],
             },
-            extra={"host": host, "port": port},
+            extra={
+                "host": host,
+                "port": port,
+                "timeline": result["timeline"],
+            },
         )
         result["bench_path"] = str(write_bench(payload, bench_dir))
     return result

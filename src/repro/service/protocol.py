@@ -28,6 +28,7 @@ decides) for error replies.
 from __future__ import annotations
 
 import asyncio
+import re
 from typing import Any, BinaryIO
 
 from repro.core.errors import ReproError
@@ -95,6 +96,35 @@ def encode_array(parts: "list[str | None]") -> bytes:
     return b"*%d\r\n" % len(parts) + b"".join(
         encode_bulk(part) for part in parts
     )
+
+
+# -- request metadata --------------------------------------------------------
+
+#: Trailing request elements starting with ``@`` are reserved metadata,
+#: not command arguments.  The only field defined today is the trace id.
+TRACE_META = re.compile(r"@trace=([A-Za-z0-9][A-Za-z0-9._:~-]{0,127})\Z")
+
+
+def split_meta(frame: "list[str]") -> "tuple[list[str], str | None]":
+    """Split a request array into command parts and a trace id.
+
+    Strips *every* trailing ``@``-prefixed element — the reserved
+    metadata namespace — and returns ``(command_parts, trace_id)``.
+    Compatibility is deliberately one-sided and forgiving: a client that
+    stamps no metadata parses unchanged, and metadata the server does
+    not understand (an unknown ``@field``, a malformed ``@trace=``) is
+    dropped silently, never answered with an error, so old clients keep
+    working against new servers and vice versa.  When several trace ids
+    appear, the innermost (last-stamped, i.e. rightmost) one wins.
+    """
+    parts = list(frame)
+    trace: "str | None" = None
+    while parts and parts[-1].startswith("@"):
+        token = parts.pop()
+        match = TRACE_META.fullmatch(token)
+        if match is not None and trace is None:
+            trace = match.group(1)
+    return parts, trace
 
 
 # -- async decoding ----------------------------------------------------------

@@ -18,6 +18,14 @@ string commands::
     SIZE                     -> :N
     SHARDS                   -> :N
     REJOIN [s<i>/]replica    -> +UP          | -ERR unknown replica ...
+    STATS [window]           -> $json          (windowed rates, per shard)
+    SLOW [n]                 -> $json          (slowest recent ops + spans)
+    METRICS                  -> $json          (raw registry snapshot)
+
+Requests may carry trailing ``@``-prefixed metadata elements (stripped
+before arity checks, see :func:`repro.service.protocol.split_meta`); the
+one field defined today is ``@trace=<id>``, the client-stamped trace id
+the service adopts onto the root span of the operation it triggers.
 
 ``REJOIN`` is the operator verb for the replica lifecycle
 (:mod:`repro.repl`): it recovers the named representative on shard
@@ -41,11 +49,23 @@ operation — including the insert-or-update read-modify-write of ``SET``
 — runs on that shard's one thread, which serializes it against every
 other client touching the same shard.  Distinct shards proceed in
 parallel.
+
+Live telemetry (:class:`ServiceTelemetry`, on by default) instruments
+that per-shard thread: every keyed operation runs inside a
+``service:<VERB>`` root span recorded by a bounded per-shard
+:class:`~repro.obs.spans.RingTracer` (also bound into the shard's suite
+and RPC endpoint, so the full op/quorum/rpc/commit tree nests beneath
+it), feeds a rolling latency window, a space-saving hot-key sketch, and
+a slow-op ring, and bumps the directory's ``shard.routed`` counter —
+which is what makes the ``STATS`` windowed rates meaningful in service
+mode.  All of it is answered from the loop thread without touching the
+shard threads.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
@@ -57,8 +77,182 @@ from repro.core.errors import (
     ReproError,
     TransactionError,
 )
+from repro.obs.live import RollingHistogram, SlowLog, SpaceSaving, WindowedView
+from repro.obs.spans import RingTracer
 from repro.service import protocol
 from repro.shard.sharded import ShardedDirectory
+
+
+class _ShardTelemetry:
+    """One shard's live instrumentation, touched only by its worker thread.
+
+    Installing it rebinds the shard suite's tracer and its RPC
+    endpoint's tracer to a bounded :class:`RingTracer`, so the spans a
+    keyed operation opens below the ``service:<VERB>`` root all land in
+    the same per-shard ring.  Representatives keep their construction-
+    time null tracer — their work happens on the transport's loop
+    thread, where spans could never nest under the shard-thread root.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        cluster: Any,
+        directory: ShardedDirectory,
+        now: Any,
+        recorded: Any,
+        *,
+        ring_capacity: int,
+        slow_capacity: int,
+        hot_capacity: int,
+        latency_window: float,
+    ) -> None:
+        self.index = index
+        self.cluster = cluster
+        self._directory = directory
+        self._recorded = recorded
+        self.tracer = RingTracer(now, capacity=ring_capacity)
+        cluster.suite.tracer = self.tracer
+        cluster.suite.rpc.bind_tracer(self.tracer)
+        self.latency = RollingHistogram(now, window=latency_window)
+        self.hot_keys = SpaceSaving(hot_capacity)
+        self.slow = SlowLog(slow_capacity)
+        # Registered eagerly (not on first failure) so the name exists
+        # in every snapshot; the shard-scoped view makes it
+        # ``shard<i>.live.ops.failed``, a genuinely per-shard count —
+        # unlike the suite op counters, which all shards share.
+        self.failed = cluster.metrics.counter("live.ops.failed")
+
+    def run(self, verb: str, key: str, trace: Any, fn: Any, *args: Any) -> Any:
+        """Execute one keyed operation on this shard, fully instrumented."""
+        self._directory.note_routed(self.index)
+        span = self.tracer.span(f"service:{verb}", key=key, shard=self.index)
+        if trace is not None:
+            span.attrs["trace"] = trace
+        try:
+            with span:
+                return fn(self.cluster.suite, *args)
+        finally:
+            # The ``with`` block sealed the span (end timestamp and
+            # status) before this runs, success or failure.
+            self.latency.observe(span.duration)
+            self.hot_keys.offer(key)
+            if span.status != "ok":
+                self.failed.inc()
+            self.slow.record(
+                span, verb=verb, key=key, shard=self.index, trace=trace
+            )
+            self._recorded.inc()
+
+
+class ServiceTelemetry:
+    """The front door's live plane: windows, sketches, rings, membership.
+
+    Owns one :class:`WindowedView` over the whole registry plus one
+    :class:`_ShardTelemetry` per shard, and assembles the ``STATS`` /
+    ``SLOW`` / ``METRICS`` replies.  Readers run on the transport's loop
+    thread; every structure they touch is internally locked, so the
+    admin verbs never block a shard's worker.
+    """
+
+    def __init__(
+        self,
+        directory: ShardedDirectory,
+        *,
+        window: float = 60.0,
+        history: int = 600,
+        ring_capacity: int = 512,
+        slow_capacity: int = 128,
+        hot_capacity: int = 8,
+    ) -> None:
+        transport = directory.transport
+        self.directory = directory
+        self.clock = transport.clock
+        self.metrics = transport.metrics
+        self.window = window
+        self.view = WindowedView(
+            self.metrics, self.clock.now, window=window, history=history
+        )
+        self._admin = self.metrics.counter("live.admin.requests")
+        self._samples = self.metrics.counter("live.window.samples")
+        recorded = self.metrics.counter("live.ops.recorded")
+        self.shards = [
+            _ShardTelemetry(
+                i,
+                cluster,
+                directory,
+                self.clock.now,
+                recorded,
+                ring_capacity=ring_capacity,
+                slow_capacity=slow_capacity,
+                hot_capacity=hot_capacity,
+                latency_window=window,
+            )
+            for i, cluster in enumerate(directory.clusters)
+        ]
+
+    def sample(self) -> float:
+        """Take a registry sample for the windowed view."""
+        self._samples.inc()
+        return self.view.sample()
+
+    def stats(self, window: float | None = None) -> dict[str, Any]:
+        """The ``STATS`` reply body (takes a fresh sample first)."""
+        self._admin.inc()
+        self.sample()
+        rates = self.view.rates(window)
+        per_shard: dict[str, Any] = {}
+        total_ops = 0.0
+        for shard in self.shards:
+            name = f"s{shard.index}"
+            suite = shard.cluster.suite
+            ops_rate = rates.get(f"shard.routed.{name}")
+            total_ops += ops_rate
+            per_shard[name] = {
+                "ops_per_s": ops_rate,
+                "routed": self.directory.routed[shard.index],
+                "err_per_s": rates.get(f"shard{shard.index}.live.ops.failed"),
+                "latency": shard.latency.snapshot(),
+                "hot_keys": [list(row) for row in shard.hot_keys.top()],
+                "membership": {
+                    rep: suite.membership.state(rep).value
+                    for rep in sorted(shard.cluster.representatives)
+                },
+            }
+        service = {
+            "ops": self.metrics.counter("service.front.ops").value,
+            "errors": self.metrics.counter("service.front.errors").value,
+            "ops_per_s": rates.get("service.front.ops"),
+            "err_per_s": rates.get("service.front.errors"),
+            "rpc_per_s": rates.get("service.rpc.calls"),
+            "rpc_err_per_s": rates.get("service.rpc.errors"),
+            "retry_per_s": sum(
+                r
+                for n, r in rates.rates.items()
+                if n.endswith("suite.retry.attempts")
+            ),
+        }
+        return {
+            "clock": self.clock.now(),
+            "shards": len(self.shards),
+            "window_seconds": rates.elapsed,
+            "ops_per_s": total_ops,
+            "service": service,
+            "per_shard": per_shard,
+            "windows": dict(sorted(rates.rates.items())),
+        }
+
+    def slow(self, n: int = 10) -> list[dict[str, Any]]:
+        """The ``SLOW n`` reply body: slowest recent ops across shards."""
+        self._admin.inc()
+        entries = [op for shard in self.shards for op in shard.slow.slowest(n)]
+        entries.sort(key=lambda op: op.duration, reverse=True)
+        return [op.to_dict() for op in entries[:n]]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``METRICS`` reply body: the raw registry snapshot."""
+        self._admin.inc()
+        return self.metrics.snapshot()
 
 
 class DirectoryService:
@@ -70,6 +264,8 @@ class DirectoryService:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        live: bool = True,
+        stats_window: float = 60.0,
     ) -> None:
         transport = directory.transport
         if not hasattr(transport, "submit"):
@@ -93,6 +289,13 @@ class DirectoryService:
         metrics = transport.metrics
         self._ops = metrics.counter("service.front.ops")
         self._failures = metrics.counter("service.front.errors")
+        self.telemetry = (
+            ServiceTelemetry(directory, window=stats_window) if live else None
+        )
+        if self.telemetry is not None:
+            # A boot-time baseline sample: the very first STATS request
+            # already has something to difference against.
+            self.telemetry.sample()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,14 +366,20 @@ class DirectoryService:
         ):
             return protocol.encode_error("ERR", "expected a command array")
         self._ops.inc()
-        command, args = frame[0].upper(), frame[1:]
+        # Trailing @-metadata (the trace id) is stripped before arity
+        # checks; unknown or malformed fields are ignored, never errors.
+        parts, trace = protocol.split_meta(frame)
+        if not parts:
+            self._failures.inc()
+            return protocol.encode_error("ERR", "expected a command array")
+        command, args = parts[0].upper(), parts[1:]
         try:
             handler = self._COMMANDS[command]
         except KeyError:
             self._failures.inc()
             return protocol.encode_error("ERR", f"unknown command {command!r}")
         try:
-            return await handler(self, args)
+            return await handler(self, args, trace)
         except _Arity as exc:
             self._failures.inc()
             return protocol.encode_error("ERR", str(exc))
@@ -194,58 +403,71 @@ class DirectoryService:
                 "ERR", f"internal {type(exc).__name__}: {exc}"
             )
 
-    async def _on_shard(self, key: str, fn: Any, *args: Any) -> Any:
+    async def _on_shard(
+        self, verb: str, key: str, trace: Any, fn: Any, *args: Any
+    ) -> Any:
         """Run ``fn(suite, *args)`` on the owning shard's worker thread."""
         index = self.directory.shard_for(key)
-        suite = self.directory.clusters[index].suite
         loop = asyncio.get_running_loop()
+        if self.telemetry is not None:
+            shard = self.telemetry.shards[index]
+            return await loop.run_in_executor(
+                self._executors[index], shard.run, verb, key, trace, fn, *args
+            )
+        suite = self.directory.clusters[index].suite
         return await loop.run_in_executor(
             self._executors[index], fn, suite, *args
         )
 
     # -- command handlers ----------------------------------------------------
 
-    async def _cmd_ping(self, args: list[str]) -> bytes:
+    async def _cmd_ping(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 0, "PING")
         return protocol.encode_simple("PONG")
 
-    async def _cmd_lookup(self, args: list[str]) -> bytes:
+    async def _cmd_lookup(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 1, "LOOKUP key")
         key = args[0]
         present, value = await self._on_shard(
-            key, lambda suite: suite.lookup(key)
+            "LOOKUP", key, trace, lambda suite: suite.lookup(key)
         )
         return protocol.encode_array(
             ["1" if present else "0", _text(value) if present else None]
         )
 
-    async def _cmd_insert(self, args: list[str]) -> bytes:
+    async def _cmd_insert(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 2, "INSERT key value")
         key, value = args
-        await self._on_shard(key, lambda suite: suite.insert(key, value))
+        await self._on_shard(
+            "INSERT", key, trace, lambda suite: suite.insert(key, value)
+        )
         return protocol.encode_simple("OK")
 
-    async def _cmd_update(self, args: list[str]) -> bytes:
+    async def _cmd_update(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 2, "UPDATE key value")
         key, value = args
-        await self._on_shard(key, lambda suite: suite.update(key, value))
+        await self._on_shard(
+            "UPDATE", key, trace, lambda suite: suite.update(key, value)
+        )
         return protocol.encode_simple("OK")
 
-    async def _cmd_delete(self, args: list[str]) -> bytes:
+    async def _cmd_delete(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 1, "DELETE key")
         key = args[0]
-        await self._on_shard(key, lambda suite: suite.delete(key))
+        await self._on_shard(
+            "DELETE", key, trace, lambda suite: suite.delete(key)
+        )
         return protocol.encode_simple("OK")
 
-    async def _cmd_get(self, args: list[str]) -> bytes:
+    async def _cmd_get(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 1, "GET key")
         key = args[0]
         present, value = await self._on_shard(
-            key, lambda suite: suite.lookup(key)
+            "GET", key, trace, lambda suite: suite.lookup(key)
         )
         return protocol.encode_bulk(_text(value) if present else None)
 
-    async def _cmd_set(self, args: list[str]) -> bytes:
+    async def _cmd_set(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 2, "SET key value")
         key, value = args
 
@@ -256,10 +478,10 @@ class DirectoryService:
             except KeyAlreadyPresentError:
                 suite.update(key, value)
 
-        await self._on_shard(key, upsert)
+        await self._on_shard("SET", key, trace, upsert)
         return protocol.encode_simple("OK")
 
-    async def _cmd_del(self, args: list[str]) -> bytes:
+    async def _cmd_del(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 1, "DEL key")
         key = args[0]
 
@@ -270,9 +492,11 @@ class DirectoryService:
                 return 0
             return 1
 
-        return protocol.encode_integer(await self._on_shard(key, drop))
+        return protocol.encode_integer(
+            await self._on_shard("DEL", key, trace, drop)
+        )
 
-    async def _cmd_size(self, args: list[str]) -> bytes:
+    async def _cmd_size(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 0, "SIZE")
         loop = asyncio.get_running_loop()
         totals = await asyncio.gather(
@@ -285,11 +509,51 @@ class DirectoryService:
         )
         return protocol.encode_integer(sum(totals))
 
-    async def _cmd_shards(self, args: list[str]) -> bytes:
+    async def _cmd_shards(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 0, "SHARDS")
         return protocol.encode_integer(len(self.directory.clusters))
 
-    async def _cmd_rejoin(self, args: list[str]) -> bytes:
+    def _require_live(self) -> ServiceTelemetry:
+        if self.telemetry is None:
+            raise ReproError("live telemetry is disabled on this server")
+        return self.telemetry
+
+    async def _cmd_stats(self, args: list[str], trace: Any) -> bytes:
+        if len(args) > 1:
+            raise _Arity("usage: STATS [window-seconds]")
+        window: float | None = None
+        if args:
+            try:
+                window = float(args[0])
+            except ValueError:
+                raise _Arity("usage: STATS [window-seconds]") from None
+        telemetry = self._require_live()
+        return protocol.encode_bulk(
+            json.dumps(telemetry.stats(window), default=str)
+        )
+
+    async def _cmd_slow(self, args: list[str], trace: Any) -> bytes:
+        if len(args) > 1:
+            raise _Arity("usage: SLOW [n]")
+        n = 10
+        if args:
+            try:
+                n = int(args[0])
+            except ValueError:
+                raise _Arity("usage: SLOW [n]") from None
+            if n < 1:
+                raise _Arity("usage: SLOW [n]")
+        telemetry = self._require_live()
+        return protocol.encode_bulk(json.dumps(telemetry.slow(n), default=str))
+
+    async def _cmd_metrics(self, args: list[str], trace: Any) -> bytes:
+        _expect(args, 0, "METRICS")
+        telemetry = self._require_live()
+        return protocol.encode_bulk(
+            json.dumps(telemetry.snapshot(), default=str)
+        )
+
+    async def _cmd_rejoin(self, args: list[str], trace: Any) -> bytes:
         _expect(args, 1, "REJOIN [s<i>/]replica")
         prefix, _, replica = args[0].rpartition("/")
         try:
@@ -335,6 +599,9 @@ class DirectoryService:
         "SIZE": _cmd_size,
         "SHARDS": _cmd_shards,
         "REJOIN": _cmd_rejoin,
+        "STATS": _cmd_stats,
+        "SLOW": _cmd_slow,
+        "METRICS": _cmd_metrics,
     }
 
 

@@ -272,6 +272,17 @@ class ShardedDirectory:
             )
         return index
 
+    def note_routed(self, index: int, n: int = 1) -> None:
+        """Record ``n`` operations routed to shard ``index`` externally.
+
+        The asyncio front door routes with :meth:`shard_for` and its own
+        per-shard executors instead of :meth:`_route`; it calls this from
+        the owning shard's worker thread (the only writer for that
+        index), so ``shard.routed`` stays live in service mode too.
+        """
+        self.routed[index] += n
+        self.last_routed_shard = index
+
     def _route(self, key: Any) -> Any:
         index = self.shard_for(key)
         self.routed[index] += 1

@@ -127,8 +127,26 @@ def runtime_names():
     sharded.insert(0.2, "x")
     sharded.insert(0.8, "y")
     sharded.make_auditor().run()
-    names = set(cluster.metrics.snapshot()) | set(
-        sharded.metrics.snapshot()
+
+    # The asyncio service plane registers the transport RPC metrics,
+    # the front-door counters, and (via a STATS request) every live.*
+    # telemetry counter.
+    from repro.service.client import DirectoryClient
+    from repro.service.server import DirectoryService
+
+    with ShardedDirectory.create(
+        ClusterSpec(config="1-1-1", seed=3, transport="asyncio"), shards=1
+    ) as aio:
+        with DirectoryService(aio).start() as service:
+            with DirectoryClient(service.host, service.port) as front:
+                front.set("k", "v")
+                front.stats()
+        service_names = set(aio.metrics.snapshot())
+
+    names = (
+        set(cluster.metrics.snapshot())
+        | set(sharded.metrics.snapshot())
+        | service_names
     )
     return sorted(names)
 
