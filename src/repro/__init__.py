@@ -64,6 +64,7 @@ from repro.core.errors import (
     ReproError,
     RpcTimeoutError,
     SentinelKeyError,
+    StaleEpochError,
     StorageError,
     StoreCorruptionError,
     TransactionAbortedError,
@@ -108,9 +109,14 @@ from repro.obs import (
 from repro.shard import (
     HashShardMap,
     RangeShardMap,
+    Resharder,
+    ReshardController,
+    ReshardRecord,
     ShardAuditor,
     ShardMap,
+    ShardMapDelta,
     ShardedDirectory,
+    VersionedShardMap,
     WaveOutcome,
 )
 from repro.sim.driver import SimulationResult, SimulationSpec, run_simulation
@@ -133,6 +139,11 @@ __all__ = [
     "ShardMap",
     "RangeShardMap",
     "HashShardMap",
+    "VersionedShardMap",
+    "ShardMapDelta",
+    "Resharder",
+    "ReshardController",
+    "ReshardRecord",
     "ShardAuditor",
     "WaveOutcome",
     # transports
@@ -201,5 +212,6 @@ __all__ = [
     "OriginDownError",
     "RpcTimeoutError",
     "QuorumUnavailableError",
+    "StaleEpochError",
     "__version__",
 ]

@@ -104,6 +104,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         rejoin_replica=args.rejoin_replica,
         wipe=args.wipe,
         antientropy_every=args.antientropy,
+        auto_reshard=args.auto_reshard,
+        reshard_max_splits=args.reshard_max_splits,
+        reshard_hot_factor=args.reshard_hot_factor,
     )
     result = run_simulation(spec)
     rows = []
@@ -131,6 +134,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(
             f"shards: {args.shards} ({args.shard_map} map); routed "
             + ", ".join(f"{k}={v}" for k, v in sorted(routed.items()))
+        )
+    if result.reshard is not None:
+        print(
+            f"reshard: epoch {result.reshard['epoch']}, "
+            f"{result.reshard['migrations']} live migrations, "
+            f"{result.reshard['moved_keys']} keys moved"
         )
     if args.rejoin_at > 0:
         taken = (
@@ -646,6 +655,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="range",
         help="key-to-shard split when --shards > 0: contiguous key "
         "ranges or stable hash buckets",
+    )
+    g.add_argument(
+        "--auto-reshard",
+        action="store_true",
+        help="watch windowed per-shard routing rates and live-split the "
+        "hottest shard's key range mid-run (requires --shards > 0)",
+    )
+    g.add_argument(
+        "--reshard-max-splits",
+        type=int,
+        default=2,
+        help="upper bound on automatic splits per run",
+    )
+    g.add_argument(
+        "--reshard-hot-factor",
+        type=float,
+        default=2.0,
+        help="split when the hottest shard's routed rate exceeds this "
+        "multiple of the mean of the others",
     )
     g = p.add_argument_group("observability", "spans, audits, telemetry")
     g.add_argument(

@@ -250,3 +250,29 @@ class QuorumUnavailableError(NetworkError):
         self.needed = needed
         self.available = available
         self.kind = kind
+
+
+# ---------------------------------------------------------------------------
+# Sharding / routing errors
+# ---------------------------------------------------------------------------
+
+
+class StaleEpochError(ReproError):
+    """An operation named a shard-map epoch that no longer owns its key.
+
+    Raised by epoch-aware routing surfaces
+    (:meth:`~repro.shard.sharded.ShardedDirectory.require_epoch`) when a
+    client's cached map is outdated for the key being operated on — a
+    live reshard moved the range since the client fetched its map.
+    ``epoch`` carries the *current* epoch so the client can refresh and
+    retry; the service front door translates this exception into a
+    ``-MOVED <epoch>`` redirect.
+    """
+
+    def __init__(self, epoch: int, key: object = None) -> None:
+        detail = f" for key {key!r}" if key is not None else ""
+        super().__init__(
+            f"shard map epoch is stale{detail}; current epoch is {epoch}"
+        )
+        self.epoch = epoch
+        self.key = key

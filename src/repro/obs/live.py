@@ -136,6 +136,18 @@ class WindowedView:
             self._samples.append((t, flat))
         return t
 
+    def reset(self) -> float:
+        """Drop all history and re-baseline from this instant.
+
+        For observers whose *interpretation* of a counter changed — the
+        `ReshardController` calls this at cutover, when pre-migration
+        routing counts would misattribute a moved range's traffic to
+        its old owner.  Returns the fresh baseline's timestamp.
+        """
+        with self._lock:
+            self._samples.clear()
+        return self.sample()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._samples)
@@ -354,8 +366,9 @@ def format_stats(stats: Mapping[str, Any]) -> str:
         return f"{float(v):.1f}"
 
     service = stats.get("service", {})
+    epoch = f" — epoch {stats['epoch']}" if "epoch" in stats else ""
     header = (
-        f"repro top — {stats.get('shards', '?')} shards — "
+        f"repro top — {stats.get('shards', '?')} shards{epoch} — "
         f"clock {float(stats.get('clock', 0.0)):.1f}s — "
         f"window {float(stats.get('window_seconds', 0.0)):.1f}s — "
         f"{rate(stats.get('ops_per_s', 0.0))} ops/s"
@@ -392,4 +405,16 @@ def format_stats(stats: Mapping[str, Any]) -> str:
         f"{rate(service.get('rpc_err_per_s', 0.0))} err/s, "
         f"{rate(service.get('retry_per_s', 0.0))} retries/s"
     )
-    return "\n".join([header, "", table, "", footer])
+    lines = [header, "", table, "", footer]
+    reshard = stats.get("reshard", {})
+    if reshard.get("active"):
+        high = reshard.get("high")
+        lines.append(
+            f"reshard: s{reshard.get('source')} -> s{reshard.get('target')} "
+            f"[{reshard.get('low')!r} .. "
+            f"{'HIGH' if high is None else repr(high)}) — "
+            f"phase {str(reshard.get('phase', '?')).upper()} "
+            f"({reshard.get('copied', 0)} keys copied, "
+            f"{reshard.get('mirrored', 0)} dual-writes)"
+        )
+    return "\n".join(lines)

@@ -32,6 +32,16 @@ The admin plane rides the same socket: :meth:`DirectoryClient.stats`
 (slowest recent ops with their span trees), and
 :meth:`DirectoryClient.metrics` (raw registry snapshot) decode the
 JSON bulk replies of ``STATS`` / ``SLOW`` / ``METRICS``.
+
+Both clients are also *epoch-aware*: on the first keyed operation they
+fetch the server's shard map (``SHARDMAP``) and from then on stamp the
+cached epoch onto every keyed request as ``@epoch=<n>`` metadata.  When
+a live reshard moves the key's range, the server answers ``-MOVED
+<epoch>``; the client refreshes its map and retries transparently
+(counted on ``client.redirects``), so a migration is invisible to
+callers.  Pass ``epochs=False`` (or talk to a server that predates
+``SHARDMAP``) and the client degrades to the plain, epoch-free
+protocol.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import re
 import socket
 import uuid
 from typing import Any
@@ -47,6 +58,7 @@ from repro.core.errors import (
     KeyAlreadyPresentError,
     KeyNotPresentError,
     NetworkError,
+    StaleEpochError,
 )
 from repro.service import protocol
 from repro.service.protocol import ReplyError
@@ -80,6 +92,17 @@ def _raise_reply(reply: Any) -> Any:
     return reply
 
 
+#: Reply metadata: a trailing `` @epoch=<n>`` on a simple string.  Array
+#: replies instead carry a trailing ``@epoch=<n>`` element.
+_EPOCH_REPLY = re.compile(r"\A(.*) @epoch=(\d{1,18})\Z", re.DOTALL)
+_EPOCH_ELEMENT = re.compile(r"\A@epoch=(\d{1,18})\Z")
+
+#: How many ``-MOVED`` redirects one keyed call will chase before giving
+#: up.  Each redirect refreshes the shard map, so more than a couple in
+#: a row means the server is resharding faster than we can follow.
+_MAX_REDIRECTS = 3
+
+
 class DirectoryClient:
     """Blocking client; a remote :class:`Directory` on one socket."""
 
@@ -90,6 +113,7 @@ class DirectoryClient:
         *,
         timeout: float | None = 30.0,
         trace: bool = True,
+        epochs: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -100,28 +124,77 @@ class DirectoryClient:
         self._stamper = _TraceStamper() if trace else None
         #: The trace id stamped onto the most recent request, if any.
         self.last_trace: "str | None" = None
+        self._epoch_aware = epochs
+        self._map: "dict[str, Any] | None" = None
+        #: The shard-map epoch this client last saw from the server.
+        self.epoch: "int | None" = None
+        #: How many ``-MOVED`` redirects this client has chased.
+        self.redirects = 0
 
-    def _request(self, *parts: str) -> Any:
+    def _send(self, *parts: str) -> Any:
         if self._stamper is not None:
             self.last_trace = self._stamper.next()
             parts = parts + (f"@trace={self.last_trace}",)
         self._sock.sendall(protocol.encode_command(*parts))
-        return _raise_reply(protocol.read_frame_sync(self._stream))
+        return protocol.read_frame_sync(self._stream)
+
+    def _request(self, *parts: str) -> Any:
+        return _raise_reply(self._send(*parts))
+
+    def _note_epoch(self, epoch: int) -> None:
+        if epoch != self.epoch:
+            self._map = None
+        self.epoch = epoch
+
+    def _strip_epoch(self, reply: Any) -> Any:
+        """Adopt and remove ``@epoch=`` reply metadata, if stamped."""
+        if isinstance(reply, str):
+            match = _EPOCH_REPLY.fullmatch(reply)
+            if match is not None:
+                self._note_epoch(int(match.group(2)))
+                return match.group(1)
+        elif isinstance(reply, list) and reply and isinstance(reply[-1], str):
+            match = _EPOCH_ELEMENT.fullmatch(reply[-1])
+            if match is not None:
+                self._note_epoch(int(match.group(1)))
+                return reply[:-1]
+        return reply
+
+    def _keyed(self, *parts: str) -> Any:
+        """Send a keyed command, chasing ``-MOVED`` redirects."""
+        if self._epoch_aware and self.epoch is None:
+            try:
+                self.shardmap()
+            except ReplyError:  # a server that predates SHARDMAP
+                self._epoch_aware = False
+        for _ in range(_MAX_REDIRECTS):
+            stamped = parts
+            if self.epoch is not None:
+                stamped = parts + (f"@epoch={self.epoch}",)
+            reply = self._send(*stamped)
+            if isinstance(reply, ReplyError) and reply.code == "MOVED":
+                self.redirects += 1
+                self.shardmap(refresh=True)
+                continue
+            return _raise_reply(self._strip_epoch(reply))
+        raise StaleEpochError(
+            self.epoch or 0, key=parts[1] if len(parts) > 1 else None
+        )
 
     # -- the Directory surface ----------------------------------------------
 
     def lookup(self, key: str) -> tuple[bool, Any]:
-        present, value = self._request("LOOKUP", key)
+        present, value = self._keyed("LOOKUP", key)
         return (present == "1", value)
 
     def insert(self, key: str, value: str) -> None:
-        self._request("INSERT", key, value)
+        self._keyed("INSERT", key, value)
 
     def update(self, key: str, value: str) -> None:
-        self._request("UPDATE", key, value)
+        self._keyed("UPDATE", key, value)
 
     def delete(self, key: str) -> None:
-        self._request("DELETE", key)
+        self._keyed("DELETE", key)
 
     def size(self) -> int:
         return self._request("SIZE")
@@ -147,17 +220,35 @@ class DirectoryClient:
         return self._request("PING") == "PONG"
 
     def get(self, key: str) -> "str | None":
-        return self._request("GET", key)
+        return self._keyed("GET", key)
 
     def set(self, key: str, value: str) -> None:
-        self._request("SET", key, value)
+        self._keyed("SET", key, value)
 
     def remove(self, key: str) -> bool:
         """Lenient delete (``DEL``): True if the key was present."""
-        return self._request("DEL", key) == 1
+        return self._keyed("DEL", key) == 1
 
     def shards(self) -> int:
         return self._request("SHARDS")
+
+    def shardmap(self, *, refresh: bool = False) -> dict[str, Any]:
+        """``SHARDMAP``: the server's routing map, cached by epoch."""
+        if self._map is None or refresh:
+            info = json.loads(self._request("SHARDMAP"))
+            self._map = info
+            self.epoch = info["epoch"]
+        return self._map
+
+    def reshard(self, boundary: str) -> dict[str, Any]:
+        """``RESHARD SPLIT boundary``: run a live split to completion."""
+        result = json.loads(self._request("RESHARD", "SPLIT", boundary))
+        self._note_epoch(result["epoch"])
+        return result
+
+    def reshard_status(self) -> dict[str, Any]:
+        """``RESHARD STATUS``: epoch, migration count, in-flight phase."""
+        return json.loads(self._request("RESHARD", "STATUS"))
 
     def rejoin(self, replica: str, shard: int = 0) -> str:
         """Admin verb: rejoin ``replica`` on ``shard``; returns its state."""
@@ -189,6 +280,7 @@ class AsyncDirectoryClient:
         writer: asyncio.StreamWriter,
         *,
         trace: bool = True,
+        epochs: bool = True,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -196,34 +288,72 @@ class AsyncDirectoryClient:
         self._stamper = _TraceStamper() if trace else None
         #: The trace id stamped onto the most recent request, if any.
         self.last_trace: "str | None" = None
+        self._epoch_aware = epochs
+        self._map: "dict[str, Any] | None" = None
+        #: The shard-map epoch this client last saw from the server.
+        self.epoch: "int | None" = None
+        #: How many ``-MOVED`` redirects this client has chased.
+        self.redirects = 0
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 7379, *, trace: bool = True
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7379,
+        *,
+        trace: bool = True,
+        epochs: bool = True,
     ) -> "AsyncDirectoryClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, trace=trace)
+        return cls(reader, writer, trace=trace, epochs=epochs)
 
-    async def _request(self, *parts: str) -> Any:
+    async def _send(self, *parts: str) -> Any:
         if self._stamper is not None:
             self.last_trace = self._stamper.next()
             parts = parts + (f"@trace={self.last_trace}",)
         self._writer.write(protocol.encode_command(*parts))
         await self._writer.drain()
-        return _raise_reply(await protocol.read_frame(self._reader))
+        return await protocol.read_frame(self._reader)
+
+    async def _request(self, *parts: str) -> Any:
+        return _raise_reply(await self._send(*parts))
+
+    _note_epoch = DirectoryClient._note_epoch
+    _strip_epoch = DirectoryClient._strip_epoch
+
+    async def _keyed(self, *parts: str) -> Any:
+        """Send a keyed command, chasing ``-MOVED`` redirects."""
+        if self._epoch_aware and self.epoch is None:
+            try:
+                await self.shardmap()
+            except ReplyError:  # a server that predates SHARDMAP
+                self._epoch_aware = False
+        for _ in range(_MAX_REDIRECTS):
+            stamped = parts
+            if self.epoch is not None:
+                stamped = parts + (f"@epoch={self.epoch}",)
+            reply = await self._send(*stamped)
+            if isinstance(reply, ReplyError) and reply.code == "MOVED":
+                self.redirects += 1
+                await self.shardmap(refresh=True)
+                continue
+            return _raise_reply(self._strip_epoch(reply))
+        raise StaleEpochError(
+            self.epoch or 0, key=parts[1] if len(parts) > 1 else None
+        )
 
     async def lookup(self, key: str) -> tuple[bool, Any]:
-        present, value = await self._request("LOOKUP", key)
+        present, value = await self._keyed("LOOKUP", key)
         return (present == "1", value)
 
     async def insert(self, key: str, value: str) -> None:
-        await self._request("INSERT", key, value)
+        await self._keyed("INSERT", key, value)
 
     async def update(self, key: str, value: str) -> None:
-        await self._request("UPDATE", key, value)
+        await self._keyed("UPDATE", key, value)
 
     async def delete(self, key: str) -> None:
-        await self._request("DELETE", key)
+        await self._keyed("DELETE", key)
 
     async def size(self) -> int:
         return await self._request("SIZE")
@@ -232,13 +362,30 @@ class AsyncDirectoryClient:
         return await self._request("PING") == "PONG"
 
     async def get(self, key: str) -> "str | None":
-        return await self._request("GET", key)
+        return await self._keyed("GET", key)
 
     async def set(self, key: str, value: str) -> None:
-        await self._request("SET", key, value)
+        await self._keyed("SET", key, value)
 
     async def remove(self, key: str) -> bool:
-        return await self._request("DEL", key) == 1
+        return await self._keyed("DEL", key) == 1
+
+    async def shardmap(self, *, refresh: bool = False) -> dict[str, Any]:
+        if self._map is None or refresh:
+            info = json.loads(await self._request("SHARDMAP"))
+            self._map = info
+            self.epoch = info["epoch"]
+        return self._map
+
+    async def reshard(self, boundary: str) -> dict[str, Any]:
+        result = json.loads(
+            await self._request("RESHARD", "SPLIT", boundary)
+        )
+        self._note_epoch(result["epoch"])
+        return result
+
+    async def reshard_status(self) -> dict[str, Any]:
+        return json.loads(await self._request("RESHARD", "STATUS"))
 
     async def stats(self, window: "float | None" = None) -> dict[str, Any]:
         parts = ("STATS",) if window is None else ("STATS", str(window))

@@ -101,8 +101,15 @@ def encode_array(parts: "list[str | None]") -> bytes:
 # -- request metadata --------------------------------------------------------
 
 #: Trailing request elements starting with ``@`` are reserved metadata,
-#: not command arguments.  The only field defined today is the trace id.
+#: not command arguments.  Two fields are defined today: the trace id
+#: and the client's cached shard-map epoch.
 TRACE_META = re.compile(r"@trace=([A-Za-z0-9][A-Za-z0-9._:~-]{0,127})\Z")
+
+#: ``@epoch=<n>``: the shard-map epoch the sender's cached routing map
+#: carries.  On requests it lets the server answer ``-MOVED`` when the
+#: key's owner changed; on replies (see :func:`stamp_epoch`) it tells
+#: the client the server's current epoch.
+EPOCH_META = re.compile(r"@epoch=(\d{1,18})\Z")
 
 
 def split_meta(frame: "list[str]") -> "tuple[list[str], str | None]":
@@ -117,14 +124,55 @@ def split_meta(frame: "list[str]") -> "tuple[list[str], str | None]":
     working against new servers and vice versa.  When several trace ids
     appear, the innermost (last-stamped, i.e. rightmost) one wins.
     """
+    parts, trace, _epoch = split_meta_full(frame)
+    return parts, trace
+
+
+def split_meta_full(
+    frame: "list[str]",
+) -> "tuple[list[str], str | None, int | None]":
+    """:func:`split_meta` plus the ``@epoch=`` field, if stamped.
+
+    Returns ``(command_parts, trace_id, epoch)`` with the same
+    forgiving semantics: unknown or malformed metadata is dropped, and
+    ``epoch`` is None when the client stamped none (an epoch-unaware
+    client, which must keep working unchanged).
+    """
     parts = list(frame)
     trace: "str | None" = None
+    epoch: "int | None" = None
     while parts and parts[-1].startswith("@"):
         token = parts.pop()
         match = TRACE_META.fullmatch(token)
         if match is not None and trace is None:
             trace = match.group(1)
-    return parts, trace
+            continue
+        match = EPOCH_META.fullmatch(token)
+        if match is not None and epoch is None:
+            epoch = int(match.group(1))
+    return parts, trace, epoch
+
+
+def stamp_epoch(reply: bytes, epoch: int) -> bytes:
+    """Stamp ``@epoch=<n>`` reply metadata onto an encoded reply frame.
+
+    Only frames with room for trailing metadata are stamped: simple
+    strings gain a `` @epoch=<n>`` suffix and arrays a trailing
+    ``@epoch=<n>`` bulk element.  Bulk, integer, and error frames pass
+    through untouched — their bytes *are* the payload.  Servers stamp
+    only replies to requests that themselves carried an ``@epoch=``
+    field, so epoch-unaware clients never see the metadata.
+    """
+    if reply.startswith(b"+"):
+        return b"%s @epoch=%d\r\n" % (reply[:-2], epoch)
+    if reply.startswith(b"*"):
+        head, _, rest = reply.partition(b"\r\n")
+        return b"*%d\r\n%s%s" % (
+            int(head[1:]) + 1,
+            rest,
+            encode_bulk(f"@epoch={epoch}"),
+        )
+    return reply
 
 
 # -- async decoding ----------------------------------------------------------

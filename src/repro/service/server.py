@@ -21,11 +21,21 @@ string commands::
     STATS [window]           -> $json          (windowed rates, per shard)
     SLOW [n]                 -> $json          (slowest recent ops + spans)
     METRICS                  -> $json          (raw registry snapshot)
+    SHARDMAP                 -> $json          (epoch, boundaries, owners)
+    RESHARD STATUS           -> $json          (epoch + migration phase)
+    RESHARD SPLIT boundary   -> $json          (live split, runs to DONE)
 
 Requests may carry trailing ``@``-prefixed metadata elements (stripped
-before arity checks, see :func:`repro.service.protocol.split_meta`); the
-one field defined today is ``@trace=<id>``, the client-stamped trace id
-the service adopts onto the root span of the operation it triggers.
+before arity checks, see :func:`repro.service.protocol.split_meta`).
+Two fields are defined today: ``@trace=<id>``, the client-stamped trace
+id the service adopts onto the root span of the operation it triggers,
+and ``@epoch=<n>``, the shard-map epoch of the client's cached routing
+map.  An epoch-stamped keyed request whose key moved since that epoch
+is answered ``-MOVED <current-epoch>`` instead of being executed — the
+client refreshes its map (``SHARDMAP``) and retries; epoch-stamped
+requests also get their replies stamped with the server's current
+``@epoch=``, so clients learn of a cutover on the first op after it.
+Clients that stamp no epoch see neither redirects nor reply metadata.
 
 ``REJOIN`` is the operator verb for the replica lifecycle
 (:mod:`repro.repl`): it recovers the named representative on shard
@@ -75,6 +85,7 @@ from repro.core.errors import (
     NetworkError,
     QuorumUnavailableError,
     ReproError,
+    StaleEpochError,
     TransactionError,
 )
 from repro.obs.live import RollingHistogram, SlowLog, SpaceSaving, WindowedView
@@ -175,21 +186,38 @@ class ServiceTelemetry:
         )
         self._admin = self.metrics.counter("live.admin.requests")
         self._samples = self.metrics.counter("live.window.samples")
-        recorded = self.metrics.counter("live.ops.recorded")
+        self._recorded = self.metrics.counter("live.ops.recorded")
+        self._shard_params = {
+            "ring_capacity": ring_capacity,
+            "slow_capacity": slow_capacity,
+            "hot_capacity": hot_capacity,
+            "latency_window": window,
+        }
         self.shards = [
-            _ShardTelemetry(
-                i,
-                cluster,
-                directory,
-                self.clock.now,
-                recorded,
-                ring_capacity=ring_capacity,
-                slow_capacity=slow_capacity,
-                hot_capacity=hot_capacity,
-                latency_window=window,
-            )
+            self._make_shard(i, cluster)
             for i, cluster in enumerate(directory.clusters)
         ]
+
+    def _make_shard(self, index: int, cluster: Any) -> _ShardTelemetry:
+        return _ShardTelemetry(
+            index,
+            cluster,
+            self.directory,
+            self.clock.now,
+            self._recorded,
+            **self._shard_params,
+        )
+
+    def ensure_shard(self, index: int) -> None:
+        """Instrument shards a live split added since construction.
+
+        Loop-thread only (the single writer of :attr:`shards`); called
+        after a migration completes, so rebinding the new cluster's
+        tracer races nothing.
+        """
+        while len(self.shards) <= index:
+            i = len(self.shards)
+            self.shards.append(self._make_shard(i, self.directory.clusters[i]))
 
     def sample(self) -> float:
         """Take a registry sample for the windowed view."""
@@ -199,6 +227,9 @@ class ServiceTelemetry:
     def stats(self, window: float | None = None) -> dict[str, Any]:
         """The ``STATS`` reply body (takes a fresh sample first)."""
         self._admin.inc()
+        if self.directory.resharder is None:
+            # Quiescent: adopt any shard a completed split added.
+            self.ensure_shard(len(self.directory.clusters) - 1)
         self.sample()
         rates = self.view.rates(window)
         per_shard: dict[str, Any] = {}
@@ -235,6 +266,8 @@ class ServiceTelemetry:
         return {
             "clock": self.clock.now(),
             "shards": len(self.shards),
+            "epoch": self.directory.epoch,
+            "reshard": self.directory.reshard_status(),
             "window_seconds": rates.elapsed,
             "ops_per_s": total_ops,
             "service": service,
@@ -366,9 +399,10 @@ class DirectoryService:
         ):
             return protocol.encode_error("ERR", "expected a command array")
         self._ops.inc()
-        # Trailing @-metadata (the trace id) is stripped before arity
-        # checks; unknown or malformed fields are ignored, never errors.
-        parts, trace = protocol.split_meta(frame)
+        # Trailing @-metadata (trace id, client epoch) is stripped before
+        # arity checks; unknown or malformed fields are ignored, never
+        # errors.
+        parts, trace, epoch = protocol.split_meta_full(frame)
         if not parts:
             self._failures.inc()
             return protocol.encode_error("ERR", "expected a command array")
@@ -379,7 +413,17 @@ class DirectoryService:
             self._failures.inc()
             return protocol.encode_error("ERR", f"unknown command {command!r}")
         try:
-            return await handler(self, args, trace)
+            if epoch is not None and command in self._KEYED and args:
+                # The client told us which map it routed with; refuse the
+                # op (cheaply, on the loop) if the key has since moved.
+                self.directory.require_epoch(args[0], epoch)
+            reply = await handler(self, args, trace)
+            if epoch is not None:
+                reply = protocol.stamp_epoch(reply, self.directory.epoch)
+            return reply
+        except StaleEpochError as exc:
+            # A redirect, not a failure: the client refreshes and retries.
+            return protocol.encode_error("MOVED", str(exc.epoch))
         except _Arity as exc:
             self._failures.inc()
             return protocol.encode_error("ERR", str(exc))
@@ -403,11 +447,29 @@ class DirectoryService:
                 "ERR", f"internal {type(exc).__name__}: {exc}"
             )
 
+    def _sync_shards(self) -> None:
+        """Grow per-shard executors (and telemetry) after a split added
+        clusters.  Loop-thread only — the sole writer of the lists."""
+        while len(self._executors) < len(self.directory.clusters):
+            i = len(self._executors)
+            self._executors.append(
+                ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard{i}"
+                )
+            )
+            if self.telemetry is not None:
+                self.telemetry.ensure_shard(i)
+
     async def _on_shard(
         self, verb: str, key: str, trace: Any, fn: Any, *args: Any
     ) -> Any:
         """Run ``fn(suite, *args)`` on the owning shard's worker thread."""
         index = self.directory.shard_for(key)
+        if index >= len(self._executors):
+            # The current epoch routes to a shard a live split just
+            # added; adopt it before dispatching (post-cutover, so the
+            # new cluster is no longer being written by the migration).
+            self._sync_shards()
         loop = asyncio.get_running_loop()
         if self.telemetry is not None:
             shard = self.telemetry.shards[index]
@@ -587,6 +649,58 @@ class DirectoryService:
         state = await loop.run_in_executor(self._executors[index], rejoin)
         return protocol.encode_simple(state)
 
+    async def _cmd_shardmap(self, args: list[str], trace: Any) -> bytes:
+        _expect(args, 0, "SHARDMAP")
+        shard_map = self.directory.shard_map
+        boundaries = getattr(shard_map, "boundaries", None)
+        body = {
+            "epoch": shard_map.epoch,
+            "shards": len(self.directory.clusters),
+            "describe": shard_map.describe(),
+            "kind": "range" if boundaries is not None else "hash",
+            "boundaries": boundaries,
+            "owners": getattr(shard_map, "owners", None),
+        }
+        return protocol.encode_bulk(json.dumps(body, default=str))
+
+    async def _cmd_reshard(self, args: list[str], trace: Any) -> bytes:
+        usage = "RESHARD SPLIT boundary | RESHARD STATUS"
+        if not args:
+            raise _Arity(f"usage: {usage}")
+        sub = args[0].upper()
+        if sub == "STATUS":
+            _expect(args, 1, "RESHARD STATUS")
+            return protocol.encode_bulk(
+                json.dumps(self.directory.reshard_status(), default=str)
+            )
+        if sub != "SPLIT":
+            raise _Arity(f"usage: {usage}")
+        _expect(args, 2, "RESHARD SPLIT boundary")
+        boundary = args[1]
+        directory = self.directory
+        # The migration runs on the SOURCE shard's worker thread, one
+        # phase per hop, so it serializes against that shard's client
+        # ops (no torn copies) while every other shard keeps serving.
+        source = directory.shard_for(boundary)
+        loop = asyncio.get_running_loop()
+        executor = self._executors[source]
+        resharder = await loop.run_in_executor(
+            executor, directory.begin_split, boundary
+        )
+        while not resharder.done:
+            await loop.run_in_executor(executor, resharder.step)
+        self._sync_shards()
+        body: dict[str, Any] = {"epoch": directory.epoch, "done": True}
+        if directory.reshard_log:
+            body.update(directory.reshard_log[-1].summary())
+        return protocol.encode_bulk(json.dumps(body, default=str))
+
+    #: Commands whose first argument is a key — the ones an ``@epoch=``
+    #: stamp gates through ``require_epoch``.
+    _KEYED = frozenset(
+        {"LOOKUP", "INSERT", "UPDATE", "DELETE", "GET", "SET", "DEL"}
+    )
+
     _COMMANDS = {
         "PING": _cmd_ping,
         "LOOKUP": _cmd_lookup,
@@ -602,6 +716,8 @@ class DirectoryService:
         "STATS": _cmd_stats,
         "SLOW": _cmd_slow,
         "METRICS": _cmd_metrics,
+        "SHARDMAP": _cmd_shardmap,
+        "RESHARD": _cmd_reshard,
     }
 
 

@@ -144,6 +144,7 @@ _CTOR_ARGS: dict[type, Any] = {
     _errors.RpcTimeoutError: lambda e: (e.node_id, e.method, e.lost),
     _errors.SnapshotUnavailableError: lambda e: (e.rep_name, e.in_flight),
     _errors.QuorumUnavailableError: lambda e: (e.needed, e.available, e.kind),
+    _errors.StaleEpochError: lambda e: (e.epoch, e.key),
 }
 
 

@@ -15,12 +15,22 @@ different shards would be two different keys).  Two splits are provided:
 
 Both are pure functions of the key — no state, no network — so routing
 costs nothing in simulated time.
+
+For *live* resharding the routing identity itself must be able to
+change: :class:`VersionedShardMap` stamps an immutable map with a
+monotonically increasing **epoch** and derives successor epochs via
+:meth:`~VersionedShardMap.split` / :meth:`~VersionedShardMap.merge`,
+each carrying an explicit :class:`ShardMapDelta` naming exactly which
+key range moved between which shards.  The delta is what the
+:class:`~repro.shard.reshard.Resharder` migrates and what
+:meth:`~repro.shard.audit.ShardAuditor.audit_reshard` proves correct.
 """
 
 from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Any, Iterable, Protocol, runtime_checkable
 
 from repro.core.errors import ConfigurationError
@@ -55,11 +65,25 @@ class RangeShardMap:
 
     def __init__(self, boundaries: Iterable[Any]) -> None:
         self.boundaries = list(boundaries)
-        for a, b in zip(self.boundaries, self.boundaries[1:]):
+        for position, boundary in enumerate(self.boundaries):
+            if boundary == "":
+                raise ConfigurationError(
+                    f"range boundary {position} is the empty string; every "
+                    "boundary must be a real, comparable key value"
+                )
+        for position, (a, b) in enumerate(
+            zip(self.boundaries, self.boundaries[1:]), start=1
+        ):
+            if a == b:
+                raise ConfigurationError(
+                    f"duplicate range boundary {b!r} at positions "
+                    f"{position - 1} and {position}; boundaries must be "
+                    "distinct split points"
+                )
             if not a < b:
                 raise ConfigurationError(
-                    f"range boundaries must be strictly increasing: "
-                    f"{a!r} !< {b!r}"
+                    f"range boundaries must be strictly increasing: boundary "
+                    f"{b!r} at position {position} does not sort above {a!r}"
                 )
         self._shards = len(self.boundaries) + 1
 
@@ -114,10 +138,239 @@ class HashShardMap:
         return int.from_bytes(digest, "big") % self._shards
 
     def describe(self) -> str:
+        """Routing summary for reports and the ``SHARDMAP`` verb.
+
+        Always the literal form ``"hash[<shards>]"`` — e.g. ``hash[8]``
+        for an eight-bucket map.  Hash maps have no key-range boundaries
+        to enumerate, so this string (plus ``shards``) *is* their full
+        routing description: clients seeing ``hash[n]`` know every key
+        routes by stable digest modulo ``n`` and that the map cannot be
+        range-split.
+        """
         return f"hash[{self._shards}]"
 
     def __repr__(self) -> str:
         return f"HashShardMap({self._shards})"
+
+
+@dataclass(frozen=True)
+class ShardMapDelta:
+    """The key-range difference between a map and its successor epoch.
+
+    Exactly one contiguous range moves per epoch step: ``[low, high)``
+    (``high is None`` means "to the end of the key space") leaves shard
+    ``source`` and lands on shard ``target``.  This is the unit of work
+    a :class:`~repro.shard.reshard.Resharder` migrates.
+    """
+
+    epoch: int
+    kind: str  # "split" or "merge"
+    source: int
+    target: int
+    low: Any
+    high: Any | None
+
+    def covers(self, key: Any) -> bool:
+        """Whether ``key`` lies in the moving range."""
+        return self.low <= key and (self.high is None or key < self.high)
+
+
+class VersionedShardMap:
+    """An immutable shard map stamped with a monotonically increasing epoch.
+
+    Epoch 0 wraps an existing map (:meth:`wrap`) and routes *identically*
+    to it — the epoch plumbing is free until someone reshards.  Successor
+    epochs come only from :meth:`split` / :meth:`merge`, each returning a
+    brand-new map whose :attr:`delta` records the one key range that
+    moved.  Shard indices are stable across epochs: a split assigns the
+    upper sub-range to a (by default) brand-new shard index and every
+    other key keeps routing exactly where it did, so per-shard state and
+    metric scopes never shift underneath a migration.
+
+    Only range-shaped maps (a :class:`RangeShardMap` or a prior epoch of
+    one) can split or merge; hash maps have no contiguous ranges to move
+    and raise :class:`ConfigurationError`.
+    """
+
+    def __init__(
+        self,
+        base: "ShardMap | None" = None,
+        *,
+        epoch: int = 0,
+        delta: "ShardMapDelta | None" = None,
+        boundaries: "list[Any] | None" = None,
+        owners: "list[int] | None" = None,
+        shards: "int | None" = None,
+    ) -> None:
+        if (base is None) == (boundaries is None):
+            raise ConfigurationError(
+                "pass either a base map or explicit boundaries+owners"
+            )
+        self.epoch = epoch
+        #: The range moved to reach this epoch (None at a wrapped epoch 0).
+        self.delta = delta
+        if boundaries is not None:
+            if owners is None or len(owners) != len(boundaries) + 1:
+                raise ConfigurationError(
+                    "owners must assign a shard to every range: need "
+                    f"{len(boundaries) + 1} owners"
+                )
+            #: Interior split points, strictly increasing (None for
+            #: delegate maps with no ranges).
+            self.boundaries: "list[Any] | None" = list(boundaries)
+            #: Shard index owning each range; ``len(boundaries) + 1`` long.
+            self.owners: "list[int] | None" = list(owners)
+            self._base: "ShardMap | None" = None
+            self._shards = (
+                shards if shards is not None else max(self.owners) + 1
+            )
+        elif isinstance(base, RangeShardMap):
+            self.boundaries = list(base.boundaries)
+            self.owners = list(range(len(self.boundaries) + 1))
+            self._base = None
+            self._shards = base.shards
+        else:
+            self.boundaries = None
+            self.owners = None
+            self._base = base
+            self._shards = base.shards
+
+    @classmethod
+    def wrap(cls, shard_map: "ShardMap") -> "VersionedShardMap":
+        """Epoch-0 view of ``shard_map`` (idempotent on versioned maps)."""
+        if isinstance(shard_map, cls):
+            return shard_map
+        return cls(shard_map)
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    def shard_of(self, key: Any) -> int:
+        if self.boundaries is None:
+            return self._base.shard_of(key)
+        return self.owners[bisect_right(self.boundaries, key)]
+
+    def describe(self) -> str:
+        if self.boundaries is not None:
+            inner = f"range[{self._shards}]"
+        else:
+            inner = self._base.describe()
+        if self.epoch == 0:
+            return inner
+        return f"{inner}@e{self.epoch}"
+
+    def ranges(self) -> "list[tuple[Any, Any, int]]":
+        """``(low, high, owner)`` per range, ``None`` bounds at the ends.
+
+        Empty for delegate (hash/custom) maps, which have no ranges.
+        """
+        if self.boundaries is None:
+            return []
+        bounds = [None, *self.boundaries, None]
+        return [
+            (bounds[i], bounds[i + 1], owner)
+            for i, owner in enumerate(self.owners)
+        ]
+
+    def split(
+        self, boundary: Any, target: "int | None" = None
+    ) -> "VersionedShardMap":
+        """Successor epoch with ``boundary`` inserted as a new split point.
+
+        The range containing ``boundary`` is cut in two; its upper part
+        ``[boundary, old_high)`` moves to shard ``target`` (default: a
+        brand-new shard index, growing the directory by one shard).  All
+        other keys keep their owner.
+        """
+        if self.boundaries is None:
+            raise ConfigurationError(
+                f"cannot split a {self.describe()} map: only range maps "
+                "have contiguous key ranges to move"
+            )
+        j = bisect_right(self.boundaries, boundary)
+        if j > 0 and not self.boundaries[j - 1] < boundary:
+            raise ConfigurationError(
+                f"split boundary {boundary!r} duplicates an existing "
+                "range boundary"
+            )
+        source = self.owners[j]
+        if target is None:
+            target = self._shards
+        if not 0 <= target <= self._shards:
+            raise ConfigurationError(
+                f"split target shard {target} out of range "
+                f"(have {self._shards} shards; {self._shards} adds one)"
+            )
+        if target == source:
+            raise ConfigurationError(
+                f"split target shard {target} already owns the range "
+                f"containing {boundary!r}"
+            )
+        high = self.boundaries[j] if j < len(self.boundaries) else None
+        delta = ShardMapDelta(
+            epoch=self.epoch + 1,
+            kind="split",
+            source=source,
+            target=target,
+            low=boundary,
+            high=high,
+        )
+        return VersionedShardMap(
+            boundaries=self.boundaries[: j] + [boundary] + self.boundaries[j:],
+            owners=self.owners[: j + 1] + [target] + self.owners[j + 1 :],
+            shards=max(self._shards, target + 1),
+            epoch=self.epoch + 1,
+            delta=delta,
+        )
+
+    def merge(self, index: int) -> "VersionedShardMap":
+        """Successor epoch with boundary ``index`` removed.
+
+        The range *above* the boundary is absorbed into the shard owning
+        the range below it; its keys are the moving delta.  The vacated
+        shard index keeps existing (possibly owning nothing) so indices
+        stay stable.
+        """
+        if self.boundaries is None:
+            raise ConfigurationError(
+                f"cannot merge a {self.describe()} map: only range maps "
+                "have contiguous key ranges to move"
+            )
+        if not 0 <= index < len(self.boundaries):
+            raise ConfigurationError(
+                f"no range boundary {index} to merge out "
+                f"(have {len(self.boundaries)})"
+            )
+        if self.owners[index + 1] == self.owners[index]:
+            raise ConfigurationError(
+                f"ranges on both sides of boundary {index} already live on "
+                f"shard {self.owners[index]}; nothing to merge"
+            )
+        low = self.boundaries[index]
+        high = (
+            self.boundaries[index + 1]
+            if index + 1 < len(self.boundaries)
+            else None
+        )
+        delta = ShardMapDelta(
+            epoch=self.epoch + 1,
+            kind="merge",
+            source=self.owners[index + 1],
+            target=self.owners[index],
+            low=low,
+            high=high,
+        )
+        return VersionedShardMap(
+            boundaries=self.boundaries[:index] + self.boundaries[index + 1 :],
+            owners=self.owners[: index + 1] + self.owners[index + 2 :],
+            shards=self._shards,
+            epoch=self.epoch + 1,
+            delta=delta,
+        )
+
+    def __repr__(self) -> str:
+        return f"VersionedShardMap({self.describe()})"
 
 
 def resolve_shard_map(shard_map: "str | ShardMap", shards: int | None) -> ShardMap:

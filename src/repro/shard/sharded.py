@@ -38,11 +38,15 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.cluster import _SPEC_FIELDS, ClusterSpec, DirectoryCluster
-from repro.core.errors import ConfigurationError, ReproError
+from repro.core.errors import (
+    ConfigurationError,
+    ReproError,
+    StaleEpochError,
+)
 from repro.core.interface import register_directory
 from repro.net.network import Network
 from repro.net.transport import SimTransport, Transport, resolve_transport
-from repro.shard.maps import ShardMap, resolve_shard_map
+from repro.shard.maps import ShardMap, VersionedShardMap, resolve_shard_map
 
 
 @dataclass
@@ -114,6 +118,7 @@ class ShardedDirectory:
         transport: "Transport | Network",
         metrics: Any = None,
     ) -> None:
+        shard_map = VersionedShardMap.wrap(shard_map)
         if shard_map.shards != len(clusters):
             raise ConfigurationError(
                 f"shard map routes {shard_map.shards} shards but "
@@ -149,11 +154,26 @@ class ShardedDirectory:
         for cluster in self.clusters[1:]:
             cluster.suite.op_counts = first.op_counts
             cluster.suite.delete_stats = first.delete_stats
+        #: Every epoch's map, keyed by epoch; routing reads ``shard_map``,
+        #: redirects (:meth:`require_epoch`) consult the history.
+        self.map_history: dict[int, VersionedShardMap] = {
+            shard_map.epoch: shard_map
+        }
+        #: The in-flight migration, when a reshard is running.
+        self.resharder: Any = None
+        #: Completed migrations (``ReshardRecord``), oldest first.
+        self.reshard_log: list[Any] = []
+        self._base_spec: "ClusterSpec | None" = None
+        self._detector: Any = None
+        self._closed = False
         self.metrics.provider(
             "shard.routed",
             lambda: {f"s{i}": n for i, n in enumerate(self.routed)},
         )
         self.metrics.gauge("shard.count", lambda: len(self.clusters))
+        self.metrics.gauge("shard.epoch", lambda: self.shard_map.epoch)
+        self._migrations = self.metrics.counter("reshard.migrations")
+        self._moved_keys = self.metrics.counter("reshard.moved_keys")
 
     # -- construction -------------------------------------------------------
 
@@ -218,7 +238,11 @@ class ShardedDirectory:
             )
             for i in range(resolved_map.shards)
         ]
-        return cls(resolved_map, clusters, transport, metrics=root_metrics)
+        sharded = cls(resolved_map, clusters, transport, metrics=root_metrics)
+        # Remember the per-shard recipe so a live split can stamp out a
+        # brand-new shard suite on the same substrate (add_shard).
+        sharded._base_spec = base
+        return sharded
 
     # -- substrate ----------------------------------------------------------
 
@@ -243,7 +267,24 @@ class ShardedDirectory:
         return network
 
     def close(self) -> None:
-        """Release the shared substrate (see the Directory lifecycle)."""
+        """Release the shared substrate (see the Directory lifecycle).
+
+        Idempotent, including mid-reshard: an in-flight migration that
+        has not cut over yet is aborted first (dual-writes stop, the old
+        epoch stays authoritative); one already past cutover finishes
+        its DRAIN, so no half-installed routing state survives the
+        close either way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.resharder is not None and not self.resharder.done:
+            if self.resharder.phase == "drain":
+                # Past cutover the new epoch is already installed; only
+                # the source-side cleanup remains, so finish it.
+                self.resharder.run()
+            else:
+                self.resharder.abort()
         self.transport.close()
 
     def __enter__(self) -> "ShardedDirectory":
@@ -295,16 +336,143 @@ class ShardedDirectory:
         return self._route(key).lookup(key)
 
     def insert(self, key: Any, value: Any) -> None:
-        return self._route(key).insert(key, value)
+        result = self._route(key).insert(key, value)
+        self.mirror_write("insert", key, value)
+        return result
 
     def update(self, key: Any, value: Any) -> None:
-        return self._route(key).update(key, value)
+        result = self._route(key).update(key, value)
+        self.mirror_write("update", key, value)
+        return result
 
     def delete(self, key: Any) -> None:
-        return self._route(key).delete(key)
+        result = self._route(key).delete(key)
+        self.mirror_write("delete", key)
+        return result
 
     def size(self) -> int:
         return sum(cluster.suite.size() for cluster in self.clusters)
+
+    # -- resharding ----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current shard-map epoch (0 until the first reshard)."""
+        return self.shard_map.epoch
+
+    def install_map(self, new_map: VersionedShardMap) -> None:
+        """Flip routing to the successor epoch (the Resharder's CUTOVER)."""
+        if new_map.epoch != self.shard_map.epoch + 1:
+            raise ConfigurationError(
+                f"cannot install epoch {new_map.epoch} over "
+                f"{self.shard_map.epoch}; epochs advance by exactly one"
+            )
+        if new_map.shards > len(self.clusters):
+            raise ConfigurationError(
+                f"map epoch {new_map.epoch} routes {new_map.shards} shards "
+                f"but only {len(self.clusters)} exist"
+            )
+        self.shard_map = new_map
+        self.map_history[new_map.epoch] = new_map
+
+    def require_epoch(self, key: Any, epoch: int) -> None:
+        """Validate a client-cached epoch for one keyed operation.
+
+        A stale epoch is fine as long as it still routes ``key`` to the
+        same shard the current map does — most keys never move.  When
+        the routings differ (or the epoch is unknown), raises
+        :class:`StaleEpochError` carrying the *current* epoch; the
+        service front door turns that into a ``-MOVED`` redirect.
+        """
+        current = self.shard_map.epoch
+        if epoch == current:
+            return
+        claimed = self.map_history.get(epoch)
+        if claimed is None or (
+            claimed.shard_of(key) != self.shard_map.shard_of(key)
+        ):
+            raise StaleEpochError(current, key=key)
+
+    def mirror_write(self, kind: str, key: Any, value: Any = None) -> None:
+        """Dual-write hook: forward one successful client write to the
+        migration target while a reshard is in DUAL_WRITE.  Free when no
+        reshard is running (one attribute check)."""
+        resharder = self.resharder
+        if resharder is None or not resharder.dual_write:
+            return
+        if resharder.covers(key):
+            resharder.mirror(kind, key, value)
+
+    def begin_split(
+        self,
+        boundary: Any,
+        target: "int | None" = None,
+        *,
+        dwell_steps: int = 1,
+    ) -> Any:
+        """Start migrating ``[boundary, old_high)`` out of the shard that
+        owns ``boundary`` — by default onto a brand-new shard.  Returns
+        the :class:`~repro.shard.reshard.Resharder`; pump its ``step()``
+        with client traffic interleaved."""
+        return self._begin(self.shard_map.split(boundary, target), dwell_steps)
+
+    def begin_merge(self, index: int, *, dwell_steps: int = 1) -> Any:
+        """Start merging the range above boundary ``index`` into the
+        shard below it.  Returns the Resharder (see :meth:`begin_split`)."""
+        return self._begin(self.shard_map.merge(index), dwell_steps)
+
+    def _begin(self, new_map: VersionedShardMap, dwell_steps: int) -> Any:
+        from repro.shard.reshard import Resharder
+
+        if self.resharder is not None and not self.resharder.done:
+            raise ConfigurationError(
+                "a reshard is already in flight; finish or abort it first"
+            )
+        resharder = Resharder(self, new_map, dwell_steps=dwell_steps)
+        self.resharder = resharder
+        return resharder
+
+    def reshard_status(self) -> dict[str, Any]:
+        """Epoch and migration state for ``RESHARD STATUS`` / ``repro top``."""
+        status: dict[str, Any] = {
+            "epoch": self.epoch,
+            "active": False,
+            "migrations": len(self.reshard_log),
+        }
+        if self.resharder is not None and not self.resharder.done:
+            status["active"] = True
+            status.update(self.resharder.status())
+        return status
+
+    def add_shard(self) -> DirectoryCluster:
+        """Grow the directory by one empty shard suite on the shared
+        substrate (a split's target).  The new shard receives no traffic
+        until a successor map routing to it is installed."""
+        if self._base_spec is None:
+            raise ConfigurationError(
+                "this ShardedDirectory was wired by hand; only instances "
+                "built by create() know the per-shard recipe for a new shard"
+            )
+        index = len(self.clusters)
+        cluster = DirectoryCluster.create(
+            self._base_spec.for_shard(
+                index, self.transport, self.metrics.scoped(f"shard{index}")
+            )
+        )
+        first = self.clusters[0].suite
+        cluster.suite.op_counts = first.op_counts
+        cluster.suite.delete_stats = first.delete_stats
+        cluster.suite.rpc_retries = first.rpc_retries
+        if self._detector is not None:
+            cluster.suite.attach_detector(self._detector)
+        self.clusters.append(cluster)
+        self.routed.append(0)
+        return cluster
+
+    def note_migrated(self, record: Any) -> None:
+        """Metrics bump for one completed migration (Resharder calls it)."""
+        self._migrations.inc()
+        self._moved_keys.inc(record.moved)
 
     # -- wave execution ------------------------------------------------------
 
@@ -349,6 +517,10 @@ class ShardedDirectory:
                 except ReproError as exc:
                     results[slot] = WaveOutcome(kind, key, index, error=exc)
                 else:
+                    if kind != "lookup":
+                        self.mirror_write(
+                            kind, key, op[2] if len(op) > 2 else None
+                        )
                     results[slot] = WaveOutcome(kind, key, index, value=value)
             finish = max(finish, clock.now())
         clock.travel(finish)
@@ -432,8 +604,10 @@ class ShardedDirectory:
         """Share one failure detector across every shard.
 
         Safe because node ids are disjoint (``s<i>:`` prefixes): each
-        shard feeds and screens only its own nodes' evidence.
+        shard feeds and screens only its own nodes' evidence.  The
+        detector is remembered so shards added by a live split join it.
         """
+        self._detector = detector
         for cluster in self.clusters:
             cluster.suite.attach_detector(detector)
 

@@ -130,6 +130,21 @@ class SimulationSpec:
     #: Run one background anti-entropy sweep step every this many
     #: measured operations (0 = off); see :mod:`repro.repl.antientropy`.
     antientropy_every: int = 0
+    #: Attach a :class:`~repro.shard.ReshardController` that watches the
+    #: windowed per-shard routing rates mid-workload and live-splits the
+    #: hottest shard's key range (COPY → DUAL_WRITE → CUTOVER → DRAIN,
+    #: with the client stream flowing throughout).  Sharded runs only
+    #: (``shards > 0``).
+    auto_reshard: bool = False
+    #: Controller tuning: split when the hottest shard's windowed routed
+    #: rate exceeds ``reshard_hot_factor`` × the mean of the others.
+    reshard_hot_factor: float = 2.0
+    #: Upper bound on automatic splits per run.
+    reshard_max_splits: int = 2
+    #: Windowed-rate horizon, in simulated ticks.
+    reshard_window: float = 400.0
+    #: Tick the controller every this many measured operations.
+    reshard_check_every: int = 32
 
 
 @dataclass
@@ -167,6 +182,9 @@ class SimulationResult:
     #: ``audit_join`` summary taken at the cutover instant, when both
     #: ``spec.audit`` and a rejoin script ran.
     join_audit: dict[str, int] | None = None
+    #: Final epoch, migration count, and total keys moved under
+    #: ``spec.auto_reshard`` (None when the controller was off).
+    reshard: dict[str, int] | None = None
 
     def stats_table(self) -> dict[str, dict[str, float]]:
         """The Figure 14/15 row block for this run."""
@@ -284,6 +302,21 @@ def run_simulation(
             )
         lifecycle = _LifecycleScript(spec, cluster)
 
+    controller = None
+    if spec.auto_reshard:
+        if spec.shards <= 0:
+            raise ValueError(
+                f"auto_reshard needs a sharded run; got shards={spec.shards}"
+            )
+        from repro.shard import ReshardController
+
+        controller = ReshardController(
+            cluster,
+            hot_factor=spec.reshard_hot_factor,
+            max_splits=spec.reshard_max_splits,
+            window=spec.reshard_window,
+        )
+
     # Measurement phase starts from clean statistics.  The tracer resets
     # with the traffic counters so span message counts reconcile exactly
     # against ``result.traffic``.
@@ -301,6 +334,11 @@ def run_simulation(
             failure_stepper.step()
         if lifecycle is not None:
             lifecycle.step(index, auditor)
+        if (
+            controller is not None
+            and (index + 1) % spec.reshard_check_every == 0
+        ):
+            controller.tick()
         try:
             outcome = _apply(front, op)
         except (KeyAlreadyPresentError, KeyNotPresentError):
@@ -338,6 +376,16 @@ def run_simulation(
             and (index + 1) % spec.audit_interval == 0
         ):
             _audit_boundary(auditor, suite, lossy)
+    reshard_summary = None
+    if controller is not None:
+        # Run any migration still in flight to completion, so the final
+        # state checks below see a single, settled epoch.
+        controller.finish()
+        reshard_summary = {
+            "epoch": cluster.epoch,
+            "migrations": len(cluster.reshard_log),
+            "moved_keys": sum(r.moved for r in cluster.reshard_log),
+        }
     sim_ticks = cluster.network.clock.now() - ticks_at_start
 
     if lossy:
@@ -357,6 +405,10 @@ def run_simulation(
         # Final audit on the quiesced cluster; with a model available the
         # quorum-derived state is also diffed against it.
         auditor.run(model=model)
+        if getattr(cluster, "reshard_log", None):
+            # Every completed migration: no key lost, double-applied, or
+            # left authoritative on its old owner.
+            auditor.audit_reshard()
 
     return SimulationResult(
         spec=spec,
@@ -384,6 +436,7 @@ def run_simulation(
             if lifecycle is not None and lifecycle.join_report is not None
             else None
         ),
+        reshard=reshard_summary,
     )
 
 

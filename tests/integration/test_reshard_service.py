@@ -1,0 +1,196 @@
+"""End-to-end coverage of live resharding through the service.
+
+Boots the real asyncio front door over a sharded directory and drives a
+split through it: the ``SHARDMAP`` / ``RESHARD`` verbs, ``@epoch=``
+reply stamping, the ``-MOVED`` redirect a stale client chases, and the
+wire-compatibility promise that epoch-unaware clients never notice any
+of it.  The front door only mounts on the asyncio transport, so the
+socket tests run there; the same stale-epoch redirect contract over the
+*simulated* substrate is exercised directly against the directory (the
+server's dispatch gate is a one-line call into it) plus the wire codec
+that would carry the error.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core.errors import StaleEpochError
+from repro.service import protocol, wire
+from repro.service.client import DirectoryClient
+from repro.service.server import DirectoryService
+from repro.shard.maps import RangeShardMap
+from repro.shard.sharded import ShardedDirectory
+
+
+@pytest.fixture()
+def service():
+    spec = ClusterSpec(config="3-2-2", seed=13, transport="asyncio")
+    with ShardedDirectory.create(
+        spec, shards=2, shard_map=RangeShardMap(["m"])
+    ) as d:
+        with DirectoryService(d).start() as svc:
+            yield svc
+
+
+def load(client, n=16):
+    for i in range(n):
+        client.set(f"key{i:02d}", f"v{i}")
+
+
+class TestShardMapVerb:
+    def test_shardmap_shape_and_caching(self, service):
+        with DirectoryClient(service.host, service.port) as c:
+            info = c.shardmap()
+            assert info["epoch"] == 0
+            assert info["shards"] == 2
+            assert info["kind"] == "range"
+            assert info["boundaries"] == ["m"]
+            assert info["owners"] == [0, 1]
+            assert c.shardmap() is info  # cached until the epoch moves
+
+
+class TestLiveSplitThroughTheService:
+    def test_reshard_split_verb_migrates_and_bumps_epoch(self, service):
+        with DirectoryClient(service.host, service.port) as c:
+            load(c)
+            result = c.reshard("key08")
+            assert result["done"] is True
+            assert result["epoch"] == 1
+            assert result["kind"] == "split"
+            assert result["violations"] == 0
+            assert result["moved"] == 8  # key08..key15
+            assert c.epoch == 1
+            assert c.shardmap(refresh=True)["shards"] == 3
+            status = c.reshard_status()
+            assert status == {"epoch": 1, "active": False, "migrations": 1}
+            for i in range(16):
+                assert c.get(f"key{i:02d}") == f"v{i}"
+            assert service.directory.shard_for("key09") == 2
+
+    def test_stale_client_chases_moved_and_succeeds(self, service):
+        with DirectoryClient(service.host, service.port) as fresh:
+            load(fresh)
+            stale = DirectoryClient(service.host, service.port)
+            assert stale.get("key09") == "v9"  # caches epoch 0
+            assert stale.epoch == 0
+            fresh.reshard("key08")
+            stale.set("key09", "rewritten")  # -MOVED, refresh, retry
+            assert stale.redirects == 1
+            assert stale.epoch == 1
+            assert fresh.get("key09") == "rewritten"
+            # Reads on unmoved keys never redirected.
+            assert stale.get("key01") == "v1"
+            assert stale.redirects == 1
+            stale.close()
+
+    def test_moved_redirect_is_not_a_front_error(self, service):
+        with DirectoryClient(service.host, service.port) as fresh:
+            load(fresh)
+            stale = DirectoryClient(service.host, service.port)
+            stale.get("key09")
+            fresh.reshard("key08")
+            stale.set("key09", "x")
+            assert stale.redirects == 1
+            assert fresh.metrics().get("service.front.errors", 0) == 0
+            stale.close()
+
+    def test_epoch_unaware_client_works_across_a_split(self, service):
+        with DirectoryClient(service.host, service.port) as c:
+            load(c)
+            with DirectoryClient(
+                service.host, service.port, epochs=False
+            ) as old:
+                assert old.get("key09") == "v9"
+                c.reshard("key08")
+                # No epoch metadata, no -MOVED, no stamped replies: the
+                # pre-epoch wire dialect keeps working unchanged.
+                old.set("key09", "old-write")
+                assert old.get("key09") == "old-write"
+                assert old.epoch is None and old.redirects == 0
+
+    def test_stats_carry_epoch_and_reshard_state(self, service):
+        with DirectoryClient(service.host, service.port) as c:
+            load(c)
+            assert c.stats()["epoch"] == 0
+            c.reshard("key08")
+            stats = c.stats()
+            assert stats["epoch"] == 1
+            assert stats["reshard"]["migrations"] == 1
+            assert stats["reshard"]["active"] is False
+            assert set(stats["per_shard"]) == {"s0", "s1", "s2"}
+
+
+class TestEpochWireFormat:
+    def _raw(self, service, payload: bytes) -> bytes:
+        with socket.create_connection(
+            (service.host, service.port), timeout=10
+        ) as sock:
+            sock.sendall(payload)
+            return sock.makefile("rb").readline()
+
+    def test_replies_stamped_only_when_requested(self, service):
+        stamped = self._raw(
+            service, protocol.encode_command("SET", "wk", "v", "@epoch=0")
+        )
+        assert stamped == b"+OK @epoch=0\r\n"
+        plain = self._raw(service, protocol.encode_command("SET", "wk", "v"))
+        assert plain == b"+OK\r\n"
+
+    def test_future_epoch_is_stale_too(self, service):
+        # An epoch the server never issued cannot be validated against
+        # history, so it redirects the client to resynchronize.
+        reply = self._raw(
+            service, protocol.encode_command("GET", "wk", "@epoch=9")
+        )
+        assert reply.startswith(b"-MOVED 0")
+
+    def test_malformed_epoch_metadata_is_dropped(self, service):
+        reply = self._raw(
+            service,
+            protocol.encode_command("SET", "wk", "v", "@epoch=notanumber"),
+        )
+        assert reply == b"+OK\r\n"
+
+
+class TestRedirectContractOnSimTransport:
+    """The stale-epoch redirect over the simulated substrate.
+
+    The asyncio front door cannot mount on :class:`SimTransport`, so
+    here the client's side of the dance is played directly: a cached
+    epoch-0 map keeps working for unmoved keys, misroutes a moved key
+    (the server's ``require_epoch`` gate answers ``-MOVED``), and a
+    refresh of the map resolves it — the identical protocol the socket
+    tests drive end to end above.
+    """
+
+    def test_stale_epoch_redirect_and_refresh(self):
+        spec = ClusterSpec(config="3-2-2", seed=13)  # simulated network
+        with ShardedDirectory.create(
+            spec, shards=2, shard_map=RangeShardMap(["m"])
+        ) as d:
+            for i in range(16):
+                d.insert(f"key{i:02d}", f"v{i}")
+            stale_epoch = d.epoch  # the "client's" cached map
+            d.begin_split("key08").run()
+
+            d.require_epoch("key01", stale_epoch)  # unmoved: no redirect
+            with pytest.raises(StaleEpochError) as excinfo:
+                d.require_epoch("key09", stale_epoch)  # moved: redirect
+            # The error names the epoch to refresh to — the -MOVED
+            # payload — and the retried request at that epoch succeeds.
+            assert excinfo.value.epoch == 1
+            d.require_epoch("key09", excinfo.value.epoch)
+            assert d.lookup("key09") == (True, "v9")
+
+    def test_stale_epoch_error_survives_the_wire_codec(self):
+        # The internal RPC surface carries typed errors; a redirect must
+        # arrive as a StaleEpochError with its epoch intact, not as an
+        # anonymous RemoteError.
+        err = wire.decode_error(wire.encode_error(StaleEpochError(3, "k")))
+        assert isinstance(err, StaleEpochError)
+        assert err.epoch == 3
+        assert err.key == "k"

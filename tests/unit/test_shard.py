@@ -21,6 +21,7 @@ from repro.shard import (
     RangeShardMap,
     ShardMap,
     ShardedDirectory,
+    VersionedShardMap,
     resolve_shard_map,
 )
 
@@ -56,6 +57,26 @@ class TestRangeShardMap:
             RangeShardMap([0.5, 0.5])
         with pytest.raises(ConfigurationError):
             RangeShardMap([0.7, 0.2])
+
+    def test_duplicate_boundary_names_the_offender(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"duplicate range boundary 'm' at positions 1 and 2",
+        ):
+            RangeShardMap(["f", "m", "m", "t"])
+
+    def test_empty_string_boundary_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match=r"boundary 1 is the empty string"
+        ):
+            RangeShardMap(["a", ""])
+
+    def test_non_increasing_message_names_both_boundaries(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"boundary 'b' at position 1 does not sort above 'q'",
+        ):
+            RangeShardMap(["q", "b"])
 
     def test_uniform_validation(self):
         with pytest.raises(ConfigurationError):
@@ -103,6 +124,112 @@ class TestHashShardMap:
 
     def test_is_a_shard_map(self):
         assert isinstance(HashShardMap(2), ShardMap)
+
+    def test_describe_names_bucket_count(self):
+        # ``hash[n]`` is the documented literal form; reports and BENCH
+        # documents key on it.
+        assert HashShardMap(8).describe() == "hash[8]"
+        assert HashShardMap(1).describe() == "hash[1]"
+
+
+class TestVersionedShardMap:
+    def test_wrap_starts_at_epoch_zero_and_routes_identically(self):
+        base = RangeShardMap(["g", "p"])
+        v = VersionedShardMap.wrap(base)
+        assert v.epoch == 0
+        assert v.delta is None
+        assert v.describe() == base.describe()
+        for key in ["a", "g", "h", "p", "z"]:
+            assert v.shard_of(key) == base.shard_of(key)
+        assert isinstance(v, ShardMap)
+
+    def test_wrap_is_idempotent(self):
+        v = VersionedShardMap.wrap(RangeShardMap(["m"]))
+        assert VersionedShardMap.wrap(v) is v
+
+    def test_split_bumps_epoch_and_names_the_moved_range(self):
+        v = VersionedShardMap.wrap(RangeShardMap(["g", "p"]))
+        succ = v.split("c")
+        assert succ.epoch == 1
+        assert succ.shards == v.shards + 1
+        delta = succ.delta
+        assert delta.kind == "split"
+        assert delta.source == 0
+        assert delta.target == v.shards  # default: a brand-new shard
+        assert (delta.low, delta.high) == ("c", "g")
+        # Only keys inside the delta's range change owner.
+        assert succ.shard_of("a") == 0
+        assert succ.shard_of("c") == delta.target
+        assert succ.shard_of("f") == delta.target
+        assert succ.shard_of("g") == v.shard_of("g")
+        assert v.epoch == 0  # the predecessor is immutable
+
+    def test_split_of_last_range_has_open_high_end(self):
+        succ = VersionedShardMap.wrap(RangeShardMap(["g"])).split("t")
+        assert succ.delta.source == 1
+        assert (succ.delta.low, succ.delta.high) == ("t", None)
+        assert succ.delta.covers("zzz")
+        assert not succ.delta.covers("s")
+
+    def test_split_to_existing_target_shard(self):
+        v = VersionedShardMap.wrap(RangeShardMap(["g", "p"]))
+        succ = v.split("c", target=2)
+        assert succ.shards == v.shards  # no new shard
+        assert succ.shard_of("d") == 2
+
+    def test_split_rejects_existing_boundary_and_bad_target(self):
+        v = VersionedShardMap.wrap(RangeShardMap(["g", "p"]))
+        with pytest.raises(ConfigurationError):
+            v.split("g")
+        with pytest.raises(ConfigurationError):
+            v.split("c", target=7)
+        with pytest.raises(ConfigurationError):
+            v.split("c", target=0)  # target == source moves nothing
+
+    def test_merge_bumps_epoch_and_reassigns_range(self):
+        v = VersionedShardMap.wrap(RangeShardMap(["g", "p"]))
+        succ = v.merge(1)
+        assert succ.epoch == 1
+        delta = succ.delta
+        assert delta.kind == "merge"
+        assert (delta.source, delta.target) == (2, 1)
+        assert (delta.low, delta.high) == ("p", None)
+        assert succ.shard_of("z") == 1
+
+    def test_merge_rejects_out_of_range_and_same_owner(self):
+        v = VersionedShardMap.wrap(RangeShardMap(["g", "p"]))
+        with pytest.raises(ConfigurationError):
+            v.merge(2)
+        # A merge whose two sides already share an owner would copy a
+        # range onto itself and then drain-delete it — data loss.
+        same = VersionedShardMap(boundaries=["m"], owners=[0, 0], shards=1)
+        with pytest.raises(ConfigurationError):
+            same.merge(0)
+        folded = v.merge(1).merge(0)
+        assert folded.epoch == 2
+        assert folded.shard_of("z") == 0
+
+    def test_epochs_chain_through_repeated_splits(self):
+        v = VersionedShardMap.wrap(RangeShardMap.uniform(2))
+        a = v.split(0.25)
+        b = a.split(0.75)
+        assert (v.epoch, a.epoch, b.epoch) == (0, 1, 2)
+        assert "e2" in b.describe()
+        assert b.shards == 4
+
+    def test_delegate_maps_split_is_rejected(self):
+        v = VersionedShardMap.wrap(HashShardMap(4))
+        assert v.epoch == 0
+        assert v.shard_of("k") == HashShardMap(4).shard_of("k")
+        with pytest.raises(ConfigurationError):
+            v.split("m")
+
+    def test_ranges_tile_the_key_space(self):
+        succ = VersionedShardMap.wrap(RangeShardMap(["g", "p"])).split("c")
+        ranges = succ.ranges()
+        assert ranges[0][0] is None and ranges[-1][1] is None
+        for (_, high, _), (low, _, _) in zip(ranges, ranges[1:]):
+            assert high == low
 
 
 class TestResolveShardMap:
