@@ -30,7 +30,7 @@ from repro.cluster import ClusterSpec
 from repro.obs.analyze import PHASES, _credit_phases, iter_op_spans
 from repro.obs.spans import Span
 from repro.service.client import DirectoryClient
-from repro.service.loadgen import run_load
+from repro.service.loadgen import LoadSpec, run_load
 from repro.service.server import DirectoryService
 from repro.shard.sharded import ShardedDirectory
 
@@ -58,14 +58,16 @@ def _drive(service, directory, ops):
     def load():
         outcome.update(
             run_load(
-                service.host,
-                service.port,
-                ops=ops,
-                connections=32,
-                keyspace=512,
-                seed=7,
-                hot_fraction=HOT_FRACTION,
-                hot_keys=1,
+                LoadSpec(
+                    host=service.host,
+                    port=service.port,
+                    ops=ops,
+                    connections=32,
+                    keyspace=512,
+                    seed=7,
+                    hot_fraction=HOT_FRACTION,
+                    hot_keys=1,
+                )
             )
         )
 

@@ -328,12 +328,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         store=args.store,
         transport="asyncio",
+        fanout=args.fanout,
     )
     with ShardedDirectory.create(
         spec, shards=args.shards, shard_map=args.shard_map
     ) as directory:
         service = DirectoryService(
-            directory, host=args.host, port=args.port
+            directory,
+            host=args.host,
+            port=args.port,
+            batching=args.batching,
+            batch_max=args.batch_max,
+            pipeline_depth=args.pipeline_depth,
         ).start()
         with service:
             # The line CI and scripts wait for / parse the port out of.
@@ -356,29 +362,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_load(args: argparse.Namespace) -> int:
     """Drive a running service; non-zero exit on client-visible errors."""
-    from repro.service.loadgen import run_load
+    from repro.service.loadgen import LoadSpec, run_load
 
-    mix = (args.set_fraction, args.get_fraction, args.del_fraction)
-    result = run_load(
-        args.host,
-        args.port,
+    rates = None
+    if args.rates:
+        rates = tuple(float(r) for r in args.rates.split(","))
+    spec = LoadSpec(
+        host=args.host,
+        port=args.port,
         ops=args.ops,
         connections=args.connections,
         keyspace=args.keyspace,
-        mix=mix,
+        mix=(args.set_fraction, args.get_fraction, args.del_fraction),
         seed=args.seed,
         hot_fraction=args.hot_fraction,
         hot_keys=args.hot_keys,
-        bench_dir=args.bench_dir or None,
+        pipeline=args.pipeline,
+        rate=args.rate,
+        rates=rates,
+        duration=args.duration,
     )
-    lat = result["latency_ms"]
-    print(
-        f"{result['ops']} ops over {args.connections} connections in "
-        f"{result['elapsed_seconds']:.1f}s: "
-        f"{result['ops_per_second']:.0f} ops/s; latency p50 "
-        f"{lat['p50']:.2f}ms p95 {lat['p95']:.2f}ms p99 {lat['p99']:.2f}ms "
-        f"max {lat['max']:.2f}ms; {result['errors']} client-visible errors"
-    )
+    result = run_load(spec, bench_dir=args.bench_dir or None)
+    if result["mode"] == "open":
+        for point in result["latency_curve"]:
+            print(
+                f"offered {point['offered_ops_per_second']:.0f} ops/s -> "
+                f"achieved {point['achieved_ops_per_second']:.0f} ops/s "
+                f"({point['ops']} ops over {spec.connections} connections); "
+                f"latency p50 {point['p50_ms']:.2f}ms "
+                f"p95 {point['p95_ms']:.2f}ms p99 {point['p99_ms']:.2f}ms; "
+                f"{point['errors']} client-visible errors"
+            )
+    else:
+        lat = result["latency_ms"]
+        print(
+            f"{result['ops']} ops over {spec.connections} connections in "
+            f"{result['elapsed_seconds']:.1f}s: "
+            f"{result['ops_per_second']:.0f} ops/s; latency p50 "
+            f"{lat['p50']:.2f}ms p95 {lat['p95']:.2f}ms p99 {lat['p99']:.2f}ms "
+            f"max {lat['max']:.2f}ms; {result['errors']} client-visible errors"
+        )
     if "bench_path" in result:
         print(f"BENCH telemetry written to {result['bench_path']}")
     return 1 if result["errors"] else 0
@@ -725,6 +748,33 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument(
         "--store", choices=sorted(STORE_FACTORIES), default="sorted"
     )
+    g.add_argument(
+        "--fanout",
+        choices=["serial", "parallel", "hedged"],
+        default="parallel",
+        help="quorum fan-out mode per shard (parallel pays "
+        "max-not-sum per round; serial restores the classic loop)",
+    )
+    g = p.add_argument_group("batching")
+    g.add_argument(
+        "--no-batching",
+        dest="batching",
+        action="store_false",
+        help="disable per-shard op batching (strict one-op-per-"
+        "transaction execution)",
+    )
+    g.add_argument(
+        "--batch-max",
+        type=int,
+        default=128,
+        help="max ops per batched wave on one shard",
+    )
+    g.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=512,
+        help="max in-flight pipelined requests per client connection",
+    )
     g = p.add_argument_group("sharding")
     g.add_argument("--shards", type=int, default=4)
     g.add_argument(
@@ -781,6 +831,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="number of hot keys (h0..hN-1) the hot fraction draws from",
+    )
+    g.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        help="closed-loop burst depth per connection (ops pipelined "
+        "per flush; 1 = classic request-reply)",
+    )
+    g = p.add_argument_group(
+        "open loop", "send on a Poisson arrival schedule instead of "
+        "closed-loop; latency counts from scheduled arrival"
+    )
+    g.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered ops/s across all connections (one timed window)",
+    )
+    g.add_argument(
+        "--rates",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated offered-rate sweep; emits the "
+        "latency-under-load curve (wins over --rate)",
+    )
+    g.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="seconds per open-loop window",
     )
     g = p.add_argument_group("observability")
     g.add_argument(

@@ -278,6 +278,51 @@ class DirectoryRepresentative:
         )
 
     @_latched
+    def rep_lookup_many(
+        self, txn_id: TxnId, keys: "list[BoundedKey]"
+    ) -> "list[LookupReply]":
+        """DirRepLookup for a whole wave of keys in one message.
+
+        The section 4 batching optimization applied to the grouped
+        quorum round (:mod:`repro.core.batch`): instead of one
+        ``rep_lookup`` message per key per quorum member, one message
+        per member carries every distinct key in the wave, so a wave's
+        read round costs R messages regardless of its size.  Locks
+        RepLookup(x, x) per key; replies are positional.
+        """
+        replies: list[LookupReply] = []
+        for key in keys:
+            self._lock(txn_id, LockMode.REP_LOOKUP, KeyRange.point(key))
+            replies.append(self.store.lookup(key))
+        return replies
+
+    @_latched
+    def rep_insert_many(
+        self, txn_id: TxnId, rows: "list[tuple[BoundedKey, Version, Any]]"
+    ) -> None:
+        """DirRepInsert for every folded final entry in one message.
+
+        The write-side half of the grouped round's message batching: one
+        message per write-quorum member installs the wave's final entry
+        for every written key, and the redo records land in the WAL as
+        one group (the group commit — a single prepare/commit pair then
+        covers them all).  Locks RepModify(x, x) and notes an undo per
+        key, exactly as :meth:`rep_insert` does.
+        """
+        for key, version, value in rows:
+            self._lock(txn_id, LockMode.REP_MODIFY, KeyRange.point(key))
+            self.wal.log_insert(txn_id, key, version, value)
+            result = self.store.insert(key, version, value)
+            self._note_undo(
+                txn_id,
+                UndoInsert(
+                    key,
+                    replaced=result.replaced,
+                    split_gap_version=result.split_gap_version,
+                ),
+            )
+
+    @_latched
     def rep_coalesce(
         self, txn_id: TxnId, low: BoundedKey, high: BoundedKey, version: Version
     ):

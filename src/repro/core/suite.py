@@ -294,6 +294,14 @@ class DirectorySuite:
         # Fan-out telemetry.  Registered unconditionally (the metrics
         # catalog is mode-independent); in serial mode the histogram
         # simply stays empty and the gauge reads 0.
+        # Group-commit telemetry (see repro.core.batch): wave sizes,
+        # total batched ops, and waves that fell back to per-op
+        # execution after an availability abort.
+        self._batch_size = RunningStat()
+        metrics.histogram("suite.batch.size", stat=self._batch_size)
+        metrics.gauge("suite.batch.waves", lambda: self._batch_size.n)
+        self._batch_ops = metrics.counter("suite.batch.ops")
+        self._batch_fallbacks = metrics.counter("suite.batch.fallbacks")
         metrics.histogram("suite.fanout.width", stat=self._fanout_width)
         metrics.gauge(
             "suite.fanout.straggler_ticks_saved",
@@ -368,6 +376,19 @@ class DirectorySuite:
                         return count
                     count += 1
                     cursor = neighbor.key
+
+    def execute_batch(self, ops: Any) -> "list[Any]":
+        """Run a wave of ops as one grouped quorum transaction.
+
+        ``ops`` is an iterable of :class:`repro.core.batch.BatchOp` (or
+        ``(kind, key[, value])`` tuples); returns one
+        :class:`~repro.core.batch.BatchOutcome` per op, in order, with
+        sequential-execution semantics — see :mod:`repro.core.batch`
+        for the engine and its equivalence argument.
+        """
+        from repro.core.batch import execute_batch
+
+        return execute_batch(self, ops)
 
     def delete(self, key: Any) -> None:
         """DirSuiteDelete: remove an entry; error if the key is absent."""

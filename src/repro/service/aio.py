@@ -29,7 +29,10 @@ The fault surface maps onto the existing hierarchy:
 Wire format, per call: a RESP array ``[service, method, payload]`` where
 ``payload`` is one JSON document holding the encoded ``(args, kwargs)``;
 the reply is a bulk string holding the encoded result, or an error
-frame.  Connections are pooled per target node and reused.
+frame.  Connections are pooled per target node and reused; a per-node
+semaphore (``channels_per_node``, default 8) caps how many are open at
+once, so a wide grouped scatter multiplexes onto the pooled channels
+instead of opening one socket per in-flight call.
 
 Time: :class:`WallClock` counts *seconds* since the transport started.
 ``advance(delta)`` cannot push real time, so it sleeps ``delta *
@@ -91,7 +94,7 @@ class WallClock:
 class _AioNode:
     """One node: an asyncio server plus its hosted services."""
 
-    def __init__(self, node_id: str) -> None:
+    def __init__(self, node_id: str, channels: int) -> None:
         self.node_id = node_id
         self.services: dict[str, Any] = {}
         self.up = True
@@ -99,6 +102,10 @@ class _AioNode:
         self.port: int | None = None
         #: Idle pooled client connections to this node.
         self.pool: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        #: Caps concurrent outbound RPCs — a grouped scatter of K calls
+        #: multiplexes onto at most ``channels`` pooled connections
+        #: instead of opening K sockets at once.
+        self.gate = asyncio.Semaphore(channels)
         #: Server-side writers of live inbound connections (for shutdown).
         self.links: set[asyncio.StreamWriter] = set()
 
@@ -113,11 +120,17 @@ class AsyncioTransport:
         host: str = "127.0.0.1",
         rpc_timeout: float = 10.0,
         tick_seconds: float = 0.001,
+        channels_per_node: int = 8,
     ) -> None:
+        if channels_per_node < 1:
+            raise ValueError(
+                f"channels_per_node must be >= 1: {channels_per_node}"
+            )
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = WallClock(tick_seconds)
         self.host_addr = host
         self.rpc_timeout = rpc_timeout
+        self.channels_per_node = channels_per_node
         self._nodes: dict[str, _AioNode] = {}
         self._closed = False
         self._lock = threading.Lock()
@@ -160,7 +173,7 @@ class AsyncioTransport:
         with self._lock:
             if node_id in self._nodes or self._closed:
                 return
-            node = _AioNode(node_id)
+            node = _AioNode(node_id, self.channels_per_node)
             self._nodes[node_id] = node
         self.submit(self._start_server(node))
 
@@ -360,29 +373,32 @@ class AsyncioTransport:
         self._calls.inc()
         try:
             conn = None
-            try:
-                conn = await self._acquire(node)
-                reader, writer = conn
-                writer.write(request)
-                await writer.drain()
-                reply = await asyncio.wait_for(
-                    protocol.read_frame(reader), timeout=budget
-                )
-            except asyncio.TimeoutError:
-                if conn is not None:
-                    conn[1].close()
-                    conn = None
-                raise RpcTimeoutError(
-                    node_id, method=f"{service_name}.{method}"
-                ) from None
-            except (ConnectionError, OSError, asyncio.IncompleteReadError):
-                if conn is not None:
-                    conn[1].close()
-                    conn = None
-                raise NodeDownError(node_id) from None
-            finally:
-                if conn is not None:
-                    self._release(node, conn)
+            # The per-node gate multiplexes wide scatters onto a bounded
+            # channel pool instead of one socket per in-flight call.
+            async with node.gate:
+                try:
+                    conn = await self._acquire(node)
+                    reader, writer = conn
+                    writer.write(request)
+                    await writer.drain()
+                    reply = await asyncio.wait_for(
+                        protocol.read_frame(reader), timeout=budget
+                    )
+                except asyncio.TimeoutError:
+                    if conn is not None:
+                        conn[1].close()
+                        conn = None
+                    raise RpcTimeoutError(
+                        node_id, method=f"{service_name}.{method}"
+                    ) from None
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                    if conn is not None:
+                        conn[1].close()
+                        conn = None
+                    raise NodeDownError(node_id) from None
+                finally:
+                    if conn is not None:
+                        self._release(node, conn)
         except NetworkError:
             self._errors.inc()
             raise

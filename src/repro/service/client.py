@@ -2,12 +2,19 @@
 
 Two clients over the same wire protocol (:mod:`repro.service.protocol`):
 
-* :class:`DirectoryClient` — blocking, one socket, satisfies the
-  :class:`~repro.core.interface.Directory` protocol, so everything that
-  drives a simulated directory (conformance tests, benchmark loops)
-  drives a remote one unchanged;
-* :class:`AsyncDirectoryClient` — the asyncio twin the load generator
-  opens by the hundred.
+* :class:`AsyncDirectoryClient` — the primary implementation: an
+  asyncio client the load generator opens by the hundred, with a
+  :meth:`~AsyncDirectoryClient.pipeline` context manager that queues
+  operations and flushes them as **one pipelined burst** (the server
+  reads frames continuously and replies strictly in order, so a burst
+  of N requests costs one round trip instead of N);
+* :class:`DirectoryClient` — the blocking twin, now a thin wrapper
+  running the async client on a private event loop.  It still satisfies
+  the :class:`~repro.core.interface.Directory` protocol, so everything
+  that drives a simulated directory (conformance tests, benchmark
+  loops) drives a remote one unchanged, and the classic
+  one-call-one-roundtrip path remains the default — no behavior change
+  for existing callers.
 
 Both translate the strict error replies back into the repo's exception
 types (``-KEYEXISTS`` → :class:`KeyAlreadyPresentError`, ``-NOTFOUND``
@@ -18,6 +25,23 @@ raises :class:`~repro.service.protocol.ReplyError`.
 
 Keys and values are strings on this surface — the service stores what
 you send and returns it byte-for-byte.
+
+Pipelining::
+
+    with DirectoryClient(host, port) as client:
+        with client.pipeline() as p:
+            p.set("a", "1")
+            got = p.get("b")          # a PipelineResult, not a value
+        print(got.result())           # resolved by the implicit flush
+
+Each queued op returns a :class:`PipelineResult` slot; ``flush()``
+(implicit on clean context-manager exit) writes every queued frame in
+one buffer, reads the replies positionally, and resolves each slot
+independently — a mid-burst ``-KEYEXISTS`` / ``-NOTFOUND`` /
+``-UNAVAILABLE`` fails only its own slot (``result()`` re-raises it),
+never the neighbours.  ``-MOVED`` redirects are chased per slot: the
+client refreshes its shard map and re-issues only the moved slots as a
+follow-up burst, so a live reshard cannot desync the pipeline.
 
 Both clients stamp a unique trace id onto every request as a trailing
 ``@trace=<id>`` metadata element (disable with ``trace=False``).  The
@@ -50,9 +74,9 @@ import asyncio
 import itertools
 import json
 import re
-import socket
 import uuid
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.core.errors import (
     KeyAlreadyPresentError,
@@ -97,29 +121,221 @@ def _raise_reply(reply: Any) -> Any:
 _EPOCH_REPLY = re.compile(r"\A(.*) @epoch=(\d{1,18})\Z", re.DOTALL)
 _EPOCH_ELEMENT = re.compile(r"\A@epoch=(\d{1,18})\Z")
 
-#: How many ``-MOVED`` redirects one keyed call will chase before giving
-#: up.  Each redirect refreshes the shard map, so more than a couple in
-#: a row means the server is resharding faster than we can follow.
+#: How many ``-MOVED`` redirects one keyed call (or pipelined slot) will
+#: chase before giving up.  Each redirect refreshes the shard map, so
+#: more than a couple in a row means the server is resharding faster
+#: than we can follow.
 _MAX_REDIRECTS = 3
 
 
-class DirectoryClient:
-    """Blocking client; a remote :class:`Directory` on one socket."""
+class PipelineResult:
+    """One queued op's slot in a pipelined burst.
+
+    Resolved by :meth:`Pipeline.flush` /
+    :meth:`AsyncPipeline.flush`; :meth:`result` then returns the op's
+    decoded value or re-raises the exact exception the sequential call
+    would have raised.
+    """
+
+    __slots__ = ("_value", "_error", "_done")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: "BaseException | None" = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def error(self) -> "BaseException | None":
+        return self._error
+
+    @property
+    def ok(self) -> bool:
+        """True once resolved without an error (mirrors
+        :attr:`repro.core.batch.BatchOutcome.ok`)."""
+        return self._done and self._error is None
+
+    def result(self) -> Any:
+        if not self._done:
+            raise RuntimeError("pipeline not flushed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._done = True
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._done = True
+
+
+def _decode_lookup(reply: Any) -> tuple[bool, Any]:
+    present, value = reply
+    return (present == "1", value)
+
+
+def _decode_ok(reply: Any) -> None:
+    return None
+
+
+def _decode_value(reply: Any) -> Any:
+    return reply
+
+
+def _decode_count(reply: Any) -> bool:
+    return reply == 1
+
+
+@dataclass(slots=True)
+class _QueuedOp:
+    """A keyed command queued in a pipeline, awaiting its burst."""
+
+    parts: tuple[str, ...]
+    key: str
+    decode: Callable[[Any], Any]
+    handle: PipelineResult = field(default_factory=PipelineResult)
+
+
+class AsyncPipeline:
+    """Queue keyed ops; flush them as one pipelined burst.
+
+    Obtained from :meth:`AsyncDirectoryClient.pipeline`.  The queueing
+    methods mirror the client's keyed surface but perform no I/O: each
+    returns a :class:`PipelineResult` immediately.  :meth:`flush`
+    writes every queued frame in a single buffer, reads the replies in
+    order, and resolves each slot independently; exiting the ``async
+    with`` block cleanly flushes implicitly.  The pipeline is reusable
+    — ops queued after a flush form the next burst.
+    """
+
+    def __init__(self, client: "AsyncDirectoryClient") -> None:
+        self._client = client
+        self._ops: "list[_QueuedOp]" = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def _queue(
+        self, decode: Callable[[Any], Any], *parts: str
+    ) -> PipelineResult:
+        op = _QueuedOp(parts, parts[1], decode)
+        self._ops.append(op)
+        return op.handle
+
+    # -- the queued keyed surface (no I/O until flush) -----------------------
+
+    def lookup(self, key: str) -> PipelineResult:
+        return self._queue(_decode_lookup, "LOOKUP", key)
+
+    def insert(self, key: str, value: str) -> PipelineResult:
+        return self._queue(_decode_ok, "INSERT", key, value)
+
+    def update(self, key: str, value: str) -> PipelineResult:
+        return self._queue(_decode_ok, "UPDATE", key, value)
+
+    def delete(self, key: str) -> PipelineResult:
+        return self._queue(_decode_ok, "DELETE", key)
+
+    def get(self, key: str) -> PipelineResult:
+        return self._queue(_decode_value, "GET", key)
+
+    def set(self, key: str, value: str) -> PipelineResult:
+        return self._queue(_decode_ok, "SET", key, value)
+
+    def remove(self, key: str) -> PipelineResult:
+        return self._queue(_decode_count, "DEL", key)
+
+    # -- the burst -----------------------------------------------------------
+
+    async def flush(self) -> "list[PipelineResult]":
+        """Send every queued op as one burst; resolve and return slots.
+
+        Replies are read positionally — exactly one per request, in
+        request order — so per-slot errors never desync the burst.
+        Slots answered ``-MOVED`` are re-issued (only them) as a
+        follow-up burst after a shard-map refresh, up to
+        :data:`_MAX_REDIRECTS` rounds; a slot still moving after that
+        fails with :class:`StaleEpochError`.
+        """
+        ops, self._ops = self._ops, []
+        if not ops:
+            return []
+        client = self._client
+        if client._epoch_aware and client.epoch is None:
+            try:
+                await client.shardmap()
+            except ReplyError:  # a server that predates SHARDMAP
+                client._epoch_aware = False
+        pending = ops
+        try:
+            for round_no in range(_MAX_REDIRECTS + 1):
+                if not pending:
+                    break
+                if round_no > 0:
+                    await client.shardmap(refresh=True)
+                buf = bytearray()
+                for op in pending:
+                    parts = op.parts
+                    if client._stamper is not None:
+                        client.last_trace = client._stamper.next()
+                        parts = parts + (f"@trace={client.last_trace}",)
+                    if client.epoch is not None:
+                        parts = parts + (f"@epoch={client.epoch}",)
+                    buf += protocol.encode_command(*parts)
+                client._writer.write(bytes(buf))
+                await client._writer.drain()
+                replies = [await client._read_frame() for _ in pending]
+                moved: "list[_QueuedOp]" = []
+                for op, reply in zip(pending, replies):
+                    if isinstance(reply, ReplyError) and reply.code == "MOVED":
+                        client.redirects += 1
+                        moved.append(op)
+                        continue
+                    reply = client._strip_epoch(reply)
+                    try:
+                        op.handle._resolve(op.decode(_raise_reply(reply)))
+                    except Exception as exc:
+                        op.handle._fail(exc)
+                pending = moved
+        except BaseException as exc:
+            # The wire broke mid-burst: no reply slot will ever resolve,
+            # so fail them all with the transport error and re-raise.
+            for op in ops:
+                if not op.handle.done:
+                    op.handle._fail(exc)
+            raise
+        for op in pending:  # still -MOVED after every refresh
+            op.handle._fail(StaleEpochError(client.epoch or 0, key=op.key))
+        return [op.handle for op in ops]
+
+    async def __aenter__(self) -> "AsyncPipeline":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            await self.flush()
+
+
+class AsyncDirectoryClient:
+    """Asyncio client — the primary implementation; open with :meth:`connect`."""
 
     def __init__(
         self,
-        host: str = "127.0.0.1",
-        port: int = 7379,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
         *,
-        timeout: float | None = 30.0,
+        timeout: "float | None" = 30.0,
         trace: bool = True,
         epochs: bool = True,
     ) -> None:
-        self.host = host
-        self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._stream = self._sock.makefile("rb")
+        self._reader = reader
+        self._writer = writer
+        self._timeout = timeout
         self._closed = False
         self._stamper = _TraceStamper() if trace else None
         #: The trace id stamped onto the most recent request, if any.
@@ -131,15 +347,45 @@ class DirectoryClient:
         #: How many ``-MOVED`` redirects this client has chased.
         self.redirects = 0
 
-    def _send(self, *parts: str) -> Any:
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7379,
+        *,
+        timeout: "float | None" = 30.0,
+        trace: bool = True,
+        epochs: bool = True,
+    ) -> "AsyncDirectoryClient":
+        open_conn = asyncio.open_connection(host, port)
+        if timeout is not None:
+            reader, writer = await asyncio.wait_for(open_conn, timeout)
+        else:
+            reader, writer = await open_conn
+        return cls(
+            reader, writer, timeout=timeout, trace=trace, epochs=epochs
+        )
+
+    def pipeline(self) -> AsyncPipeline:
+        """A fresh :class:`AsyncPipeline` bound to this connection."""
+        return AsyncPipeline(self)
+
+    async def _read_frame(self) -> Any:
+        frame = protocol.read_frame(self._reader)
+        if self._timeout is None:
+            return await frame
+        return await asyncio.wait_for(frame, self._timeout)
+
+    async def _send(self, *parts: str) -> Any:
         if self._stamper is not None:
             self.last_trace = self._stamper.next()
             parts = parts + (f"@trace={self.last_trace}",)
-        self._sock.sendall(protocol.encode_command(*parts))
-        return protocol.read_frame_sync(self._stream)
+        self._writer.write(protocol.encode_command(*parts))
+        await self._writer.drain()
+        return await self._read_frame()
 
-    def _request(self, *parts: str) -> Any:
-        return _raise_reply(self._send(*parts))
+    async def _request(self, *parts: str) -> Any:
+        return _raise_reply(await self._send(*parts))
 
     def _note_epoch(self, epoch: int) -> None:
         if epoch != self.epoch:
@@ -159,167 +405,6 @@ class DirectoryClient:
                 self._note_epoch(int(match.group(1)))
                 return reply[:-1]
         return reply
-
-    def _keyed(self, *parts: str) -> Any:
-        """Send a keyed command, chasing ``-MOVED`` redirects."""
-        if self._epoch_aware and self.epoch is None:
-            try:
-                self.shardmap()
-            except ReplyError:  # a server that predates SHARDMAP
-                self._epoch_aware = False
-        for _ in range(_MAX_REDIRECTS):
-            stamped = parts
-            if self.epoch is not None:
-                stamped = parts + (f"@epoch={self.epoch}",)
-            reply = self._send(*stamped)
-            if isinstance(reply, ReplyError) and reply.code == "MOVED":
-                self.redirects += 1
-                self.shardmap(refresh=True)
-                continue
-            return _raise_reply(self._strip_epoch(reply))
-        raise StaleEpochError(
-            self.epoch or 0, key=parts[1] if len(parts) > 1 else None
-        )
-
-    # -- the Directory surface ----------------------------------------------
-
-    def lookup(self, key: str) -> tuple[bool, Any]:
-        present, value = self._keyed("LOOKUP", key)
-        return (present == "1", value)
-
-    def insert(self, key: str, value: str) -> None:
-        self._keyed("INSERT", key, value)
-
-    def update(self, key: str, value: str) -> None:
-        self._keyed("UPDATE", key, value)
-
-    def delete(self, key: str) -> None:
-        self._keyed("DELETE", key)
-
-    def size(self) -> int:
-        return self._request("SIZE")
-
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        try:
-            self._stream.close()
-        finally:
-            self._sock.close()
-
-    def __enter__(self) -> "DirectoryClient":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
-
-    # -- service extras ------------------------------------------------------
-
-    def ping(self) -> bool:
-        return self._request("PING") == "PONG"
-
-    def get(self, key: str) -> "str | None":
-        return self._keyed("GET", key)
-
-    def set(self, key: str, value: str) -> None:
-        self._keyed("SET", key, value)
-
-    def remove(self, key: str) -> bool:
-        """Lenient delete (``DEL``): True if the key was present."""
-        return self._keyed("DEL", key) == 1
-
-    def shards(self) -> int:
-        return self._request("SHARDS")
-
-    def shardmap(self, *, refresh: bool = False) -> dict[str, Any]:
-        """``SHARDMAP``: the server's routing map, cached by epoch."""
-        if self._map is None or refresh:
-            info = json.loads(self._request("SHARDMAP"))
-            self._map = info
-            self.epoch = info["epoch"]
-        return self._map
-
-    def reshard(self, boundary: str) -> dict[str, Any]:
-        """``RESHARD SPLIT boundary``: run a live split to completion."""
-        result = json.loads(self._request("RESHARD", "SPLIT", boundary))
-        self._note_epoch(result["epoch"])
-        return result
-
-    def reshard_status(self) -> dict[str, Any]:
-        """``RESHARD STATUS``: epoch, migration count, in-flight phase."""
-        return json.loads(self._request("RESHARD", "STATUS"))
-
-    def rejoin(self, replica: str, shard: int = 0) -> str:
-        """Admin verb: rejoin ``replica`` on ``shard``; returns its state."""
-        target = f"s{shard}/{replica}" if shard else replica
-        return self._request("REJOIN", target)
-
-    # -- the admin/telemetry plane -------------------------------------------
-
-    def stats(self, window: "float | None" = None) -> dict[str, Any]:
-        """``STATS [window]``: windowed rates + per-shard breakdown."""
-        parts = ("STATS",) if window is None else ("STATS", str(window))
-        return json.loads(self._request(*parts))
-
-    def slow(self, n: int = 10) -> list[dict[str, Any]]:
-        """``SLOW n``: the slowest recent ops, each with its span tree."""
-        return json.loads(self._request("SLOW", str(n)))
-
-    def metrics(self) -> dict[str, Any]:
-        """``METRICS``: the server's raw registry snapshot."""
-        return json.loads(self._request("METRICS"))
-
-
-class AsyncDirectoryClient:
-    """Asyncio client; open with :meth:`connect`."""
-
-    def __init__(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        *,
-        trace: bool = True,
-        epochs: bool = True,
-    ) -> None:
-        self._reader = reader
-        self._writer = writer
-        self._closed = False
-        self._stamper = _TraceStamper() if trace else None
-        #: The trace id stamped onto the most recent request, if any.
-        self.last_trace: "str | None" = None
-        self._epoch_aware = epochs
-        self._map: "dict[str, Any] | None" = None
-        #: The shard-map epoch this client last saw from the server.
-        self.epoch: "int | None" = None
-        #: How many ``-MOVED`` redirects this client has chased.
-        self.redirects = 0
-
-    @classmethod
-    async def connect(
-        cls,
-        host: str = "127.0.0.1",
-        port: int = 7379,
-        *,
-        trace: bool = True,
-        epochs: bool = True,
-    ) -> "AsyncDirectoryClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, trace=trace, epochs=epochs)
-
-    async def _send(self, *parts: str) -> Any:
-        if self._stamper is not None:
-            self.last_trace = self._stamper.next()
-            parts = parts + (f"@trace={self.last_trace}",)
-        self._writer.write(protocol.encode_command(*parts))
-        await self._writer.drain()
-        return await protocol.read_frame(self._reader)
-
-    async def _request(self, *parts: str) -> Any:
-        return _raise_reply(await self._send(*parts))
-
-    _note_epoch = DirectoryClient._note_epoch
-    _strip_epoch = DirectoryClient._strip_epoch
 
     async def _keyed(self, *parts: str) -> Any:
         """Send a keyed command, chasing ``-MOVED`` redirects."""
@@ -342,6 +427,8 @@ class AsyncDirectoryClient:
             self.epoch or 0, key=parts[1] if len(parts) > 1 else None
         )
 
+    # -- the Directory surface ----------------------------------------------
+
     async def lookup(self, key: str) -> tuple[bool, Any]:
         present, value = await self._keyed("LOOKUP", key)
         return (present == "1", value)
@@ -358,6 +445,8 @@ class AsyncDirectoryClient:
     async def size(self) -> int:
         return await self._request("SIZE")
 
+    # -- service extras ------------------------------------------------------
+
     async def ping(self) -> bool:
         return await self._request("PING") == "PONG"
 
@@ -369,6 +458,9 @@ class AsyncDirectoryClient:
 
     async def remove(self, key: str) -> bool:
         return await self._keyed("DEL", key) == 1
+
+    async def shards(self) -> int:
+        return await self._request("SHARDS")
 
     async def shardmap(self, *, refresh: bool = False) -> dict[str, Any]:
         if self._map is None or refresh:
@@ -386,6 +478,12 @@ class AsyncDirectoryClient:
 
     async def reshard_status(self) -> dict[str, Any]:
         return json.loads(await self._request("RESHARD", "STATUS"))
+
+    async def rejoin(self, replica: str, shard: int = 0) -> str:
+        target = f"s{shard}/{replica}" if shard else replica
+        return await self._request("REJOIN", target)
+
+    # -- the admin/telemetry plane -------------------------------------------
 
     async def stats(self, window: "float | None" = None) -> dict[str, Any]:
         parts = ("STATS",) if window is None else ("STATS", str(window))
@@ -412,3 +510,195 @@ class AsyncDirectoryClient:
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.close()
+
+
+class Pipeline:
+    """The blocking face of :class:`AsyncPipeline`.
+
+    Obtained from :meth:`DirectoryClient.pipeline`.  Queueing methods
+    are identical (and still perform no I/O); :meth:`flush` runs the
+    burst on the client's private event loop.  Exiting the ``with``
+    block cleanly flushes implicitly.
+    """
+
+    def __init__(self, client: "DirectoryClient") -> None:
+        self._client = client
+        self._inner = AsyncPipeline(client._inner)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def lookup(self, key: str) -> PipelineResult:
+        return self._inner.lookup(key)
+
+    def insert(self, key: str, value: str) -> PipelineResult:
+        return self._inner.insert(key, value)
+
+    def update(self, key: str, value: str) -> PipelineResult:
+        return self._inner.update(key, value)
+
+    def delete(self, key: str) -> PipelineResult:
+        return self._inner.delete(key)
+
+    def get(self, key: str) -> PipelineResult:
+        return self._inner.get(key)
+
+    def set(self, key: str, value: str) -> PipelineResult:
+        return self._inner.set(key, value)
+
+    def remove(self, key: str) -> PipelineResult:
+        return self._inner.remove(key)
+
+    def flush(self) -> "list[PipelineResult]":
+        return self._client._run(self._inner.flush())
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+
+class DirectoryClient:
+    """Blocking client; a remote :class:`Directory` on one socket.
+
+    A thin wrapper: it owns a private event loop and delegates every
+    call to an :class:`AsyncDirectoryClient` — one implementation of
+    the protocol, two calling conventions.  The classic
+    one-call-one-roundtrip methods behave exactly as before;
+    :meth:`pipeline` adds the batched path.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7379,
+        *,
+        timeout: "float | None" = 30.0,
+        trace: bool = True,
+        epochs: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._inner = self._run(
+                AsyncDirectoryClient.connect(
+                    host, port, timeout=timeout, trace=trace, epochs=epochs
+                )
+            )
+        except BaseException:
+            self._loop.close()
+            raise
+
+    def _run(self, coro: Any) -> Any:
+        return self._loop.run_until_complete(coro)
+
+    def pipeline(self) -> Pipeline:
+        """A fresh :class:`Pipeline` bound to this connection."""
+        return Pipeline(self)
+
+    # -- delegated state -----------------------------------------------------
+
+    @property
+    def last_trace(self) -> "str | None":
+        """The trace id stamped onto the most recent request, if any."""
+        return self._inner.last_trace
+
+    @property
+    def epoch(self) -> "int | None":
+        """The shard-map epoch this client last saw from the server."""
+        return self._inner.epoch
+
+    @property
+    def redirects(self) -> int:
+        """How many ``-MOVED`` redirects this client has chased."""
+        return self._inner.redirects
+
+    def _request(self, *parts: str) -> Any:
+        return self._run(self._inner._request(*parts))
+
+    def _send(self, *parts: str) -> Any:
+        return self._run(self._inner._send(*parts))
+
+    # -- the Directory surface ----------------------------------------------
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        return self._run(self._inner.lookup(key))
+
+    def insert(self, key: str, value: str) -> None:
+        self._run(self._inner.insert(key, value))
+
+    def update(self, key: str, value: str) -> None:
+        self._run(self._inner.update(key, value))
+
+    def delete(self, key: str) -> None:
+        self._run(self._inner.delete(key))
+
+    def size(self) -> int:
+        return self._run(self._inner.size())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._run(self._inner.close())
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "DirectoryClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- service extras ------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self._run(self._inner.ping())
+
+    def get(self, key: str) -> "str | None":
+        return self._run(self._inner.get(key))
+
+    def set(self, key: str, value: str) -> None:
+        self._run(self._inner.set(key, value))
+
+    def remove(self, key: str) -> bool:
+        """Lenient delete (``DEL``): True if the key was present."""
+        return self._run(self._inner.remove(key))
+
+    def shards(self) -> int:
+        return self._run(self._inner.shards())
+
+    def shardmap(self, *, refresh: bool = False) -> dict[str, Any]:
+        """``SHARDMAP``: the server's routing map, cached by epoch."""
+        return self._run(self._inner.shardmap(refresh=refresh))
+
+    def reshard(self, boundary: str) -> dict[str, Any]:
+        """``RESHARD SPLIT boundary``: run a live split to completion."""
+        return self._run(self._inner.reshard(boundary))
+
+    def reshard_status(self) -> dict[str, Any]:
+        """``RESHARD STATUS``: epoch, migration count, in-flight phase."""
+        return self._run(self._inner.reshard_status())
+
+    def rejoin(self, replica: str, shard: int = 0) -> str:
+        """Admin verb: rejoin ``replica`` on ``shard``; returns its state."""
+        return self._run(self._inner.rejoin(replica, shard))
+
+    # -- the admin/telemetry plane -------------------------------------------
+
+    def stats(self, window: "float | None" = None) -> dict[str, Any]:
+        """``STATS [window]``: windowed rates + per-shard breakdown."""
+        return self._run(self._inner.stats(window))
+
+    def slow(self, n: int = 10) -> list[dict[str, Any]]:
+        """``SLOW n``: the slowest recent ops, each with its span tree."""
+        return self._run(self._inner.slow(n))
+
+    def metrics(self) -> dict[str, Any]:
+        """``METRICS``: the server's raw registry snapshot."""
+        return self._run(self._inner.metrics())

@@ -51,14 +51,24 @@ down) reply ``-UNAVAILABLE`` and any other server-side exception
 ``-ERR`` — a client never sees a broken connection for an application
 error.
 
-Concurrency model: frames are parsed on the transport's loop, but the
-quorum algorithm underneath is synchronous and per-shard stateful, so
-each shard gets a dedicated single-worker executor thread.  Routing
-picks the shard on the loop (``shard_for`` is pure), then the whole
-operation — including the insert-or-update read-modify-write of ``SET``
-— runs on that shard's one thread, which serializes it against every
-other client touching the same shard.  Distinct shards proceed in
-parallel.
+Concurrency model: connections are *pipelined* — the per-connection
+loop reads frames continuously, dispatches each as its own task, and a
+per-connection replier writes the replies back strictly in request
+order, so a client may keep many requests in flight on one socket and
+still parse replies positionally.  The quorum algorithm underneath is
+synchronous and per-shard stateful, so each shard keeps a dedicated
+single-worker executor thread; in front of it sits a *batching queue*
+(:class:`_ShardBatcher`): concurrent same-shard operations accumulate
+while the worker is busy and drain in waves, each wave's run of
+batchable ops (``LOOKUP``/``GET``/``INSERT``/``UPDATE``/``SET``)
+executing as **one** grouped quorum transaction
+(:meth:`~repro.core.suite.DirectorySuite.execute_batch` — shared quorum
+selection, one 2PC group commit, per-op error results preserved).
+Arrival order is preserved item by item, so two pipelined ops on the
+same key observe each other exactly as they would have unbatched;
+``DELETE``/``DEL`` and a wave's solitary ops run the classic one-op
+path, byte-identical to the previous release.  Distinct shards proceed
+in parallel; ``batching=False`` restores the strict per-op executor.
 
 Live telemetry (:class:`ServiceTelemetry`, on by default) instruments
 that per-shard thread: every keyed operation runs inside a
@@ -76,9 +86,12 @@ from __future__ import annotations
 
 import asyncio
 import json
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any
 
+from repro.core.batch import BatchOp
 from repro.core.errors import (
     KeyAlreadyPresentError,
     KeyNotPresentError,
@@ -154,6 +167,209 @@ class _ShardTelemetry:
                 span, verb=verb, key=key, shard=self.index, trace=trace
             )
             self._recorded.inc()
+
+    def run_batch(
+        self, ops: "list[BatchOp]", traces: "list[Any]"
+    ) -> "list[Any]":
+        """Execute one batched wave segment, fully instrumented.
+
+        One ``service:BATCH`` root span covers the grouped transaction
+        (the suite's ``op:batch`` tree nests beneath it); per-op
+        bookkeeping — routed counts, hot-key offers, failure counts —
+        still happens per operation, so ``STATS`` numbers stay exact
+        under batching.
+        """
+        self._directory.note_routed(self.index, len(ops))
+        stamped = [t for t in traces if t is not None]
+        span = self.tracer.span(
+            "service:BATCH", size=len(ops), shard=self.index
+        )
+        if stamped:
+            span.attrs["trace"] = stamped[-1]
+        outcomes: "list[Any] | None" = None
+        try:
+            with span:
+                outcomes = self.cluster.suite.execute_batch(ops)
+            return outcomes
+        finally:
+            self.latency.observe(span.duration)
+            for op in ops:
+                self.hot_keys.offer(op.key)
+            failures = (
+                len(ops)
+                if outcomes is None
+                else sum(1 for out in outcomes if out.error is not None)
+            )
+            if failures:
+                self.failed.inc(failures)
+            self.slow.record(
+                span,
+                verb="BATCH",
+                key=f"[{len(ops)} ops]",
+                shard=self.index,
+                trace=stamped[-1] if stamped else None,
+            )
+            self._recorded.inc(len(ops))
+
+
+@dataclass(slots=True)
+class _WaveItem:
+    """One queued shard operation awaiting its wave."""
+
+    verb: str
+    key: str
+    trace: Any
+    fn: Any
+    args: tuple
+    batch_kind: "str | None"
+    value: Any
+    future: Future
+
+
+class _ShardBatcher:
+    """The batching queue in front of one shard's worker thread.
+
+    Ops submitted while the worker is busy accumulate in ``_pending``
+    (loop thread, under a lock) and drain in waves of up to
+    ``batch_max`` on the shard executor.  Within a wave, consecutive
+    runs of batchable ops execute as one grouped quorum transaction via
+    :meth:`~repro.core.suite.DirectorySuite.execute_batch`; unbatchable
+    verbs (``DELETE``/``DEL``) and solitary batchable ops take the
+    classic single-op path.  Arrival order is preserved item by item —
+    a wave is the *same sequence* the unbatched executor would have
+    run, just paid for with shared quorum rounds.
+
+    The drain task re-submits itself between waves instead of looping,
+    so admin work sharing the executor (``SIZE``, ``REJOIN``, a live
+    reshard's phase steps) interleaves at wave granularity rather than
+    starving behind a busy shard.
+    """
+
+    def __init__(
+        self, service: "DirectoryService", index: int,
+        executor: ThreadPoolExecutor,
+    ) -> None:
+        self.service = service
+        self.index = index
+        self.executor = executor
+        self.batch_max = service.batch_max
+        self._lock = threading.Lock()
+        self._pending: "list[_WaveItem]" = []
+        self._draining = False
+
+    def submit(
+        self,
+        verb: str,
+        key: str,
+        trace: Any,
+        fn: Any,
+        args: tuple,
+        batch_kind: "str | None",
+        value: Any,
+    ) -> "asyncio.Future":
+        """Enqueue one op (loop thread); returns an awaitable result.
+
+        Synchronous up to the returned future, so pipelined frames
+        enqueue in exactly the order their tasks were created — the
+        per-connection FIFO the reply writer depends on.
+        """
+        item = _WaveItem(verb, key, trace, fn, args, batch_kind, value, Future())
+        with self._lock:
+            self._pending.append(item)
+            start = not self._draining
+            if start:
+                self._draining = True
+        if start:
+            self.executor.submit(self._drain)
+        return asyncio.wrap_future(item.future)
+
+    # -- shard worker thread -------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                wave = self._pending[: self.batch_max]
+                del self._pending[: self.batch_max]
+                if not wave:
+                    self._draining = False
+                    return
+            try:
+                self._process(wave)
+            except BaseException as exc:  # never strand a waiting client
+                for item in wave:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+            try:
+                self.executor.submit(self._drain)
+                return
+            except RuntimeError:
+                # Executor shutting down: finish the backlog inline so
+                # every queued future still resolves.
+                continue
+
+    def _process(self, wave: "list[_WaveItem]") -> None:
+        i = 0
+        while i < len(wave):
+            if wave[i].batch_kind is None:
+                self._run_single(wave[i])
+                i += 1
+                continue
+            j = i
+            while j < len(wave) and wave[j].batch_kind is not None:
+                j += 1
+            if j - i == 1:
+                # A solitary batchable op takes the classic path, so an
+                # unpipelined client sees bit-identical behavior.
+                self._run_single(wave[i])
+            else:
+                self._run_batch(wave[i:j])
+            i = j
+
+    def _shard(self) -> tuple[Any, Any]:
+        """(suite, telemetry shard or None) for this index, looked up at
+        drain time so a post-split rebind is always current."""
+        suite = self.service.directory.clusters[self.index].suite
+        telemetry = self.service.telemetry
+        if telemetry is not None and self.index < len(telemetry.shards):
+            return suite, telemetry.shards[self.index]
+        return suite, None
+
+    def _run_single(self, item: _WaveItem) -> None:
+        suite, shard = self._shard()
+        try:
+            if shard is not None:
+                result = shard.run(
+                    item.verb, item.key, item.trace, item.fn, *item.args
+                )
+            else:
+                result = item.fn(suite, *item.args)
+        except BaseException as exc:
+            item.future.set_exception(exc)
+        else:
+            item.future.set_result(result)
+
+    def _run_batch(self, segment: "list[_WaveItem]") -> None:
+        suite, shard = self._shard()
+        ops = [
+            BatchOp(item.batch_kind, item.key, item.value)
+            for item in segment
+        ]
+        try:
+            if shard is not None:
+                outcomes = shard.run_batch(
+                    ops, [item.trace for item in segment]
+                )
+            else:
+                outcomes = suite.execute_batch(ops)
+        except BaseException as exc:
+            for item in segment:
+                item.future.set_exception(exc)
+            return
+        for item, outcome in zip(segment, outcomes):
+            if outcome.error is not None:
+                item.future.set_exception(outcome.error)
+            else:
+                item.future.set_result(outcome.value)
 
 
 class ServiceTelemetry:
@@ -299,6 +515,9 @@ class DirectoryService:
         port: int = 0,
         live: bool = True,
         stats_window: float = 60.0,
+        batching: bool = True,
+        batch_max: int = 128,
+        pipeline_depth: int = 512,
     ) -> None:
         transport = directory.transport
         if not hasattr(transport, "submit"):
@@ -313,11 +532,22 @@ class DirectoryService:
         self._server: asyncio.AbstractServer | None = None
         self._links: set[asyncio.StreamWriter] = set()
         self._closed = False
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1: {batch_max}")
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1: {pipeline_depth}")
+        self.batching = batching
+        self.batch_max = batch_max
+        self.pipeline_depth = pipeline_depth
         self._executors = [
             ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix=f"repro-shard{i}"
             )
             for i in range(len(directory.clusters))
+        ]
+        self._batchers = [
+            _ShardBatcher(self, i, executor)
+            for i, executor in enumerate(self._executors)
         ]
         metrics = transport.metrics
         self._ops = metrics.counter("service.front.ops")
@@ -376,20 +606,61 @@ class DirectoryService:
     async def _serve(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One connection: a pipelined reader plus an in-order replier.
+
+        Frames are read continuously — up to ``pipeline_depth`` may be
+        in flight per connection (the bounded queue is the back-
+        pressure) — and each dispatches as its own task.  The replier
+        awaits those tasks strictly in arrival order, so replies come
+        back positionally even when ops complete out of order across
+        shards.  Dispatch order is deterministic: each task's first
+        synchronous segment runs in creation order and enqueues onto
+        its shard's batcher before yielding, so same-connection ops on
+        one shard keep their wire order.
+        """
         self._links.add(writer)
+        queue: "asyncio.Queue[asyncio.Task | None]" = asyncio.Queue(
+            maxsize=self.pipeline_depth
+        )
+        replier = asyncio.ensure_future(self._write_replies(queue, writer))
         try:
             while True:
                 try:
                     frame = await protocol.read_frame(reader)
                 except (ConnectionError, asyncio.IncompleteReadError):
-                    return
-                writer.write(await self._dispatch(frame))
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+                    break
+                await queue.put(asyncio.ensure_future(self._dispatch(frame)))
         finally:
+            # EOF mid-pipeline: in-flight requests still execute and
+            # their replies still flush (the write side may outlive the
+            # read side of a half-closed socket).
+            await queue.put(None)
+            await replier
             self._links.discard(writer)
             writer.close()
+
+    async def _write_replies(
+        self, queue: "asyncio.Queue", writer: asyncio.StreamWriter
+    ) -> None:
+        broken = False
+        while True:
+            task = await queue.get()
+            if task is None:
+                return
+            try:
+                reply = await task
+            except Exception as exc:  # _dispatch never raises; belt-and-braces
+                reply = protocol.encode_error(
+                    "ERR", f"internal {type(exc).__name__}: {exc}"
+                )
+            if broken:
+                continue  # keep awaiting tasks so shard work resolves
+            try:
+                writer.write(reply)
+                if queue.empty():
+                    await writer.drain()  # coalesce flushes per burst
+            except (ConnectionError, OSError):
+                broken = True
 
     async def _dispatch(self, frame: Any) -> bytes:
         if (
@@ -457,19 +728,40 @@ class DirectoryService:
                     max_workers=1, thread_name_prefix=f"repro-shard{i}"
                 )
             )
+            self._batchers.append(
+                _ShardBatcher(self, i, self._executors[i])
+            )
             if self.telemetry is not None:
                 self.telemetry.ensure_shard(i)
 
     async def _on_shard(
-        self, verb: str, key: str, trace: Any, fn: Any, *args: Any
+        self,
+        verb: str,
+        key: str,
+        trace: Any,
+        fn: Any,
+        *args: Any,
+        batch: "tuple[str, Any] | None" = None,
     ) -> Any:
-        """Run ``fn(suite, *args)`` on the owning shard's worker thread."""
+        """Run ``fn(suite, *args)`` on the owning shard's worker thread.
+
+        With batching enabled the op goes through the shard's
+        :class:`_ShardBatcher` instead of straight onto the executor;
+        ``batch`` names the grouped-transaction kind (and write value)
+        for verbs :meth:`~repro.core.suite.DirectorySuite.execute_batch`
+        can coalesce, ``None`` for ones that must run solo.
+        """
         index = self.directory.shard_for(key)
         if index >= len(self._executors):
             # The current epoch routes to a shard a live split just
             # added; adopt it before dispatching (post-cutover, so the
             # new cluster is no longer being written by the migration).
             self._sync_shards()
+        if self.batching:
+            kind, value = batch if batch is not None else (None, None)
+            return await self._batchers[index].submit(
+                verb, key, trace, fn, args, kind, value
+            )
         loop = asyncio.get_running_loop()
         if self.telemetry is not None:
             shard = self.telemetry.shards[index]
@@ -491,7 +783,11 @@ class DirectoryService:
         _expect(args, 1, "LOOKUP key")
         key = args[0]
         present, value = await self._on_shard(
-            "LOOKUP", key, trace, lambda suite: suite.lookup(key)
+            "LOOKUP",
+            key,
+            trace,
+            lambda suite: suite.lookup(key),
+            batch=("lookup", None),
         )
         return protocol.encode_array(
             ["1" if present else "0", _text(value) if present else None]
@@ -501,7 +797,11 @@ class DirectoryService:
         _expect(args, 2, "INSERT key value")
         key, value = args
         await self._on_shard(
-            "INSERT", key, trace, lambda suite: suite.insert(key, value)
+            "INSERT",
+            key,
+            trace,
+            lambda suite: suite.insert(key, value),
+            batch=("insert", value),
         )
         return protocol.encode_simple("OK")
 
@@ -509,7 +809,11 @@ class DirectoryService:
         _expect(args, 2, "UPDATE key value")
         key, value = args
         await self._on_shard(
-            "UPDATE", key, trace, lambda suite: suite.update(key, value)
+            "UPDATE",
+            key,
+            trace,
+            lambda suite: suite.update(key, value),
+            batch=("update", value),
         )
         return protocol.encode_simple("OK")
 
@@ -525,7 +829,11 @@ class DirectoryService:
         _expect(args, 1, "GET key")
         key = args[0]
         present, value = await self._on_shard(
-            "GET", key, trace, lambda suite: suite.lookup(key)
+            "GET",
+            key,
+            trace,
+            lambda suite: suite.lookup(key),
+            batch=("lookup", None),
         )
         return protocol.encode_bulk(_text(value) if present else None)
 
@@ -540,7 +848,9 @@ class DirectoryService:
             except KeyAlreadyPresentError:
                 suite.update(key, value)
 
-        await self._on_shard("SET", key, trace, upsert)
+        await self._on_shard(
+            "SET", key, trace, upsert, batch=("upsert", value)
+        )
         return protocol.encode_simple("OK")
 
     async def _cmd_del(self, args: list[str], trace: Any) -> bytes:

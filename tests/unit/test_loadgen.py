@@ -1,0 +1,88 @@
+"""Unit tests for the load generator's redesigned configuration surface.
+
+:class:`LoadSpec` is the one value a load run needs; the loose-kwargs
+``run_load(host, port, ops=...)`` form survives as a deprecated shim.
+The socket-driving paths themselves are exercised end to end by the
+service integration tests and ``benchmarks/bench_service.py``; here we
+pin the pure parts — validation, open/closed mode selection, and the
+deprecation contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.service.loadgen import DEFAULT_MIX, LoadSpec, run_load
+
+
+class TestLoadSpec:
+    def test_defaults_are_closed_loop(self):
+        spec = LoadSpec()
+        assert spec.mix == DEFAULT_MIX
+        assert not spec.open_loop
+        assert spec.rate_points() == ()
+        assert spec.pipeline == 1
+
+    def test_rate_selects_open_loop(self):
+        spec = LoadSpec(rate=500.0)
+        assert spec.open_loop
+        assert spec.rate_points() == (500.0,)
+
+    def test_rates_sweep_wins_over_rate(self):
+        spec = LoadSpec(rate=500.0, rates=[100, 200])
+        assert spec.open_loop
+        assert spec.rate_points() == (100, 200)
+        assert isinstance(spec.rates, tuple)  # coerced, hashable
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            LoadSpec().ops = 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"ops": 0},
+            {"connections": 0},
+            {"keyspace": 0},
+            {"mix": (0.5, 0.5, 0.5)},
+            {"mix": (1.0, 0.0)},
+            {"hot_fraction": 1.5},
+            {"hot_keys": 0},
+            {"pipeline": 0},
+            {"rate": 0},
+            {"rate": -5.0},
+            {"rates": ()},
+            {"rates": (100, -1)},
+            {"duration": 0},
+        ],
+        ids=lambda bad: next(iter(bad)),
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            LoadSpec(**bad)
+
+
+class TestRunLoadSurface:
+    def test_spec_plus_keywords_rejected(self):
+        with pytest.raises(TypeError, match="inside the LoadSpec"):
+            run_load(LoadSpec(), ops=10)
+        with pytest.raises(TypeError, match="inside the LoadSpec"):
+            run_load(LoadSpec(), 7379)
+
+    def test_unknown_legacy_option_rejected(self):
+        with pytest.raises(TypeError, match="unknown load option"):
+            run_load("127.0.0.1", 7379, opz=10)
+
+    def test_legacy_kwargs_warn_then_build_a_spec(self):
+        # Port 1 refuses connections immediately: the shim must have
+        # warned (and validated) before any socket work begins.
+        with pytest.warns(DeprecationWarning, match="LoadSpec"):
+            with pytest.raises(OSError):
+                run_load("127.0.0.1", 1, ops=1, connections=1)
+
+    def test_legacy_kwargs_validate_like_the_spec(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="pipeline"):
+                run_load("127.0.0.1", 1, pipeline=0)
